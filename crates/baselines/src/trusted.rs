@@ -1,0 +1,306 @@
+//! The trusted-baseline protocol (paper §5.1).
+//!
+//! "In this baseline protocol, we assume the existence of a trusted node.
+//! … The baseline protocol assumes that all the CPS nodes are directly
+//! connected to the trusted node using the expensive medium and not use
+//! the links between the CPS nodes."
+//!
+//! Every consensus unit, each CPS node uploads its pending commands to the
+//! trusted node, which orders them into a block, signs it once, and
+//! multicasts it back; nodes verify the single trusted signature and
+//! commit. The trusted node itself (node 0 by convention, the hub of a
+//! star topology) is externally powered — harnesses exclude its meter when
+//! reporting CPS energy, exactly as the paper's baseline accounting does.
+
+use std::sync::Arc;
+
+use eesmr_core::{Block, BlockStore, Command, Metrics, MsgKind, TxPool};
+use eesmr_core::message::signing_bytes;
+use eesmr_crypto::{Digest, KeyPair, KeyStore, Signature};
+use eesmr_net::{Actor, Context, Message, NodeId, SimDuration, SimTime};
+
+/// Messages between CPS nodes and the trusted hub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TbPayload {
+    /// A node's upload of pending commands.
+    Request {
+        /// The commands.
+        batch: Vec<Command>,
+        /// Upload sequence number (one per consensus unit).
+        seq: u64,
+    },
+    /// The trusted node's ordered block.
+    Ordered {
+        /// The block.
+        block: Block,
+    },
+}
+
+/// A signed trusted-baseline message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TbMsg {
+    /// Payload.
+    pub payload: TbPayload,
+    /// Sender.
+    pub signer: NodeId,
+    /// Signature.
+    pub sig: Signature,
+}
+
+impl TbPayload {
+    fn signing_digest(&self) -> Digest {
+        match self {
+            TbPayload::Request { batch, seq } => {
+                let mut bytes = Vec::new();
+                bytes.extend_from_slice(&seq.to_le_bytes());
+                for c in batch {
+                    bytes.extend_from_slice(c.bytes());
+                }
+                Digest::of_parts(&[b"tb-req", &bytes])
+            }
+            TbPayload::Ordered { block } => block.id(),
+        }
+    }
+
+    fn body_size(&self) -> usize {
+        match self {
+            TbPayload::Request { batch, .. } => 8 + batch.iter().map(Command::len).sum::<usize>(),
+            TbPayload::Ordered { block } => block.wire_size(),
+        }
+    }
+}
+
+impl TbMsg {
+    fn new(payload: TbPayload, keypair: &KeyPair) -> Self {
+        let digest = payload.signing_digest();
+        let bytes = signing_bytes(MsgKind::Propose, 0, &digest);
+        TbMsg { sig: keypair.sign(&bytes), signer: keypair.signer(), payload }
+    }
+
+    fn verify_sig(&self, pki: &KeyStore) -> bool {
+        if self.sig.signer() != self.signer {
+            return false;
+        }
+        let digest = self.payload.signing_digest();
+        let bytes = signing_bytes(MsgKind::Propose, 0, &digest);
+        pki.verify(&bytes, &self.sig)
+    }
+}
+
+impl Message for TbMsg {
+    fn wire_size(&self) -> usize {
+        4 + self.payload.body_size() + self.sig.wire_size()
+    }
+
+    fn flood_key(&self) -> u64 {
+        Digest::of_parts(&[
+            &self.signer.to_le_bytes(),
+            self.payload.signing_digest().as_bytes(),
+        ])
+        .to_u64()
+    }
+}
+
+/// Timer tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TbTimer {
+    /// The hub's ordering tick.
+    Order,
+    /// A node's periodic upload.
+    Upload,
+}
+
+/// Configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TbConfig {
+    /// Total nodes including the hub (node 0).
+    pub n: usize,
+    /// Synthetic payload bytes per upload.
+    pub payload_bytes: usize,
+    /// Hub ordering period.
+    pub order_period: SimDuration,
+}
+
+/// The hub's id in the star topology.
+pub const HUB: NodeId = 0;
+
+/// One participant: the hub (node 0) or a CPS node.
+pub struct TbNode {
+    id: NodeId,
+    config: TbConfig,
+    pki: Arc<KeyStore>,
+    store: BlockStore,
+    tip: Digest,
+    txpool: TxPool,
+    upload_seq: u64,
+    pending: Vec<Command>,
+    committed_log: Vec<Digest>,
+    committed_height: u64,
+    first_seen: std::collections::HashMap<Digest, SimTime>,
+    metrics: Metrics,
+}
+
+impl core::fmt::Debug for TbNode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TbNode")
+            .field("id", &self.id)
+            .field("committed_height", &self.committed_height)
+            .finish()
+    }
+}
+
+type Ctx<'a> = Context<'a, TbMsg, TbTimer>;
+
+impl TbNode {
+    /// Creates the hub or a CPS node.
+    pub fn new(id: NodeId, config: TbConfig, pki: Arc<KeyStore>) -> Self {
+        let store = BlockStore::new();
+        let tip = store.genesis_id();
+        let payload = config.payload_bytes;
+        TbNode {
+            id,
+            config,
+            pki,
+            store,
+            tip,
+            txpool: TxPool::synthetic(payload),
+            upload_seq: 0,
+            pending: Vec::new(),
+            committed_log: Vec::new(),
+            committed_height: 0,
+            first_seen: std::collections::HashMap::new(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Committed log (hub and nodes agree by construction).
+    pub fn committed(&self) -> &[Digest] {
+        &self.committed_log
+    }
+
+    /// Committed height.
+    pub fn committed_height(&self) -> u64 {
+        self.committed_height
+    }
+
+    /// Metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn is_hub(&self) -> bool {
+        self.id == HUB
+    }
+
+    fn upload(&mut self, ctx: &mut Ctx<'_>) {
+        let batch = self.txpool.next_batch(16);
+        let seq = self.upload_seq;
+        self.upload_seq += 1;
+        let msg = TbMsg::new(TbPayload::Request { batch, seq }, self.pki.keypair(self.id));
+        ctx.meter().charge_sign(self.pki.scheme());
+        ctx.meter().charge_hash(msg.wire_size());
+        ctx.multicast(msg); // the spoke's only edge points at the hub
+    }
+}
+
+impl Actor for TbNode {
+    type Msg = TbMsg;
+    type Timer = TbTimer;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.is_hub() {
+            ctx.set_timer(self.config.order_period, TbTimer::Order);
+        } else {
+            self.upload(ctx);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: TbMsg, ctx: &mut Ctx<'_>) {
+        match &msg.payload {
+            TbPayload::Request { batch, .. } => {
+                if !self.is_hub() || msg.signer == HUB {
+                    return;
+                }
+                ctx.meter().charge_verify(self.pki.scheme());
+                ctx.meter().charge_hash(msg.wire_size());
+                if !msg.verify_sig(&self.pki) {
+                    return;
+                }
+                self.pending.extend(batch.iter().cloned());
+            }
+            TbPayload::Ordered { block } => {
+                if self.is_hub() || msg.signer != HUB {
+                    return;
+                }
+                ctx.meter().charge_verify(self.pki.scheme());
+                ctx.meter().charge_hash(msg.wire_size());
+                if !msg.verify_sig(&self.pki) {
+                    return;
+                }
+                let block = block.clone();
+                if block.parent != self.tip {
+                    return; // out of order — the hub's signed chain is linear
+                }
+                let id = self.store.insert(block.clone());
+                self.tip = id;
+                self.committed_log.push(id);
+                self.committed_height = block.height;
+                self.metrics.blocks_committed += 1;
+                self.metrics.committed_height = block.height;
+                if let Some(seen) = self.first_seen.remove(&id) {
+                    self.metrics.commit_latencies.push(ctx.now().since(seen));
+                }
+                // Upload the next unit after each ordered block.
+                self.upload(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TbTimer, ctx: &mut Ctx<'_>) {
+        match token {
+            TbTimer::Order => {
+                if !self.is_hub() {
+                    return;
+                }
+                if !self.pending.is_empty() {
+                    let parent = self.store.get(&self.tip).expect("tip stored").clone();
+                    let batch: Vec<Command> = self.pending.drain(..).collect();
+                    let block = Block::extending(&parent, 0, parent.height + 1, batch);
+                    ctx.meter().charge_hash(block.wire_size());
+                    let id = self.store.insert(block.clone());
+                    self.tip = id;
+                    self.committed_log.push(id);
+                    self.committed_height = block.height;
+                    self.metrics.blocks_committed += 1;
+                    self.metrics.committed_height = block.height;
+                    let msg =
+                        TbMsg::new(TbPayload::Ordered { block }, self.pki.keypair(self.id));
+                    ctx.meter().charge_sign(self.pki.scheme());
+                    ctx.meter().charge_hash(msg.wire_size());
+                    ctx.multicast(msg); // the hub's edge reaches every spoke
+                }
+                ctx.set_timer(self.config.order_period, TbTimer::Order);
+            }
+            TbTimer::Upload => self.upload(ctx),
+        }
+    }
+}
+
+impl crate::status::SmrStatus for TbNode {
+    fn committed_log(&self) -> &[Digest] {
+        &self.committed_log
+    }
+
+    fn committed_block_height(&self) -> u64 {
+        self.committed_height
+    }
+
+    fn view(&self) -> u64 {
+        1 // the trusted baseline has no views
+    }
+}
+
+/// Builds the hub (node 0) plus `n − 1` CPS nodes.
+pub fn build_tb_nodes(config: &TbConfig, pki: &Arc<KeyStore>) -> Vec<TbNode> {
+    (0..config.n as NodeId).map(|id| TbNode::new(id, config.clone(), pki.clone())).collect()
+}

@@ -1,0 +1,187 @@
+//! End-to-end tests for the baseline protocols over the simulated network.
+
+use std::sync::Arc;
+
+use eesmr_baselines::check_prefix_consistency;
+use eesmr_baselines::sync_hotstuff::{
+    build_hs_replicas, HsConfig, HsFault, HsPacing, HsReplica, HsVariant,
+};
+use eesmr_baselines::trusted::{build_tb_nodes, TbConfig, TbNode, HUB};
+use eesmr_crypto::{KeyStore, SigScheme};
+use eesmr_energy::{EnergyCategory, Medium};
+use eesmr_hypergraph::topology::{ring_kcast, star};
+use eesmr_net::{ChannelCost, NetConfig, SimDuration, SimNet};
+
+fn run_hs(
+    n: usize,
+    k: usize,
+    variant: HsVariant,
+    faults: fn(u32) -> HsFault,
+    millis: u64,
+) -> SimNet<HsReplica> {
+    let net_cfg = NetConfig::ble(ring_kcast(n, k), 5);
+    let config = HsConfig::new(n, net_cfg.delta(), variant);
+    let pki = Arc::new(KeyStore::generate(n, SigScheme::Rsa1024, 5));
+    let replicas = build_hs_replicas(&config, &pki, faults);
+    let mut net = SimNet::new(net_cfg, replicas);
+    net.run_for(SimDuration::from_millis(millis));
+    net
+}
+
+fn assert_consistent(net: &SimNet<HsReplica>, correct: impl Iterator<Item = u32>) {
+    let logs: Vec<&[eesmr_crypto::Digest]> =
+        correct.map(|id| net.actor(id).committed()).collect();
+    check_prefix_consistency(&logs).expect("SyncHS safety violated");
+}
+
+#[test]
+fn synchs_honest_run_commits() {
+    let net = run_hs(5, 2, HsVariant::SyncHotStuff, |_| HsFault::Honest, 400);
+    for id in 0..5 {
+        assert!(
+            net.actor(id).committed_height() >= 5,
+            "node {id} got {}",
+            net.actor(id).committed_height()
+        );
+        assert_eq!(net.actor(id).metrics().view_changes, 0);
+    }
+    assert_consistent(&net, 0..5);
+}
+
+#[test]
+fn synchs_every_node_signs_votes() {
+    // The certificate work EESMR avoids: every node signs one vote per
+    // block in Sync HotStuff.
+    let net = run_hs(5, 2, HsVariant::SyncHotStuff, |_| HsFault::Honest, 400);
+    let committed = net.actor(0).committed_height();
+    for id in 0..5 {
+        let signs = net.meter(id).count(EnergyCategory::Sign);
+        assert!(
+            signs >= committed,
+            "node {id} signed {signs} times for {committed} blocks"
+        );
+    }
+}
+
+#[test]
+fn synchs_view_change_on_silent_leader() {
+    let net = run_hs(
+        5,
+        2,
+        HsVariant::SyncHotStuff,
+        |id| if id == 0 { HsFault::Silent { from_view: 1 } } else { HsFault::Honest },
+        1_500,
+    );
+    for id in 1..5 {
+        assert!(net.actor(id).current_view() >= 2, "node {id}");
+        assert!(net.actor(id).committed_height() >= 1, "node {id} commits in view 2+");
+    }
+    assert_consistent(&net, 1..5);
+}
+
+#[test]
+fn synchs_equivocating_leader_is_caught() {
+    let net = run_hs(
+        5,
+        2,
+        HsVariant::SyncHotStuff,
+        |id| if id == 0 { HsFault::Equivocate { in_view: 1 } } else { HsFault::Honest },
+        1_500,
+    );
+    for id in 1..5 {
+        assert!(net.actor(id).current_view() >= 2, "node {id}");
+    }
+    assert_consistent(&net, 1..5);
+}
+
+#[test]
+fn optsync_commits_faster_than_synchs_wallclock() {
+    // The responsive path commits without the 2Δ wait, so with streaming
+    // pacing OptSync sustains a higher rate in the same virtual time.
+    let mk = |variant| {
+        let n = 8;
+        let net_cfg = NetConfig::ble(ring_kcast(n, 3), 6);
+        let mut config = HsConfig::new(n, net_cfg.delta(), variant);
+        config.pacing = HsPacing::Streaming;
+        let pki = Arc::new(KeyStore::generate(n, SigScheme::Rsa1024, 6));
+        let replicas = build_hs_replicas(&config, &pki, |_| HsFault::Honest);
+        let mut net = SimNet::new(net_cfg, replicas);
+        net.run_for(SimDuration::from_millis(400));
+        net.actor(0).committed_height()
+    };
+    let h_opt = mk(HsVariant::OptSync);
+    let h_classic = mk(HsVariant::SyncHotStuff);
+    // On the multi-hop ring the fast quorum can trail the 2Δ path by a
+    // block, so allow a small tolerance.
+    assert!(
+        h_opt + 2 >= h_classic,
+        "OptSync ({h_opt}) should keep pace with SyncHS ({h_classic})"
+    );
+}
+
+#[test]
+fn optsync_verifies_more_than_synchs() {
+    let opt = run_hs(8, 3, HsVariant::OptSync, |_| HsFault::Honest, 400);
+    let classic = run_hs(8, 3, HsVariant::SyncHotStuff, |_| HsFault::Honest, 400);
+    let per_block = |net: &SimNet<HsReplica>| {
+        let verifies: u64 = (0..8).map(|id| net.meter(id).count(EnergyCategory::Verify)).sum();
+        let blocks = net.actor(0).committed_height().max(1);
+        verifies as f64 / blocks as f64
+    };
+    assert!(
+        per_block(&opt) > per_block(&classic),
+        "OptSync verifies 3n/4+1 votes vs n/2+1"
+    );
+}
+
+#[test]
+fn synchs_deterministic_replay() {
+    let a = run_hs(5, 2, HsVariant::SyncHotStuff, |_| HsFault::Honest, 300);
+    let b = run_hs(5, 2, HsVariant::SyncHotStuff, |_| HsFault::Honest, 300);
+    for id in 0..5 {
+        assert_eq!(a.actor(id).committed(), b.actor(id).committed());
+        assert_eq!(a.meter(id).total_mj(), b.meter(id).total_mj());
+    }
+}
+
+fn run_tb(n: usize, millis: u64) -> SimNet<TbNode> {
+    // Star topology over the expensive medium (4G), as in §5.1.
+    let mut cfg = NetConfig::ble(star(n, HUB), 9);
+    cfg.channel = ChannelCost::PerByte { medium: Medium::FourG };
+    let config = TbConfig {
+        n,
+        payload_bytes: 64,
+        order_period: SimDuration::from_millis(5),
+    };
+    let pki = Arc::new(KeyStore::generate(n, SigScheme::Rsa1024, 9));
+    let nodes = build_tb_nodes(&config, &pki);
+    let mut net = SimNet::new(cfg, nodes);
+    net.run_for(SimDuration::from_millis(millis));
+    net
+}
+
+#[test]
+fn trusted_baseline_orders_and_distributes() {
+    let net = run_tb(6, 400);
+    let hub_height = net.actor(HUB).committed_height();
+    assert!(hub_height >= 3, "the hub ordered blocks, got {hub_height}");
+    for id in 1..6 {
+        assert!(
+            net.actor(id).committed_height() >= hub_height - 1,
+            "spoke {id} follows the hub"
+        );
+    }
+    let logs: Vec<&[eesmr_crypto::Digest]> = (0..6).map(|id| net.actor(id).committed()).collect();
+    check_prefix_consistency(&logs).expect("trusted baseline logs diverge");
+}
+
+#[test]
+fn trusted_baseline_spokes_pay_expensive_medium() {
+    let net = run_tb(6, 400);
+    for id in 1..6u32 {
+        let send = net.meter(id).mj(EnergyCategory::Send);
+        assert!(send > 0.0, "spoke {id} uploaded requests");
+    }
+    // The hub pays too — but harnesses exclude it from CPS totals.
+    assert!(net.meter(HUB).total_mj() > 0.0);
+}

@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks for the crypto substrate (wall-clock
+//! performance of the from-scratch primitives; energy is modelled, but
+//! simulation speed depends on these).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use eesmr_crypto::{hmac::hmac_sha256, sha256::Sha256, KeyStore, SigScheme};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| Sha256::digest(black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let key = [7u8; 64];
+    let msg = vec![1u8; 256];
+    c.bench_function("hmac_sha256_256B", |b| {
+        b.iter(|| hmac_sha256(black_box(&key), black_box(&msg)))
+    });
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let pki = KeyStore::generate(4, SigScheme::Rsa1024, 1);
+    let msg = vec![2u8; 200];
+    let sig = pki.keypair(0).sign(&msg);
+    c.bench_function("sign_200B", |b| b.iter(|| pki.keypair(0).sign(black_box(&msg))));
+    c.bench_function("verify_200B", |b| b.iter(|| pki.verify(black_box(&msg), black_box(&sig))));
+}
+
+criterion_group!(benches, bench_sha256, bench_hmac, bench_signatures);
+criterion_main!(benches);

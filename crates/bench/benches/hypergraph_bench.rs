@@ -1,0 +1,20 @@
+//! Criterion benchmarks for hypergraph analysis (partition resistance is
+//! combinatorial; these keep its cost visible).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use eesmr_hypergraph::topology::ring_kcast;
+
+fn bench_partition_resistance(c: &mut Criterion) {
+    let h = ring_kcast(12, 3);
+    c.bench_function("partition_resistant_n12_f2", |b| {
+        b.iter(|| black_box(&h).is_partition_resistant(2))
+    });
+}
+
+fn bench_diameter(c: &mut Criterion) {
+    let h = ring_kcast(64, 4);
+    c.bench_function("diameter_n64_k4", |b| b.iter(|| black_box(&h).diameter()));
+}
+
+criterion_group!(benches, bench_partition_resistance, bench_diameter);
+criterion_main!(benches);

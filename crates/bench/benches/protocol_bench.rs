@@ -1,0 +1,39 @@
+//! Criterion benchmarks of full protocol runs in the simulator — how fast
+//! the reproduction executes one consensus unit (wall-clock), for each
+//! protocol on the paper's testbed topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eesmr_sim::{Protocol, Scenario, StopWhen};
+
+fn bench_block_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_10_blocks");
+    group.sample_size(10);
+    for (proto, name) in [
+        (Protocol::Eesmr, "eesmr_n7_k3"),
+        (Protocol::SyncHotStuff, "synchs_n7_k3"),
+        (Protocol::OptSync, "optsync_n7_k3"),
+        (Protocol::TrustedBaseline, "trusted_n7"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| Scenario::new(proto, 7, 3).stop(StopWhen::Blocks(10)).run())
+        });
+    }
+    group.finish();
+}
+
+fn bench_view_change(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_change");
+    group.sample_size(10);
+    group.bench_function("eesmr_n7_silent_leader", |b| {
+        b.iter(|| {
+            Scenario::new(Protocol::Eesmr, 7, 3)
+                .faults(eesmr_sim::FaultPlan::silent_leader())
+                .stop(StopWhen::ViewReached(2))
+                .run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_commit, bench_view_change);
+criterion_main!(benches);

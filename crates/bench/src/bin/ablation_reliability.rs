@@ -1,0 +1,31 @@
+//! Ablation: the energy cost of the k-cast reliability target (the paper
+//! fixes 99.99 %; §5.4 notes applications may need more).
+
+use eesmr_bench::{print_table, Csv};
+use eesmr_energy::BleKcastModel;
+
+fn main() {
+    let model = BleKcastModel::default();
+    let targets = [0.99, 0.999, 0.9999, 0.99999, 0.999999];
+    let mut csv = Csv::create("ablation_reliability", &["k", "reliability", "redundancy", "sender_mj_25b"]);
+    let mut rows = Vec::new();
+    for k in [3usize, 7] {
+        for &t in &targets {
+            let r = model.redundancy_for(k, t);
+            let mj = model.kcast_send_mj(25, r);
+            csv.rowd(&[&k, &t, &r, &mj]);
+            rows.push(vec![
+                k.to_string(),
+                format!("{:.4}%", t * 100.0),
+                r.to_string(),
+                format!("{mj:.2}"),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation: redundancy & sender energy per 25 B k-cast vs reliability target",
+        &["k", "Reliability", "Redundancy", "Sender mJ"],
+        &rows,
+    );
+    println!("wrote {}", csv.path().display());
+}

@@ -1,0 +1,47 @@
+//! Ablation: vote-in-the-head vs explicit voting. EESMR's steady state
+//! (implicit votes) against Sync HotStuff (explicit votes + certificates)
+//! on identical topology/payload — isolating the paper's core design
+//! choice.
+
+use eesmr_bench::{print_table, Csv};
+use eesmr_sim::{Protocol, Scenario, StopWhen};
+
+fn main() {
+    let mut csv = Csv::create(
+        "ablation_votes",
+        &["protocol", "signs_per_block", "verifies_per_block", "kcasts_per_block", "total_mj_per_block"],
+    );
+    let mut rows = Vec::new();
+    for (proto, label) in [
+        (Protocol::Eesmr, "EESMR (implicit votes)"),
+        (Protocol::SyncHotStuff, "Sync HotStuff (explicit votes)"),
+        (Protocol::OptSync, "OptSync (explicit votes, fast path)"),
+    ] {
+        let report = Scenario::new(proto, 9, 3).stop(StopWhen::Blocks(20)).run();
+        let blocks = report.committed_height().max(1) as f64;
+        let signs: u64 = report.correct_nodes().map(|n| n.signs).sum();
+        let verifies: u64 = report.correct_nodes().map(|n| n.verifies).sum();
+        let kcasts = report.net.kcasts as f64 / blocks;
+        let mj = report.energy_per_block_mj();
+        csv.rowd(&[
+            &label,
+            &(signs as f64 / blocks),
+            &(verifies as f64 / blocks),
+            &kcasts,
+            &mj,
+        ]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", signs as f64 / blocks),
+            format!("{:.1}", verifies as f64 / blocks),
+            format!("{kcasts:.1}"),
+            format!("{mj:.0}"),
+        ]);
+    }
+    print_table(
+        "Ablation: implicit vs explicit voting (per committed block, n=9 k=3)",
+        &["Protocol", "Signs", "Verifies", "k-casts", "Total mJ"],
+        &rows,
+    );
+    println!("wrote {}", csv.path().display());
+}

@@ -1,0 +1,47 @@
+//! Runs every table/figure regeneration binary's logic in sequence by
+//! invoking the sibling binaries. Writes all CSV series under
+//! `target/experiments/`.
+
+use std::process::Command;
+
+const TARGETS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "fig1_feasible_region",
+    "fig2a_kcast_reliability",
+    "fig2b_unicast_vs_multicast",
+    "fig2c_leader_replica",
+    "fig2d_blocksize",
+    "fig2e_viewchange",
+    "fig2f_total_energy",
+    "fig3_eesmr_vs_synchs",
+    "headline",
+    "ablation_schemes",
+    "ablation_reliability",
+    "ablation_votes",
+    "ablation_checkpoint",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for target in TARGETS {
+        println!("\n=== {target} ===");
+        let status = Command::new(dir.join(target)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{target} failed: {other:?}");
+                failures.push(*target);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed; CSVs in target/experiments/");
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Fig. 1**: the feasible region ψ^EESMR − ψ^Baseline over a
+//! grid of node counts and message sizes (RSA-1024, WiFi between nodes, 4G
+//! to the trusted node). Negative values mean EESMR is the more
+//! energy-efficient choice.
+
+use eesmr_bench::{print_table, Csv};
+use eesmr_energy::FeasibleRegion;
+
+fn main() {
+    let n_values: Vec<usize> = (3..=16).collect();
+    let m_values: Vec<usize> = vec![64, 128, 256, 512, 1024, 1536, 2048];
+    let region = FeasibleRegion::compute(&n_values, &m_values);
+
+    let mut csv = Csv::create("fig1_feasible_region", &["n", "payload_bytes", "eesmr_mj", "baseline_mj", "delta_mj"]);
+    for c in region.cells() {
+        csv.rowd(&[&c.n, &c.payload, &c.eesmr_mj, &c.baseline_mj, &c.delta_mj]);
+    }
+
+    // Compact view: sign of the delta per cell.
+    let mut rows = Vec::new();
+    for &n in &n_values {
+        let mut row = vec![format!("n={n}")];
+        for &m in &m_values {
+            let cell = region.cell(n, m).expect("on-grid");
+            row.push(if cell.eesmr_favoured() { "EESMR".into() } else { "BL".into() });
+        }
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["".into()];
+    headers.extend(m_values.iter().map(|m| format!("m={m}B")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table("Fig. 1: who wins per (n, m) cell", &headers_ref, &rows);
+
+    println!("\nEESMR favoured on {:.0}% of the grid", region.favoured_fraction() * 100.0);
+    for (m, crossover) in region.crossover_frontier() {
+        match crossover {
+            Some(n) => println!("  m={m:>5}B: EESMR up to n={n}"),
+            None => println!("  m={m:>5}B: baseline always wins"),
+        }
+    }
+    println!("wrote {}", csv.path().display());
+}

@@ -1,0 +1,40 @@
+//! Regenerates **Fig. 2b**: energy to deliver payloads of 25–500 B via
+//! GATT unicasts (d = 1 and d = 7) versus a 99.99 %-reliable k-cast with
+//! k = 7, for sender (S) and receiver (R).
+
+use eesmr_bench::{print_table, Csv};
+use eesmr_energy::{BleGattModel, BleKcastModel};
+
+fn main() {
+    let kcast = BleKcastModel::default();
+    let gatt = BleGattModel::default();
+    let mut csv = Csv::create(
+        "fig2b_unicast_vs_multicast",
+        &["payload_bytes", "uc_s_d1", "uc_r_d1", "uc_s_d7", "uc_r_d7", "kcast_s_k7", "kcast_r_k7"],
+    );
+    let mut rows = Vec::new();
+    for payload in (25..=500).step_by(25) {
+        let cells = [
+            gatt.unicast_send_mj(payload, 1),
+            gatt.unicast_recv_mj(payload, 1),
+            gatt.unicast_send_mj(payload, 7),
+            gatt.unicast_recv_mj(payload, 7),
+            kcast.reliable_kcast_send_mj(payload, 7, 0.9999),
+            kcast.reliable_kcast_recv_mj(payload, 7, 0.9999),
+        ];
+        let mut csv_row = vec![payload.to_string()];
+        csv_row.extend(cells.iter().map(|c| c.to_string()));
+        csv.row(&csv_row);
+        if payload % 100 == 0 || payload == 25 {
+            let mut row = vec![format!("{payload} B")];
+            row.extend(cells.iter().map(|c| format!("{c:.1}")));
+            rows.push(row);
+        }
+    }
+    print_table(
+        "Fig. 2b: unicast vs multicast energy (mJ)",
+        &["Payload", "UC S d=1", "UC R d=1", "UC S d=7", "UC R d=7", "kcast S k=7", "kcast R k=7"],
+        &rows,
+    );
+    println!("wrote {}", csv.path().display());
+}

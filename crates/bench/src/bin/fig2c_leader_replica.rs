@@ -1,0 +1,30 @@
+//! Regenerates **Fig. 2c**: average energy per SMR (committed block)
+//! consumed by a correct EESMR leader and by the other replicas, as a
+//! function of the k-cast degree k (|b_i| = 16 B, n = 10).
+
+use eesmr_bench::{print_table, Csv};
+use eesmr_sim::{Protocol, Scenario, StopWhen};
+
+fn main() {
+    let n = 10;
+    let mut csv = Csv::create("fig2c_leader_replica", &["k", "leader_mj_per_smr", "replica_mj_per_smr"]);
+    let mut rows = Vec::new();
+    for k in 2..=7usize {
+        let report = Scenario::new(Protocol::Eesmr, n, k)
+            .payload(16)
+            .stop(StopWhen::Blocks(30))
+            .run();
+        let leader = report.node_energy_per_block_mj(0); // node 0 leads view 1
+        let replicas: Vec<f64> =
+            (1..n as u32).map(|id| report.node_energy_per_block_mj(id)).collect();
+        let replica_avg = replicas.iter().sum::<f64>() / replicas.len() as f64;
+        csv.rowd(&[&k, &leader, &replica_avg]);
+        rows.push(vec![k.to_string(), format!("{leader:.1}"), format!("{replica_avg:.1}")]);
+    }
+    print_table(
+        "Fig. 2c: EESMR energy per SMR, |b|=16 B, n=10 (mJ)",
+        &["k", "leader", "replica (avg)"],
+        &rows,
+    );
+    println!("wrote {}", csv.path().display());
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Fig. 2d**: EESMR leader energy per SMR for block payloads
+//! of 16, 128 and 256 B, as a function of the k-cast degree k (n = 10).
+
+use eesmr_bench::{print_table, Csv};
+use eesmr_sim::{Protocol, Scenario, StopWhen};
+
+fn main() {
+    let n = 10;
+    let payloads = [16usize, 128, 256];
+    let mut csv = Csv::create("fig2d_blocksize", &["k", "payload_bytes", "leader_mj_per_smr"]);
+    let mut rows = Vec::new();
+    for k in 2..=7usize {
+        let mut row = vec![k.to_string()];
+        for &payload in &payloads {
+            let report = Scenario::new(Protocol::Eesmr, n, k)
+                .payload(payload)
+                .stop(StopWhen::Blocks(30))
+                .run();
+            let leader = report.node_energy_per_block_mj(0);
+            csv.rowd(&[&k, &payload, &leader]);
+            row.push(format!("{leader:.1}"));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 2d: EESMR leader energy per SMR by payload (mJ), n=10",
+        &["k", "16 B", "128 B", "256 B"],
+        &rows,
+    );
+    println!("wrote {}", csv.path().display());
+}

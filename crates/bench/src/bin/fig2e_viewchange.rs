@@ -1,0 +1,62 @@
+//! Regenerates **Fig. 2e**: energy consumed by the EESMR leader per view
+//! change for varying fault bound f (k = f + 1, n = 15), for the
+//! equivocation and no-progress scenarios, compared with an honest SMR.
+//!
+//! Like the paper's measurement, the view-change runs use the §5.6
+//! optimizations of the blocking variant (equivocation speedup +
+//! lock-only status).
+
+use eesmr_bench::{print_table, Csv};
+use eesmr_sim::{FaultPlan, Protocol, Scenario, StopWhen};
+
+fn main() {
+    let n = 15;
+    let mut csv = Csv::create(
+        "fig2e_viewchange",
+        &["k", "f", "equivocation_vc_mj", "no_progress_vc_mj", "honest_smr_mj"],
+    );
+    let mut rows = Vec::new();
+    for f in 1..=6usize {
+        let k = f + 1;
+        // Equivocation VC: view-1 leader equivocates; measure the NEW
+        // leader's energy for the whole view change.
+        let equiv = Scenario::new(Protocol::Eesmr, n, k)
+            .fault_bound(f)
+            .faults(FaultPlan::equivocating_leader())
+            .with_paper_optimizations()
+            .stop(StopWhen::ViewReached(2))
+            .run();
+        let equiv_mj = equiv.node_energy_mj(1);
+
+        // No-progress VC: view-1 leader is silent.
+        let stall = Scenario::new(Protocol::Eesmr, n, k)
+            .fault_bound(f)
+            .faults(FaultPlan::silent_leader())
+            .with_paper_optimizations()
+            .stop(StopWhen::ViewReached(2))
+            .run();
+        let stall_mj = stall.node_energy_mj(1);
+
+        // Honest SMR for comparison: leader energy per committed block.
+        let honest = Scenario::new(Protocol::Eesmr, n, k)
+            .fault_bound(f)
+            .stop(StopWhen::Blocks(20))
+            .run();
+        let honest_mj = honest.node_energy_per_block_mj(0);
+
+        csv.rowd(&[&k, &f, &equiv_mj, &stall_mj, &honest_mj]);
+        rows.push(vec![
+            k.to_string(),
+            f.to_string(),
+            format!("{equiv_mj:.0}"),
+            format!("{stall_mj:.0}"),
+            format!("{honest_mj:.0}"),
+        ]);
+    }
+    print_table(
+        "Fig. 2e: EESMR leader energy per view change, n=15 (mJ)",
+        &["k", "f", "Equivocation VC", "No-progress VC", "Honest SMR"],
+        &rows,
+    );
+    println!("wrote {}", csv.path().display());
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Fig. 2f**: total energy consumed by the correct nodes per
+//! SMR in EESMR vs Sync HotStuff, for k ∈ {3, 5} and n ∈ 4..9.
+
+use eesmr_bench::{print_table, Csv};
+use eesmr_sim::{Protocol, Scenario, StopWhen};
+
+fn total_per_smr(protocol: Protocol, n: usize, k: usize) -> f64 {
+    Scenario::new(protocol, n, k)
+        .payload(16)
+        .stop(StopWhen::Blocks(20))
+        .run()
+        .energy_per_block_mj()
+}
+
+fn main() {
+    let mut csv = Csv::create("fig2f_total_energy", &["n", "k", "eesmr_mj", "synchs_mj"]);
+    let mut rows = Vec::new();
+    for n in 4..=9usize {
+        for k in [3usize, 5] {
+            if k >= n {
+                continue; // ring k-cast needs k < n
+            }
+            let e = total_per_smr(Protocol::Eesmr, n, k);
+            let s = total_per_smr(Protocol::SyncHotStuff, n, k);
+            csv.rowd(&[&n, &k, &e, &s]);
+            rows.push(vec![
+                n.to_string(),
+                k.to_string(),
+                format!("{e:.0}"),
+                format!("{s:.0}"),
+                format!("{:.2}x", s / e),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 2f: total correct-node energy per SMR (mJ)",
+        &["n", "k", "EESMR", "Sync HotStuff", "SyncHS/EESMR"],
+        &rows,
+    );
+    println!("wrote {}", csv.path().display());
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Fig. 3**: leader energy in EESMR vs Sync HotStuff to
+//! tolerate f Byzantine faults in an n = 13 system (k = f + 1), for both
+//! the honest-leader (per-SMR) and faulty-leader (per view change) cases.
+
+use eesmr_bench::{print_table, Csv};
+use eesmr_sim::{FaultPlan, Protocol, Scenario, StopWhen};
+
+const N: usize = 13;
+
+/// Honest SMR: leader correct, f mid-ring nodes silent (away from the
+/// leader's in-neighbourhood so the leader still receives relays); energy
+/// per block at the leader.
+fn honest_leader_mj(protocol: Protocol, f: usize) -> f64 {
+    let silent = (2u32..2 + f as u32).collect::<Vec<_>>();
+    Scenario::new(protocol, N, f + 1)
+        .fault_bound(f)
+        .faults(FaultPlan::silent_nodes(silent))
+        .payload(16)
+        .stop(StopWhen::Blocks(15))
+        .run()
+        .node_energy_per_block_mj(0)
+}
+
+/// View change: view-1 leader silent; energy at the incoming leader for
+/// the whole change.
+fn vc_leader_mj(protocol: Protocol, f: usize) -> f64 {
+    let mut scenario = Scenario::new(protocol, N, f + 1)
+        .fault_bound(f)
+        .faults(FaultPlan::silent_leader())
+        .payload(16)
+        .stop(StopWhen::ViewReached(2));
+    if protocol == Protocol::Eesmr {
+        scenario = scenario.with_paper_optimizations();
+    }
+    scenario.run().node_energy_mj(1)
+}
+
+fn main() {
+    let mut csv = Csv::create(
+        "fig3_eesmr_vs_synchs",
+        &["f", "k", "eesmr_honest_mj", "synchs_honest_mj", "eesmr_vc_mj", "synchs_vc_mj"],
+    );
+    let mut rows = Vec::new();
+    for f in 1..=6usize {
+        let eh = honest_leader_mj(Protocol::Eesmr, f);
+        let sh = honest_leader_mj(Protocol::SyncHotStuff, f);
+        let ev = vc_leader_mj(Protocol::Eesmr, f);
+        let sv = vc_leader_mj(Protocol::SyncHotStuff, f);
+        csv.rowd(&[&f, &(f + 1), &eh, &sh, &ev, &sv]);
+        rows.push(vec![
+            f.to_string(),
+            (f + 1).to_string(),
+            format!("{eh:.0}"),
+            format!("{sh:.0}"),
+            format!("{ev:.0}"),
+            format!("{sv:.0}"),
+        ]);
+    }
+    print_table(
+        "Fig. 3: leader energy, n=13 (mJ)",
+        &["f", "k", "EESMR honest SMR", "SyncHS honest SMR", "EESMR VC", "SyncHS VC"],
+        &rows,
+    );
+    println!("wrote {}", csv.path().display());
+}

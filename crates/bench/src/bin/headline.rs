@@ -1,0 +1,73 @@
+//! Checks the paper's **headline claims** end to end:
+//!
+//! * §5.7: Sync HotStuff is ≈2.85× more energy-hungry than EESMR with a
+//!   correct leader, and EESMR's view change costs ≈2.05× Sync HotStuff's.
+//! * Conclusion: 33–64 % steady-state energy reduction vs Sync HotStuff
+//!   (the 64 % figure is the n = 10 BLE setting from the abstract).
+
+use eesmr_bench::Csv;
+use eesmr_sim::{FaultPlan, Protocol, Scenario, StopWhen};
+
+fn main() {
+    let mut csv = Csv::create("headline", &["metric", "paper", "measured"]);
+
+    // Steady state, n = 13, k = f+1 = 7 (the Fig. 3 midpoint the §5.7
+    // prose quotes).
+    let f = 6usize;
+    let silent: Vec<u32> = (2u32..2 + f as u32).collect();
+    let eesmr = Scenario::new(Protocol::Eesmr, 13, f + 1)
+        .fault_bound(f)
+        .faults(FaultPlan::silent_nodes(silent.clone()))
+        .stop(StopWhen::Blocks(15))
+        .run();
+    let synchs = Scenario::new(Protocol::SyncHotStuff, 13, f + 1)
+        .fault_bound(f)
+        .faults(FaultPlan::silent_nodes(silent))
+        .stop(StopWhen::Blocks(15))
+        .run();
+    let steady_ratio =
+        synchs.node_energy_per_block_mj(0) / eesmr.node_energy_per_block_mj(0);
+    println!("steady state (leader, n=13, f=6): SyncHS / EESMR = {steady_ratio:.2}x (paper: 2.85x)");
+    csv.rowd(&[&"steady_state_leader_ratio", &"2.85", &format!("{steady_ratio:.3}")]);
+
+    // View change ratio (EESMR / SyncHS — EESMR is the more expensive one).
+    let e_vc = Scenario::new(Protocol::Eesmr, 13, 7)
+        .fault_bound(6)
+        .faults(FaultPlan::silent_leader())
+        .with_paper_optimizations()
+        .stop(StopWhen::ViewReached(2))
+        .run()
+        .node_energy_mj(1);
+    let s_vc = Scenario::new(Protocol::SyncHotStuff, 13, 7)
+        .fault_bound(6)
+        .faults(FaultPlan::silent_leader())
+        .stop(StopWhen::ViewReached(2))
+        .run()
+        .node_energy_mj(1);
+    let vc_ratio = e_vc / s_vc;
+    println!("view change (new leader):         EESMR / SyncHS = {vc_ratio:.2}x (paper: 2.05x)");
+    csv.rowd(&[&"view_change_leader_ratio", &"2.05", &format!("{vc_ratio:.3}")]);
+
+    // Savings across the Fig. 2f range (total correct-node energy/SMR).
+    let mut min_saving = f64::MAX;
+    let mut max_saving: f64 = 0.0;
+    for n in 4..=10usize {
+        for k in [3usize, 5] {
+            if k >= n {
+                continue;
+            }
+            let e = Scenario::new(Protocol::Eesmr, n, k).stop(StopWhen::Blocks(15)).run();
+            let s = Scenario::new(Protocol::SyncHotStuff, n, k).stop(StopWhen::Blocks(15)).run();
+            let saving = 1.0 - e.energy_per_block_mj() / s.energy_per_block_mj();
+            min_saving = min_saving.min(saving);
+            max_saving = max_saving.max(saving);
+        }
+    }
+    println!(
+        "steady-state savings vs SyncHS over n=4..10: {:.0}%..{:.0}% (paper: 33-64%)",
+        min_saving * 100.0,
+        max_saving * 100.0
+    );
+    csv.rowd(&[&"steady_state_savings_range_pct", &"33-64", &format!("{:.1}-{:.1}", min_saving * 100.0, max_saving * 100.0)]);
+    println!("wrote {}", csv.path().display());
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Table 1**: energy consumption per message for BLE, 4G LTE
+//! and WiFi at 256 B – 2 kB (mJ).
+
+use eesmr_bench::{print_table, Csv};
+use eesmr_energy::medium::{Medium, ANCHOR_SIZES};
+
+fn main() {
+    let mut csv = Csv::create(
+        "table1_media",
+        &["size_bytes", "ble_send", "ble_recv", "ble_multicast", "fourg_send", "fourg_recv", "wifi_send", "wifi_recv"],
+    );
+    let mut rows = Vec::new();
+    for &size in &ANCHOR_SIZES {
+        let cells = [
+            Medium::Ble.send_mj(size),
+            Medium::Ble.recv_mj(size),
+            Medium::Ble.multicast_send_mj(size),
+            Medium::FourG.send_mj(size),
+            Medium::FourG.recv_mj(size),
+            Medium::Wifi.send_mj(size),
+            Medium::Wifi.recv_mj(size),
+        ];
+        let mut row = vec![format!("{size} B")];
+        row.extend(cells.iter().map(|c| format!("{c:.2}")));
+        rows.push(row);
+        let mut csv_row = vec![size.to_string()];
+        csv_row.extend(cells.iter().map(|c| format!("{c}")));
+        csv.row(&csv_row);
+    }
+    print_table(
+        "Table 1: energy per message (mJ)",
+        &["Size", "BLE send", "BLE recv", "BLE mcast", "4G send", "4G recv", "WiFi send", "WiFi recv"],
+        &rows,
+    );
+    println!("\nwrote {}", csv.path().display());
+}

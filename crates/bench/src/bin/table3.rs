@@ -1,0 +1,53 @@
+//! Regenerates **Table 3**: best/worst-case complexity comparison, plus an
+//! *empirical* check of the headline scaling claims (EESMR transmissions
+//! grow O(nd) per block while Sync HotStuff grows O(n²d)).
+
+use eesmr_bench::{print_table, Csv};
+use eesmr_energy::complexity::table3_rows;
+use eesmr_sim::{Protocol, Scenario, StopWhen};
+
+fn kcasts_per_block(protocol: Protocol, n: usize, k: usize) -> f64 {
+    let report = Scenario::new(protocol, n, k).stop(StopWhen::Blocks(10)).run();
+    report.net.kcasts as f64 / report.committed_height().max(1) as f64
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for r in table3_rows() {
+        rows.push(vec![
+            r.name.to_string(),
+            r.best.communication.to_string(),
+            r.best.signs.to_string(),
+            r.best.verifies.to_string(),
+            r.best.period.to_string(),
+            r.worst.communication.to_string(),
+            r.worst.signs.to_string(),
+            r.worst.verifies.to_string(),
+            r.worst.period.to_string(),
+        ]);
+    }
+    print_table(
+        "Table 3: best-case vs worst-case comparison",
+        &["Protocol", "Comm (best)", "Sign", "Verify", "Period", "Comm (worst)", "Sign", "Verify", "Period"],
+        &rows,
+    );
+
+    // Empirical scaling: double n, fixed k — EESMR per-block transmissions
+    // should ~double (O(nd)); Sync HotStuff should ~quadruple (O(n^2 d)).
+    let mut csv = Csv::create("table3_empirical", &["protocol", "n", "k", "kcasts_per_block"]);
+    let mut erows = Vec::new();
+    for (proto, name) in [(Protocol::Eesmr, "EESMR"), (Protocol::SyncHotStuff, "Sync HotStuff")] {
+        for n in [6usize, 12] {
+            let v = kcasts_per_block(proto, n, 3);
+            csv.rowd(&[&name, &n, &3, &v]);
+            erows.push(vec![name.to_string(), n.to_string(), format!("{v:.1}")]);
+        }
+    }
+    print_table("Empirical k-casts per committed block (k = 3)", &["Protocol", "n", "k-casts/block"], &erows);
+
+    let e_ratio = kcasts_per_block(Protocol::Eesmr, 12, 3) / kcasts_per_block(Protocol::Eesmr, 6, 3);
+    let s_ratio = kcasts_per_block(Protocol::SyncHotStuff, 12, 3)
+        / kcasts_per_block(Protocol::SyncHotStuff, 6, 3);
+    println!("\nscaling when n doubles (6 -> 12): EESMR x{e_ratio:.2} (expect ~2), SyncHS x{s_ratio:.2} (expect ~4)");
+    println!("wrote {}", csv.path().display());
+}

@@ -1,0 +1,94 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation: it prints a human-readable table to stdout and
+//! writes a CSV series under `target/experiments/` for plotting. See
+//! EXPERIMENTS.md for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory experiment CSVs are written to (`target/experiments/`).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("can create target/experiments");
+    dir
+}
+
+/// A CSV series writer.
+pub struct Csv {
+    file: File,
+    path: PathBuf,
+}
+
+impl Csv {
+    /// Creates `target/experiments/<name>.csv` with the given header.
+    pub fn create(name: &str, header: &[&str]) -> Csv {
+        let path = out_dir().join(format!("{name}.csv"));
+        let mut file = File::create(&path).expect("can create CSV");
+        writeln!(file, "{}", header.join(",")).expect("can write header");
+        Csv { file, path }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, values: &[String]) {
+        writeln!(self.file, "{}", values.join(",")).expect("can write row");
+    }
+
+    /// Convenience for mixed display values.
+    pub fn rowd(&mut self, values: &[&dyn std::fmt::Display]) {
+        let cells: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        self.row(&cells);
+    }
+
+    /// Where the series was written.
+    pub fn path(&self) -> &PathBuf {
+        &self.path
+    }
+}
+
+/// Prints an aligned ASCII table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line: Vec<String> =
+        headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
+    println!("{}", line.join("  "));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        let line: Vec<String> =
+            row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_writes_rows() {
+        let mut csv = Csv::create("selftest", &["a", "b"]);
+        csv.row(&["1".into(), "2".into()]);
+        csv.rowd(&[&3, &4.5]);
+        let content = std::fs::read_to_string(csv.path()).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4.5\n");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table("t", &["x", "longer"], &[vec!["1".into(), "2".into()]]);
+    }
+}

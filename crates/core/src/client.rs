@@ -1,0 +1,138 @@
+//! SMR clients.
+//!
+//! "The client waits to receive f+1 identical acknowledgments with
+//! execution results and accepts the results." (§3) The protocol crates
+//! keep clients out of the replication path (as the paper does for its
+//! energy accounting); this module provides the acceptance rule for
+//! applications built on top.
+
+use std::collections::BTreeMap;
+
+use eesmr_crypto::Digest;
+use eesmr_net::NodeId;
+
+/// An execution acknowledgment from one replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ack {
+    /// The replica reporting.
+    pub replica: NodeId,
+    /// The command's digest.
+    pub command: Digest,
+    /// Digest of the execution result.
+    pub result: Digest,
+}
+
+/// Client-side acceptance: a result is accepted once `f + 1` replicas
+/// report an *identical* result for the command.
+///
+/// # Examples
+///
+/// ```
+/// use eesmr_core::client::{Ack, AckCollector};
+/// use eesmr_crypto::Digest;
+///
+/// let mut c = AckCollector::new(1); // f = 1 → need 2 matching acks
+/// let cmd = Digest::of(b"cmd");
+/// let res = Digest::of(b"result");
+/// assert_eq!(c.observe(Ack { replica: 0, command: cmd, result: res }), None);
+/// assert_eq!(c.observe(Ack { replica: 2, command: cmd, result: res }), Some(res));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AckCollector {
+    f: usize,
+    // command -> result -> set of replicas
+    seen: BTreeMap<Digest, BTreeMap<Digest, Vec<NodeId>>>,
+    accepted: BTreeMap<Digest, Digest>,
+}
+
+impl AckCollector {
+    /// A collector for a system tolerating `f` faults.
+    pub fn new(f: usize) -> Self {
+        AckCollector { f, seen: BTreeMap::new(), accepted: BTreeMap::new() }
+    }
+
+    /// Records an ack; returns the accepted result digest the first time a
+    /// command crosses the `f + 1` matching threshold.
+    pub fn observe(&mut self, ack: Ack) -> Option<Digest> {
+        if self.accepted.contains_key(&ack.command) {
+            return None;
+        }
+        let replicas = self
+            .seen
+            .entry(ack.command)
+            .or_default()
+            .entry(ack.result)
+            .or_default();
+        if !replicas.contains(&ack.replica) {
+            replicas.push(ack.replica);
+        }
+        if replicas.len() >= self.f + 1 {
+            self.accepted.insert(ack.command, ack.result);
+            return Some(ack.result);
+        }
+        None
+    }
+
+    /// The accepted result for a command, if any.
+    pub fn accepted(&self, command: &Digest) -> Option<&Digest> {
+        self.accepted.get(command)
+    }
+
+    /// Number of commands with accepted results.
+    pub fn accepted_count(&self) -> usize {
+        self.accepted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(replica: NodeId, cmd: &[u8], result: &[u8]) -> Ack {
+        Ack { replica, command: Digest::of(cmd), result: Digest::of(result) }
+    }
+
+    #[test]
+    fn needs_f_plus_one_matching() {
+        let mut c = AckCollector::new(2);
+        assert_eq!(c.observe(ack(0, b"c", b"r")), None);
+        assert_eq!(c.observe(ack(1, b"c", b"r")), None);
+        assert_eq!(c.observe(ack(2, b"c", b"r")), Some(Digest::of(b"r")));
+        assert_eq!(c.accepted_count(), 1);
+    }
+
+    #[test]
+    fn conflicting_results_do_not_combine() {
+        let mut c = AckCollector::new(1);
+        assert_eq!(c.observe(ack(0, b"c", b"r1")), None);
+        assert_eq!(c.observe(ack(1, b"c", b"r2")), None, "different results");
+        assert_eq!(c.observe(ack(2, b"c", b"r1")), Some(Digest::of(b"r1")));
+    }
+
+    #[test]
+    fn duplicate_replica_acks_count_once() {
+        let mut c = AckCollector::new(1);
+        assert_eq!(c.observe(ack(0, b"c", b"r")), None);
+        assert_eq!(c.observe(ack(0, b"c", b"r")), None, "same replica repeated");
+        assert_eq!(c.observe(ack(1, b"c", b"r")), Some(Digest::of(b"r")));
+    }
+
+    #[test]
+    fn acceptance_is_sticky_and_queryable() {
+        let mut c = AckCollector::new(0);
+        let r = c.observe(ack(3, b"c", b"r"));
+        assert_eq!(r, Some(Digest::of(b"r")));
+        assert_eq!(c.accepted(&Digest::of(b"c")), Some(&Digest::of(b"r")));
+        // Further acks for an accepted command are ignored.
+        assert_eq!(c.observe(ack(4, b"c", b"other")), None);
+        assert_eq!(c.accepted(&Digest::of(b"c")), Some(&Digest::of(b"r")));
+    }
+
+    #[test]
+    fn commands_are_independent() {
+        let mut c = AckCollector::new(0);
+        assert_eq!(c.observe(ack(0, b"a", b"ra")), Some(Digest::of(b"ra")));
+        assert_eq!(c.observe(ack(0, b"b", b"rb")), Some(Digest::of(b"rb")));
+        assert_eq!(c.accepted_count(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Protocol configuration.
+
+use eesmr_net::SimDuration;
+
+/// How leaders are assigned to views (`Leader(v)` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaderPolicy {
+    /// `Leader(v) = (v − 1) mod n` — "can be round-robin for simplicity".
+    RoundRobin,
+    /// Pseudo-random from a shared seed — "for expected constant-latency it
+    /// is required that the leaders are chosen randomly".
+    Seeded(u64),
+}
+
+/// Proposal pacing for the leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// The blocking variant (§5.6): one outstanding (uncommitted) block at
+    /// a time. This is the variant the paper evaluates on the testbed.
+    Blocking,
+    /// The streaming variant: up to `max_outstanding` blocks in flight
+    /// ("the leader continuously streams proposals", §3.3). The bound keeps
+    /// memory finite, which the paper notes is required in practice.
+    Streaming {
+        /// Maximum uncommitted proposals in flight.
+        max_outstanding: usize,
+    },
+}
+
+/// Byzantine behaviour injected into a replica (fault injection for the
+/// evaluation scenarios; honest replicas use [`FaultMode::Honest`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Follows the protocol.
+    Honest,
+    /// Stops participating entirely once `from_view` starts (models both
+    /// crash faults and the paper's "no progress" stalling leader).
+    Silent {
+        /// First view in which the node is silent.
+        from_view: u64,
+    },
+    /// When leader of `in_view`, equivocates: proposes two conflicting
+    /// blocks for the same round.
+    Equivocate {
+        /// The view in which to equivocate.
+        in_view: u64,
+    },
+}
+
+impl FaultMode {
+    /// Whether this node behaves correctly in `view`.
+    pub fn is_active_in(&self, view: u64) -> bool {
+        match self {
+            FaultMode::Honest | FaultMode::Equivocate { .. } => true,
+            FaultMode::Silent { from_view } => view < *from_view,
+        }
+    }
+}
+
+/// Static protocol configuration shared by all replicas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Number of nodes `n`.
+    pub n: usize,
+    /// Fault bound `f < n/2`.
+    pub f: usize,
+    /// The synchrony bound Δ (all Algorithm 2 timers are multiples of it).
+    pub delta: SimDuration,
+    /// Target payload bytes per block (`|b_i|` in §5.6).
+    pub payload_bytes: usize,
+    /// Maximum commands per batch.
+    pub max_batch: usize,
+    /// Leader assignment.
+    pub leader_policy: LeaderPolicy,
+    /// Leader pacing (the paper's evaluation uses the blocking variant).
+    pub pacing: Pacing,
+    /// Crash-fault-only variant: removes the equivocation handlers
+    /// (Algorithm 2 lines 220/224 — see §3.2).
+    pub crash_only: bool,
+    /// Equivocation-scenario speedup (§3.5): a verified equivocation proof
+    /// lets nodes quit the view without building a blame certificate.
+    pub opt_equivocation_speedup: bool,
+    /// Optimized no-progress view change (§5.6): the status carries only
+    /// signed locked blocks instead of freshly built commit certificates.
+    pub opt_lock_only_status: bool,
+    /// Batching / checkpoint optimization (§3.5): nodes optimistically
+    /// pre-commit proposals *without* verifying the leader signature, and
+    /// fully verify only every `c`-th round. Hash chaining makes the
+    /// checkpoint verification retroactively authenticate the whole epoch;
+    /// a failed checkpoint falls back to the standard blame path, so the
+    /// worst case equals plain EESMR while the correct-leader case saves
+    /// `(c−1)/c` of the verification energy.
+    pub checkpoint_interval: Option<u64>,
+}
+
+impl Config {
+    /// A configuration for `n` nodes tolerating `f = ⌈n/2⌉ − 1` faults with
+    /// the given Δ, matching Algorithm 2 defaults (no optimizations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize, delta: SimDuration) -> Self {
+        assert!(n >= 2, "SMR needs at least two nodes");
+        Config {
+            n,
+            f: n.div_ceil(2) - 1,
+            delta,
+            payload_bytes: 16,
+            max_batch: 64,
+            leader_policy: LeaderPolicy::RoundRobin,
+            pacing: Pacing::Blocking,
+            crash_only: false,
+            opt_equivocation_speedup: false,
+            opt_lock_only_status: false,
+            checkpoint_interval: None,
+        }
+    }
+
+    /// Whether the proposal for `round` needs a full signature check under
+    /// the checkpoint optimization (always true when disabled).
+    pub fn round_needs_verification(&self, round: u64) -> bool {
+        match self.checkpoint_interval {
+            None => true,
+            // Verify the first steady round of a view and every c-th round.
+            Some(c) => round <= 3 || round % c == 0,
+        }
+    }
+
+    /// The quorum size `f + 1`.
+    pub fn quorum(&self) -> usize {
+        self.f + 1
+    }
+
+    /// `Leader(v)` — the leader of view `v ≥ 1`.
+    pub fn leader_of(&self, view: u64) -> eesmr_net::NodeId {
+        match self.leader_policy {
+            LeaderPolicy::RoundRobin => (((view - 1) as usize) % self.n) as eesmr_net::NodeId,
+            LeaderPolicy::Seeded(seed) => {
+                let d = eesmr_crypto::Digest::of_parts(&[
+                    b"leader",
+                    &seed.to_le_bytes(),
+                    &view.to_le_bytes(),
+                ]);
+                (d.to_u64() % self.n as u64) as eesmr_net::NodeId
+            }
+        }
+    }
+
+    /// Validates the fault bound `f < n/2` required for safety.
+    pub fn check_fault_bound(&self) -> bool {
+        2 * self.f < self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize) -> Config {
+        Config::new(n, SimDuration::from_millis(10))
+    }
+
+    #[test]
+    fn default_f_is_minority() {
+        assert_eq!(cfg(2).f, 0);
+        assert_eq!(cfg(3).f, 1);
+        assert_eq!(cfg(4).f, 1);
+        assert_eq!(cfg(5).f, 2);
+        assert_eq!(cfg(10).f, 4);
+        assert_eq!(cfg(13).f, 6);
+        for n in 2..20 {
+            assert!(cfg(n).check_fault_bound(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let c = cfg(4);
+        assert_eq!(c.leader_of(1), 0);
+        assert_eq!(c.leader_of(2), 1);
+        assert_eq!(c.leader_of(5), 0);
+    }
+
+    #[test]
+    fn seeded_leader_is_deterministic_and_in_range() {
+        let mut c = cfg(7);
+        c.leader_policy = LeaderPolicy::Seeded(11);
+        for v in 1..50 {
+            let l = c.leader_of(v);
+            assert!((l as usize) < 7);
+            assert_eq!(l, c.leader_of(v), "deterministic");
+        }
+        // Different views spread across nodes.
+        let distinct: std::collections::BTreeSet<_> = (1..50).map(|v| c.leader_of(v)).collect();
+        assert!(distinct.len() > 3);
+    }
+
+    #[test]
+    fn fault_mode_activity() {
+        assert!(FaultMode::Honest.is_active_in(99));
+        let silent = FaultMode::Silent { from_view: 2 };
+        assert!(silent.is_active_in(1));
+        assert!(!silent.is_active_in(2));
+        assert!(FaultMode::Equivocate { in_view: 1 }.is_active_in(1));
+    }
+
+    #[test]
+    fn quorum_is_f_plus_one() {
+        assert_eq!(cfg(10).quorum(), 5);
+        assert_eq!(cfg(13).quorum(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_rejected() {
+        let _ = cfg(1);
+    }
+}

@@ -1,0 +1,535 @@
+//! Protocol messages and quorum certificates (paper Algorithm 1).
+//!
+//! Every message carries its view, the sender, and a signature. The paper
+//! splits authentication into `viewSig = ⟨type, v⟩_i` (aggregated into
+//! quorum certificates) and `dataSig = ⟨data, v⟩_i`; we sign the triple
+//! `(type, view, data-digest)` once, which is strictly stronger — a quorum
+//! certificate then binds not just the message type and view but also the
+//! exact data (e.g. the certified block id), which is what the safety
+//! proofs in Appendix B rely on.
+
+use eesmr_crypto::{Digest, Hashable, KeyPair, KeyStore, Signature};
+use eesmr_net::NodeId;
+
+use crate::block::Block;
+
+/// Message types (Algorithm 1/2 plus chain synchronization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MsgKind {
+    /// Steady-state or round-2 proposal.
+    Propose = 1,
+    /// No-progress / equivocation blame.
+    Blame = 2,
+    /// Certificate of f+1 blames — quit the view.
+    BlameQc = 3,
+    /// A node announcing its highest committed block after quitting.
+    CommitUpdate = 4,
+    /// A vote certifying another node's committed block.
+    Certify = 5,
+    /// A certificate of f+1 Certify votes for a committed block.
+    CommitQc = 6,
+    /// The new leader's round-1 proposal carrying the status.
+    NewViewProposal = 7,
+    /// A vote on the round-1 proposal.
+    NewViewVote = 8,
+    /// Optimized no-progress status: a node's signed locked block (§5.6).
+    LockStatus = 9,
+    /// Chain synchronization: request a missing block by hash.
+    SyncRequest = 10,
+    /// Chain synchronization: a segment of blocks.
+    SyncResponse = 11,
+    /// A Sync HotStuff / OptSync vote (used by the baseline protocols,
+    /// which share this crate's certificate machinery).
+    HsVote = 12,
+}
+
+/// The canonical byte string covered by a signature: `(kind, view, data)`.
+pub fn signing_bytes(kind: MsgKind, view: u64, data: &Digest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(48);
+    out.push(kind as u8);
+    out.extend_from_slice(&view.to_le_bytes());
+    out.extend_from_slice(data.as_bytes());
+    out
+}
+
+/// A quorum certificate: `threshold` distinct signatures over
+/// `(kind, view, data)` (the `QC` helper of Algorithm 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuorumCert {
+    /// The certified message type.
+    pub kind: MsgKind,
+    /// The view the certificate belongs to.
+    pub view: u64,
+    /// Digest of the certified data (typically a block id).
+    pub data: Digest,
+    /// Height of the certified block (for highest-certificate comparison).
+    pub height: u64,
+    /// The aggregated `(signer, signature)` pairs.
+    pub sigs: Vec<(NodeId, Signature)>,
+}
+
+impl QuorumCert {
+    /// Validates the certificate: at least `threshold` *distinct* signers,
+    /// every signature valid over `(kind, view, data)`.
+    ///
+    /// Returns `(valid, signature_checks_performed)` so callers can charge
+    /// verification energy for the work actually done.
+    pub fn verify(&self, pki: &KeyStore, threshold: usize) -> (bool, usize) {
+        let mut seen = std::collections::BTreeSet::new();
+        let bytes = signing_bytes(self.kind, self.view, &self.data);
+        let mut checks = 0;
+        for (signer, sig) in &self.sigs {
+            if sig.signer() != *signer || !seen.insert(*signer) {
+                return (false, checks);
+            }
+            checks += 1;
+            if !pki.verify(&bytes, sig) {
+                return (false, checks);
+            }
+        }
+        (seen.len() >= threshold, checks)
+    }
+
+    /// Wire size: kind + view + data + height + signatures.
+    pub fn wire_size(&self) -> usize {
+        1 + 8 + 32 + 8 + self.sigs.iter().map(|(_, s)| 4 + s.wire_size()).sum::<usize>()
+    }
+}
+
+impl Hashable for QuorumCert {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.kind as u8);
+        out.extend_from_slice(&self.view.to_le_bytes());
+        out.extend_from_slice(self.data.as_bytes());
+        out.extend_from_slice(&self.height.to_le_bytes());
+        for (signer, sig) in &self.sigs {
+            out.extend_from_slice(&signer.to_le_bytes());
+            out.extend_from_slice(&(sig.scheme().signature_size() as u64).to_le_bytes());
+        }
+    }
+}
+
+/// A block certified by a commit QC (view-change status entry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertifiedBlock {
+    /// The certificate over `block`'s id.
+    pub qc: QuorumCert,
+    /// The certified block (header + payload so receivers can extend it).
+    pub block: Block,
+}
+
+/// A locked block signed by its holder (optimized status entry, §5.6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignedBlock {
+    /// The holder's locked block.
+    pub block: Block,
+    /// The holder.
+    pub signer: NodeId,
+    /// Signature over `(LockStatus, view, block.id())`.
+    pub sig: Signature,
+}
+
+/// The status a new-view proposal justifies itself with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Status {
+    /// Full path: f+1 commit certificates (Algorithm 2).
+    CommitQcs(Vec<CertifiedBlock>),
+    /// Optimized no-progress path: f+1 signed locked blocks (§5.6).
+    Locks(Vec<SignedBlock>),
+}
+
+impl Status {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Status::CommitQcs(v) => v.len(),
+            Status::Locks(v) => v.len(),
+        }
+    }
+
+    /// Whether the status is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The id and height of the highest block in the status.
+    pub fn highest(&self) -> Option<(Digest, u64)> {
+        match self {
+            Status::CommitQcs(v) => {
+                v.iter().map(|c| (c.block.id(), c.block.height)).max_by_key(|(_, h)| *h)
+            }
+            Status::Locks(v) => {
+                v.iter().map(|s| (s.block.id(), s.block.height)).max_by_key(|(_, h)| *h)
+            }
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            Status::CommitQcs(v) => v.iter().map(|c| c.qc.wire_size() + c.block.wire_size()).sum(),
+            Status::Locks(v) => {
+                v.iter().map(|s| s.block.wire_size() + 4 + s.sig.wire_size()).sum()
+            }
+        }
+    }
+}
+
+impl Hashable for Status {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Status::CommitQcs(v) => {
+                out.push(1);
+                for c in v {
+                    c.qc.encode_into(out);
+                    c.block.encode_into(out);
+                }
+            }
+            Status::Locks(v) => {
+                out.push(2);
+                for s in v {
+                    s.block.encode_into(out);
+                    out.extend_from_slice(&s.signer.to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// Message payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A proposal for `round` (steady state when `round ≥ 3`; round 2 of a
+    /// new view carries the vote certificate in `justify`).
+    Propose {
+        /// The proposed block.
+        block: Block,
+        /// The proposal round.
+        round: u64,
+        /// Round-2 new-view proposals carry the round-1 vote QC.
+        justify: Option<QuorumCert>,
+    },
+    /// Blame; optionally carrying an equivocation proof (two conflicting
+    /// signed proposals from the same leader, view, and round).
+    Blame {
+        /// `Some((p1, p2))` for equivocation blames.
+        proof: Option<Box<(SignedMsg, SignedMsg)>>,
+    },
+    /// A certificate of f+1 blames.
+    BlameQc(QuorumCert),
+    /// Post-quit announcement of the sender's highest committed block.
+    CommitUpdate {
+        /// The committed block.
+        block: Block,
+    },
+    /// A vote certifying `block_id` at `height` for its announcer.
+    Certify {
+        /// The certified block id.
+        block_id: Digest,
+        /// Its height.
+        height: u64,
+    },
+    /// A formed commit certificate plus the certified block.
+    CommitQc(CertifiedBlock),
+    /// The new leader's round-1 proposal.
+    NewViewProposal {
+        /// f+1 status entries.
+        status: Status,
+        /// The round-1 block extending the highest status block.
+        block: Block,
+    },
+    /// A vote on the round-1 proposal (signed over the proposal hash).
+    NewViewVote {
+        /// `H(prop)`.
+        prop_hash: Digest,
+    },
+    /// Optimized status: the sender's locked block (§5.6).
+    LockStatus {
+        /// The locked block.
+        block: Block,
+    },
+    /// Request for a missing block (chain synchronization).
+    SyncRequest {
+        /// The wanted block id.
+        want: Digest,
+    },
+    /// A segment of blocks answering a [`Payload::SyncRequest`].
+    SyncResponse {
+        /// The blocks, nearest-descendant first.
+        blocks: Vec<Block>,
+    },
+}
+
+impl Payload {
+    /// The message type tag.
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            Payload::Propose { .. } => MsgKind::Propose,
+            Payload::Blame { .. } => MsgKind::Blame,
+            Payload::BlameQc(_) => MsgKind::BlameQc,
+            Payload::CommitUpdate { .. } => MsgKind::CommitUpdate,
+            Payload::Certify { .. } => MsgKind::Certify,
+            Payload::CommitQc(_) => MsgKind::CommitQc,
+            Payload::NewViewProposal { .. } => MsgKind::NewViewProposal,
+            Payload::NewViewVote { .. } => MsgKind::NewViewVote,
+            Payload::LockStatus { .. } => MsgKind::LockStatus,
+            Payload::SyncRequest { .. } => MsgKind::SyncRequest,
+            Payload::SyncResponse { .. } => MsgKind::SyncResponse,
+        }
+    }
+
+    /// The digest the sender signs for this payload — chosen so that
+    /// signatures over semantically aggregatable messages (blames, votes,
+    /// certifies) coincide and can form quorum certificates.
+    pub fn signing_digest(&self, view: u64) -> Digest {
+        match self {
+            Payload::Propose { block, round, .. } => {
+                Digest::of_parts(&[b"propose", block.id().as_bytes(), &round.to_le_bytes()])
+            }
+            Payload::Blame { .. } => Digest::of_parts(&[b"blame", &view.to_le_bytes()]),
+            Payload::BlameQc(qc) => qc.digest(),
+            Payload::CommitUpdate { block } => block.id(),
+            Payload::Certify { block_id, .. } => *block_id,
+            Payload::CommitQc(c) => c.qc.digest(),
+            Payload::NewViewProposal { status, block } => {
+                Digest::of_parts(&[b"nvp", block.id().as_bytes(), status.digest().as_bytes()])
+            }
+            Payload::NewViewVote { prop_hash } => *prop_hash,
+            Payload::LockStatus { block } => block.id(),
+            Payload::SyncRequest { want } => *want,
+            Payload::SyncResponse { blocks } => {
+                let mut h = Vec::new();
+                for b in blocks {
+                    h.extend_from_slice(b.id().as_bytes());
+                }
+                Digest::of(&h)
+            }
+        }
+    }
+
+    fn body_size(&self) -> usize {
+        match self {
+            Payload::Propose { block, justify, .. } => {
+                block.wire_size() + 8 + justify.as_ref().map_or(0, QuorumCert::wire_size)
+            }
+            Payload::Blame { proof } => {
+                proof.as_ref().map_or(0, |p| p.0.wire_size() + p.1.wire_size())
+            }
+            Payload::BlameQc(qc) => qc.wire_size(),
+            Payload::CommitUpdate { block } => block.wire_size(),
+            Payload::Certify { .. } => 32 + 8,
+            Payload::CommitQc(c) => c.qc.wire_size() + c.block.wire_size(),
+            Payload::NewViewProposal { status, block } => status.wire_size() + block.wire_size(),
+            Payload::NewViewVote { .. } => 32,
+            Payload::LockStatus { block } => block.wire_size(),
+            Payload::SyncRequest { .. } => 32,
+            Payload::SyncResponse { blocks } => blocks.iter().map(Block::wire_size).sum(),
+        }
+    }
+}
+
+/// A signed protocol message (the `Msg` envelope of Algorithm 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignedMsg {
+    /// The payload.
+    pub payload: Payload,
+    /// The view this message belongs to.
+    pub view: u64,
+    /// The signing node.
+    pub signer: NodeId,
+    /// Signature over `(kind, view, signing_digest)`.
+    pub sig: Signature,
+}
+
+impl SignedMsg {
+    /// Signs `payload` for `view` with `keypair` (the `Msg` constructor).
+    pub fn new(payload: Payload, view: u64, keypair: &KeyPair) -> Self {
+        let digest = payload.signing_digest(view);
+        let bytes = signing_bytes(payload.kind(), view, &digest);
+        SignedMsg { sig: keypair.sign(&bytes), signer: keypair.signer(), view, payload }
+    }
+
+    /// Verifies the envelope signature. Returns whether it is valid; the
+    /// check costs exactly one signature verification.
+    pub fn verify_sig(&self, pki: &KeyStore) -> bool {
+        if self.sig.signer() != self.signer {
+            return false;
+        }
+        let digest = self.payload.signing_digest(self.view);
+        let bytes = signing_bytes(self.payload.kind(), self.view, &digest);
+        pki.verify(&bytes, &self.sig)
+    }
+
+    /// `MatchingMsg` of Algorithm 1.
+    pub fn matches(&self, kind: MsgKind, view: u64) -> bool {
+        self.payload.kind() == kind && self.view == view
+    }
+
+    /// Serialized size: kind (1) + view (8) + signer (4) + body + signature.
+    pub fn wire_size(&self) -> usize {
+        1 + 8 + 4 + self.payload.body_size() + self.sig.wire_size()
+    }
+}
+
+impl eesmr_net::Message for SignedMsg {
+    fn wire_size(&self) -> usize {
+        self.wire_size()
+    }
+
+    fn flood_key(&self) -> u64 {
+        // Identity for relay-once dedup: kind, view, signer and data digest
+        // make distinct protocol messages distinct.
+        Digest::of_parts(&[
+            &[self.payload.kind() as u8],
+            &self.view.to_le_bytes(),
+            &self.signer.to_le_bytes(),
+            self.payload.signing_digest(self.view).as_bytes(),
+        ])
+        .to_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eesmr_crypto::SigScheme;
+    use eesmr_net::Message as _;
+
+    fn pki() -> KeyStore {
+        KeyStore::generate(4, SigScheme::Rsa1024, 99)
+    }
+
+    fn propose(view: u64, round: u64, pki: &KeyStore, signer: NodeId) -> SignedMsg {
+        let block = Block::extending(&Block::genesis(), view, round, vec![]);
+        SignedMsg::new(
+            Payload::Propose { block, round, justify: None },
+            view,
+            pki.keypair(signer),
+        )
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let pki = pki();
+        let msg = propose(1, 3, &pki, 0);
+        assert!(msg.verify_sig(&pki));
+        assert!(msg.matches(MsgKind::Propose, 1));
+        assert!(!msg.matches(MsgKind::Blame, 1));
+        assert!(!msg.matches(MsgKind::Propose, 2));
+    }
+
+    #[test]
+    fn tampered_signer_fails() {
+        let pki = pki();
+        let mut msg = propose(1, 3, &pki, 0);
+        msg.signer = 1;
+        assert!(!msg.verify_sig(&pki));
+    }
+
+    #[test]
+    fn tampered_view_fails() {
+        let pki = pki();
+        let mut msg = propose(1, 3, &pki, 0);
+        msg.view = 2;
+        assert!(!msg.verify_sig(&pki));
+    }
+
+    #[test]
+    fn blame_signing_digests_aggregate() {
+        // All blames for a view sign the same digest, so they can form QCs.
+        let a = Payload::Blame { proof: None }.signing_digest(5);
+        let b = Payload::Blame { proof: None }.signing_digest(5);
+        let c = Payload::Blame { proof: None }.signing_digest(6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn quorum_cert_verifies_with_distinct_signers() {
+        let pki = pki();
+        let data = Digest::of(b"blame-data");
+        let bytes = signing_bytes(MsgKind::Blame, 3, &data);
+        let sigs: Vec<_> = (0..3u32).map(|i| (i, pki.keypair(i).sign(&bytes))).collect();
+        let qc = QuorumCert { kind: MsgKind::Blame, view: 3, data, height: 0, sigs };
+        let (ok, checks) = qc.verify(&pki, 3);
+        assert!(ok);
+        assert_eq!(checks, 3);
+        // Threshold not met:
+        let (ok, _) = qc.verify(&pki, 4);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn quorum_cert_rejects_duplicate_signers() {
+        let pki = pki();
+        let data = Digest::of(b"x");
+        let bytes = signing_bytes(MsgKind::Certify, 2, &data);
+        let sig = pki.keypair(1).sign(&bytes);
+        let qc = QuorumCert {
+            kind: MsgKind::Certify,
+            view: 2,
+            data,
+            height: 0,
+            sigs: vec![(1, sig.clone()), (1, sig)],
+        };
+        assert!(!qc.verify(&pki, 2).0);
+    }
+
+    #[test]
+    fn quorum_cert_rejects_wrong_view_sigs() {
+        let pki = pki();
+        let data = Digest::of(b"x");
+        let bytes = signing_bytes(MsgKind::Certify, 2, &data);
+        let sigs: Vec<_> = (0..2u32).map(|i| (i, pki.keypair(i).sign(&bytes))).collect();
+        let qc = QuorumCert { kind: MsgKind::Certify, view: 3, data, height: 0, sigs };
+        assert!(!qc.verify(&pki, 2).0, "signatures are over view 2, QC claims view 3");
+    }
+
+    #[test]
+    fn flood_keys_distinguish_messages() {
+        let pki = pki();
+        let m1 = propose(1, 3, &pki, 0);
+        let m2 = propose(1, 4, &pki, 0);
+        let m3 = propose(2, 3, &pki, 0);
+        assert_ne!(m1.flood_key(), m2.flood_key());
+        assert_ne!(m1.flood_key(), m3.flood_key());
+        assert_eq!(m1.flood_key(), m1.clone().flood_key());
+    }
+
+    #[test]
+    fn equivocating_proposals_have_same_kind_view_round_different_digest() {
+        let g = Block::genesis();
+        let b1 = Block::extending(&g, 1, 3, vec![crate::block::Command::synthetic(1, 8)]);
+        let b2 = Block::extending(&g, 1, 3, vec![crate::block::Command::synthetic(2, 8)]);
+        let p1 = Payload::Propose { block: b1, round: 3, justify: None };
+        let p2 = Payload::Propose { block: b2, round: 3, justify: None };
+        assert_ne!(p1.signing_digest(1), p2.signing_digest(1));
+    }
+
+    #[test]
+    fn status_highest_picks_tallest_block() {
+        let g = Block::genesis();
+        let b1 = Block::extending(&g, 1, 3, vec![]);
+        let b2 = Block::extending(&b1, 1, 4, vec![]);
+        let pki = pki();
+        let mk = |b: &Block| SignedBlock {
+            block: b.clone(),
+            signer: 0,
+            sig: pki.keypair(0).sign(b.id().as_bytes()),
+        };
+        let status = Status::Locks(vec![mk(&b1), mk(&b2)]);
+        assert_eq!(status.highest(), Some((b2.id(), 2)));
+        assert_eq!(status.len(), 2);
+        assert!(!status.is_empty());
+    }
+
+    #[test]
+    fn wire_sizes_are_plausible() {
+        let pki = pki();
+        let msg = propose(1, 3, &pki, 0);
+        // header 13 + block (72) + round 8 + RSA-1024 sig 128
+        assert_eq!(msg.wire_size(), 13 + 72 + 8 + 128);
+        let blame = SignedMsg::new(Payload::Blame { proof: None }, 1, pki.keypair(0));
+        assert_eq!(blame.wire_size(), 13 + 0 + 128);
+    }
+}

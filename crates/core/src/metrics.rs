@@ -1,0 +1,57 @@
+//! Per-replica protocol metrics.
+
+use eesmr_net::SimDuration;
+
+/// Counters a replica maintains about its own execution. Signature and
+/// energy accounting live in the node's `EnergyMeter`; these are the
+/// protocol-level events the evaluation section reports on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Blocks committed (including ancestors committed transitively).
+    pub blocks_committed: u64,
+    /// Height of the highest committed block.
+    pub committed_height: u64,
+    /// View changes completed (times this replica entered a new view).
+    pub view_changes: u64,
+    /// Blame messages sent.
+    pub blames_sent: u64,
+    /// Equivocations detected (with proof).
+    pub equivocations_detected: u64,
+    /// Proposals relayed (the implicit "votes in the head").
+    pub proposals_relayed: u64,
+    /// Proposals received that were ignored as invalid.
+    pub proposals_rejected: u64,
+    /// Chain-sync requests issued.
+    pub sync_requests: u64,
+    /// Commit latencies (relay → commit) for locally-timed blocks.
+    pub commit_latencies: Vec<SimDuration>,
+}
+
+impl Metrics {
+    /// Mean commit latency, if any block was timed.
+    pub fn mean_commit_latency(&self) -> Option<SimDuration> {
+        if self.commit_latencies.is_empty() {
+            return None;
+        }
+        let sum: u64 = self.commit_latencies.iter().map(|d| d.as_micros()).sum();
+        Some(SimDuration::from_micros(sum / self.commit_latencies.len() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_latency_empty_is_none() {
+        assert_eq!(Metrics::default().mean_commit_latency(), None);
+    }
+
+    #[test]
+    fn mean_latency_averages() {
+        let mut m = Metrics::default();
+        m.commit_latencies.push(SimDuration::from_micros(100));
+        m.commit_latencies.push(SimDuration::from_micros(300));
+        assert_eq!(m.mean_commit_latency(), Some(SimDuration::from_micros(200)));
+    }
+}

@@ -1,0 +1,139 @@
+//! The pending-command pool (`txpool` in the paper's description).
+//!
+//! "All nodes maintain pending commands in a local data structure txpool.
+//! The leader proposes blocks using the commands from txpool and the other
+//! nodes on committing a block, remove the commands in the block from the
+//! txpool." (§3)
+
+use std::collections::VecDeque;
+
+use crate::block::{Block, Command};
+
+/// Pool of pending client commands.
+///
+/// Two modes:
+/// * **Client-fed** — commands arrive via [`TxPool::submit`].
+/// * **Synthetic** — when the pool is empty and a synthetic payload size is
+///   configured, batches are generated on demand (the paper's fixed-size
+///   `|b_i|` workloads, §5.6).
+#[derive(Debug, Clone)]
+pub struct TxPool {
+    pending: VecDeque<Command>,
+    synthetic_len: Option<usize>,
+    next_seq: u64,
+}
+
+impl TxPool {
+    /// An empty, client-fed pool.
+    pub fn new() -> Self {
+        TxPool { pending: VecDeque::new(), synthetic_len: None, next_seq: 0 }
+    }
+
+    /// A pool that synthesizes one `len`-byte command per batch whenever it
+    /// has no real commands queued.
+    pub fn synthetic(len: usize) -> Self {
+        TxPool { pending: VecDeque::new(), synthetic_len: Some(len), next_seq: 0 }
+    }
+
+    /// Queues a client command.
+    pub fn submit(&mut self, cmd: Command) {
+        self.pending.push_back(cmd);
+    }
+
+    /// Number of queued commands (synthetic generation not counted).
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no real commands are queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Takes the next batch of at most `max` commands for a proposal.
+    /// Falls back to one synthetic command when configured and empty.
+    pub fn next_batch(&mut self, max: usize) -> Vec<Command> {
+        if self.pending.is_empty() {
+            return match self.synthetic_len {
+                Some(len) => {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    vec![Command::synthetic(seq, len)]
+                }
+                None => Vec::new(),
+            };
+        }
+        let take = self.pending.len().min(max.max(1));
+        self.pending.drain(..take).collect()
+    }
+
+    /// Removes commands that were committed in `block` (nodes clear their
+    /// pools when a block commits).
+    pub fn remove_committed(&mut self, block: &Block) {
+        if block.payload.is_empty() {
+            return;
+        }
+        self.pending.retain(|c| !block.payload.contains(c));
+    }
+}
+
+impl Default for TxPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+
+    #[test]
+    fn submit_then_batch_fifo() {
+        let mut pool = TxPool::new();
+        pool.submit(Command::new(vec![1]));
+        pool.submit(Command::new(vec![2]));
+        pool.submit(Command::new(vec![3]));
+        let batch = pool.next_batch(2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].bytes(), &[1]);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn empty_non_synthetic_pool_gives_empty_batches() {
+        let mut pool = TxPool::new();
+        assert!(pool.next_batch(10).is_empty());
+    }
+
+    #[test]
+    fn synthetic_pool_always_has_a_batch() {
+        let mut pool = TxPool::synthetic(16);
+        let a = pool.next_batch(10);
+        let b = pool.next_batch(10);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].len(), 16);
+        assert_ne!(a, b, "sequence numbers differ");
+    }
+
+    #[test]
+    fn real_commands_take_priority_over_synthetic() {
+        let mut pool = TxPool::synthetic(16);
+        pool.submit(Command::new(vec![9; 4]));
+        let batch = pool.next_batch(10);
+        assert_eq!(batch[0].bytes(), &[9; 4]);
+    }
+
+    #[test]
+    fn committed_commands_are_removed() {
+        let mut pool = TxPool::new();
+        let keep = Command::new(vec![1]);
+        let gone = Command::new(vec![2]);
+        pool.submit(keep.clone());
+        pool.submit(gone.clone());
+        let block = Block::extending(&Block::genesis(), 1, 3, vec![gone]);
+        pool.remove_committed(&block);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.next_batch(1)[0], keep);
+    }
+}

@@ -1,0 +1,125 @@
+//! PKI setup: key generation and distribution for an `n`-node system.
+//!
+//! The paper assumes "PKI is used to setup (possibly threshold) keys before
+//! starting the protocol" (§2). [`KeyStore`] plays that role: it derives one
+//! key pair per node from a run seed and hands out public keys to everyone.
+
+use crate::scheme::SigScheme;
+use crate::sig::{KeyPair, PublicKey, Signature, SignerId};
+
+/// The public-key infrastructure for one simulated system.
+///
+/// # Examples
+///
+/// ```
+/// use eesmr_crypto::{KeyStore, SigScheme};
+///
+/// let pki = KeyStore::generate(4, SigScheme::Rsa1024, 42);
+/// let sig = pki.keypair(2).sign(b"hello");
+/// assert!(pki.verify(b"hello", &sig));
+/// assert_eq!(pki.n(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyStore {
+    scheme: SigScheme,
+    pairs: Vec<KeyPair>,
+}
+
+impl KeyStore {
+    /// Generates keys for nodes `0..n` deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate(n: usize, scheme: SigScheme, seed: u64) -> Self {
+        assert!(n > 0, "a system needs at least one node");
+        let pairs = (0..n as SignerId)
+            .map(|id| KeyPair::derive(id, scheme, seed))
+            .collect();
+        KeyStore { scheme, pairs }
+    }
+
+    /// Number of nodes with registered keys.
+    pub fn n(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The scheme all keys use.
+    pub fn scheme(&self) -> SigScheme {
+        self.scheme
+    }
+
+    /// The key pair of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn keypair(&self, id: SignerId) -> &KeyPair {
+        &self.pairs[id as usize]
+    }
+
+    /// The public key of node `id`, or `None` if unknown.
+    pub fn public_key(&self, id: SignerId) -> Option<&PublicKey> {
+        self.pairs.get(id as usize).map(KeyPair::public)
+    }
+
+    /// Verifies `sig` on `message` against the registered key of the
+    /// claimed signer. Unknown signers fail verification.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        match self.public_key(sig.signer()) {
+            Some(pk) => sig.verify(message, pk),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_n_distinct_keys() {
+        let pki = KeyStore::generate(8, SigScheme::Rsa1024, 1);
+        assert_eq!(pki.n(), 8);
+        let sigs: Vec<_> = (0..8).map(|i| pki.keypair(i).sign(b"m")).collect();
+        for i in 0..8 {
+            for j in 0..8 {
+                if i != j {
+                    assert_ne!(sigs[i as usize], sigs[j as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verify_checks_registered_key() {
+        let pki = KeyStore::generate(3, SigScheme::Rsa1024, 1);
+        let other = KeyStore::generate(3, SigScheme::Rsa1024, 2);
+        let sig = pki.keypair(0).sign(b"m");
+        assert!(pki.verify(b"m", &sig));
+        // A signature from a different PKI universe (different seed) fails.
+        assert!(!other.verify(b"m", &sig));
+    }
+
+    #[test]
+    fn unknown_signer_fails() {
+        let pki = KeyStore::generate(2, SigScheme::Rsa1024, 1);
+        let big = KeyStore::generate(5, SigScheme::Rsa1024, 1);
+        let sig = big.keypair(4).sign(b"m");
+        assert!(!pki.verify(b"m", &sig));
+    }
+
+    #[test]
+    fn public_key_lookup() {
+        let pki = KeyStore::generate(2, SigScheme::Hmac, 1);
+        assert!(pki.public_key(1).is_some());
+        assert!(pki.public_key(2).is_none());
+        assert_eq!(pki.public_key(1).unwrap().signer(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let _ = KeyStore::generate(0, SigScheme::Rsa1024, 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the crypto substrate.
+
+use eesmr_crypto::{hmac::hmac_sha256, sha256::Sha256, Digest, KeyStore, SigScheme};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Streaming over arbitrary chunk boundaries equals one-shot hashing.
+    #[test]
+    fn sha256_streaming_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..2048),
+                                       cuts in prop::collection::vec(any::<u16>(), 0..8)) {
+        let oneshot = Sha256::digest(&data);
+        let mut h = Sha256::new();
+        let mut start = 0usize;
+        let mut points: Vec<usize> = cuts.iter().map(|c| *c as usize % (data.len() + 1)).collect();
+        points.sort_unstable();
+        for p in points {
+            h.update(&data[start..p.max(start)]);
+            start = p.max(start);
+        }
+        h.update(&data[start..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// A single flipped bit changes the digest.
+    #[test]
+    fn sha256_bit_flip_changes_digest(mut data in prop::collection::vec(any::<u8>(), 1..512),
+                                      byte in any::<usize>(), bit in 0u8..8) {
+        let original = Sha256::digest(&data);
+        let idx = byte % data.len();
+        data[idx] ^= 1 << bit;
+        prop_assert_ne!(Sha256::digest(&data), original);
+    }
+
+    /// HMAC separates keys and messages.
+    #[test]
+    fn hmac_domain_separation(key1 in prop::collection::vec(any::<u8>(), 1..100),
+                              key2 in prop::collection::vec(any::<u8>(), 1..100),
+                              msg in prop::collection::vec(any::<u8>(), 0..256)) {
+        let t1 = hmac_sha256(&key1, &msg);
+        prop_assert_eq!(t1, hmac_sha256(&key1, &msg), "deterministic");
+        if key1 != key2 {
+            prop_assert_ne!(t1, hmac_sha256(&key2, &msg));
+        }
+    }
+
+    /// `of_parts` never collides with a different split of the same bytes.
+    #[test]
+    fn of_parts_resists_boundary_shifts(a in prop::collection::vec(any::<u8>(), 1..64),
+                                        b in prop::collection::vec(any::<u8>(), 1..64),
+                                        shift in 1usize..63) {
+        let joined: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        let shift = shift % joined.len();
+        let (left, right) = joined.split_at(shift);
+        if left != a.as_slice() {
+            prop_assert_ne!(
+                Digest::of_parts(&[&a, &b]),
+                Digest::of_parts(&[left, right]),
+                "different part boundaries must hash differently"
+            );
+        }
+    }
+
+    /// Signatures bind scheme, signer, and message across all schemes.
+    #[test]
+    fn signatures_bind_all_inputs(msg in prop::collection::vec(any::<u8>(), 0..128),
+                                  scheme_idx in 0usize..11, signer in 0u32..3) {
+        let scheme = SigScheme::ALL[scheme_idx];
+        let pki = KeyStore::generate(3, scheme, 9);
+        let sig = pki.keypair(signer).sign(&msg);
+        prop_assert!(pki.verify(&msg, &sig));
+        prop_assert_eq!(sig.wire_size(), scheme.signature_size());
+        let mut tampered = msg.clone();
+        tampered.push(0);
+        prop_assert!(!pki.verify(&tampered, &sig));
+    }
+}

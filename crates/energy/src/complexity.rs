@@ -1,0 +1,238 @@
+//! Asymptotic protocol comparison — the data behind paper Table 3.
+//!
+//! Table 3 compares best-case (correct leader) and worst-case (faulty
+//! leader) communication complexity, public-key operation counts, and block
+//! period for five SMR protocols over a partially connected `d`-regular
+//! network. The entries here are structured so both the table printer and
+//! the empirical scaling tests can consume them.
+
+use core::fmt;
+
+/// A symbolic complexity term `c · n^a · d^b` (constants dropped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Complexity {
+    /// Exponent of `n`.
+    pub n_exp: u32,
+    /// Exponent of `d`.
+    pub d_exp: u32,
+}
+
+impl Complexity {
+    /// `O(1)`.
+    pub const CONSTANT: Complexity = Complexity { n_exp: 0, d_exp: 0 };
+
+    /// Evaluates the term for concrete `n`, `d` (leading constant 1).
+    pub fn eval(&self, n: usize, d: usize) -> u64 {
+        (n as u64).pow(self.n_exp) * (d as u64).pow(self.d_exp)
+    }
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O(")?;
+        match (self.n_exp, self.d_exp) {
+            (0, 0) => write!(f, "1")?,
+            (ne, de) => {
+                if ne == 1 {
+                    write!(f, "n")?;
+                } else if ne > 1 {
+                    write!(f, "n^{ne}")?;
+                }
+                if de == 1 {
+                    write!(f, "d")?;
+                } else if de > 1 {
+                    write!(f, "d^{de}")?;
+                }
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Block period — time between successive proposals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockPeriod {
+    /// Streaming: the leader proposes continuously (EESMR's 0 period).
+    Zero,
+    /// A multiple of the actual network delay δ.
+    DeltaSmall(u32),
+    /// A multiple of the pessimistic bound Δ.
+    DeltaBig(u32),
+    /// Not reported by the source paper.
+    Unreported,
+}
+
+impl fmt::Display for BlockPeriod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockPeriod::Zero => write!(f, "0"),
+            BlockPeriod::DeltaSmall(k) => write!(f, "{k}δ"),
+            BlockPeriod::DeltaBig(k) => write!(f, "{k}Δ"),
+            BlockPeriod::Unreported => write!(f, "—"),
+        }
+    }
+}
+
+/// One side (best or worst case) of a Table 3 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseComplexity {
+    /// Communication complexity.
+    pub communication: Complexity,
+    /// Signing operations.
+    pub signs: Complexity,
+    /// Verification operations.
+    pub verifies: Complexity,
+    /// Block period.
+    pub period: BlockPeriod,
+}
+
+/// One Table 3 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolRow {
+    /// Protocol name as printed in the paper.
+    pub name: &'static str,
+    /// Correct-leader (best-case) column group.
+    pub best: CaseComplexity,
+    /// Faulty-leader (worst-case) column group.
+    pub worst: CaseComplexity,
+}
+
+/// The five rows of Table 3, in the paper's order.
+pub fn table3_rows() -> [ProtocolRow; 5] {
+    let c = |n_exp, d_exp| Complexity { n_exp, d_exp };
+    [
+        ProtocolRow {
+            name: "Abraham et al.",
+            best: CaseComplexity {
+                communication: c(2, 1),
+                signs: c(1, 0),
+                verifies: c(2, 0),
+                period: BlockPeriod::Unreported,
+            },
+            worst: CaseComplexity {
+                communication: c(3, 1),
+                signs: c(1, 0),
+                verifies: c(2, 0),
+                period: BlockPeriod::Unreported,
+            },
+        },
+        ProtocolRow {
+            name: "Sync HotStuff",
+            best: CaseComplexity {
+                communication: c(2, 1),
+                signs: c(1, 0),
+                verifies: c(2, 0),
+                period: BlockPeriod::DeltaSmall(2),
+            },
+            worst: CaseComplexity {
+                communication: c(3, 1),
+                signs: c(1, 0),
+                verifies: c(2, 0),
+                period: BlockPeriod::DeltaBig(14),
+            },
+        },
+        ProtocolRow {
+            name: "OptSync",
+            best: CaseComplexity {
+                communication: c(2, 1),
+                signs: c(1, 0),
+                verifies: c(2, 0),
+                period: BlockPeriod::DeltaSmall(2),
+            },
+            worst: CaseComplexity {
+                communication: c(3, 1),
+                signs: c(1, 0),
+                verifies: c(2, 0),
+                period: BlockPeriod::DeltaBig(14),
+            },
+        },
+        ProtocolRow {
+            name: "Rotating BFT SMR",
+            best: CaseComplexity {
+                communication: c(2, 1),
+                signs: c(1, 0),
+                verifies: c(2, 0),
+                period: BlockPeriod::DeltaSmall(2),
+            },
+            worst: CaseComplexity {
+                communication: c(2, 1),
+                signs: c(1, 0),
+                verifies: c(2, 0),
+                period: BlockPeriod::DeltaBig(14),
+            },
+        },
+        ProtocolRow {
+            name: "EESMR",
+            best: CaseComplexity {
+                communication: c(1, 1),
+                signs: Complexity::CONSTANT,
+                verifies: c(1, 0),
+                period: BlockPeriod::Zero,
+            },
+            worst: CaseComplexity {
+                communication: c(3, 1),
+                signs: c(1, 0),
+                verifies: c(2, 0),
+                period: BlockPeriod::DeltaBig(21),
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eesmr_row_matches_paper_claims() {
+        let rows = table3_rows();
+        let eesmr = rows.iter().find(|r| r.name == "EESMR").unwrap();
+        assert_eq!(eesmr.best.communication, Complexity { n_exp: 1, d_exp: 1 });
+        assert_eq!(eesmr.best.signs, Complexity::CONSTANT);
+        assert_eq!(eesmr.best.period, BlockPeriod::Zero);
+        assert_eq!(eesmr.worst.period, BlockPeriod::DeltaBig(21));
+    }
+
+    #[test]
+    fn eesmr_is_strictly_cheaper_than_synchs_best_case() {
+        let rows = table3_rows();
+        let eesmr = &rows[4].best;
+        let synchs = &rows[1].best;
+        for (n, d) in [(8usize, 3usize), (16, 4), (64, 8)] {
+            assert!(eesmr.communication.eval(n, d) < synchs.communication.eval(n, d));
+            assert!(eesmr.signs.eval(n, d) <= synchs.signs.eval(n, d));
+            assert!(eesmr.verifies.eval(n, d) < synchs.verifies.eval(n, d));
+        }
+    }
+
+    #[test]
+    fn complexity_display() {
+        assert_eq!(Complexity { n_exp: 2, d_exp: 1 }.to_string(), "O(n^2d)");
+        assert_eq!(Complexity { n_exp: 1, d_exp: 0 }.to_string(), "O(n)");
+        assert_eq!(Complexity::CONSTANT.to_string(), "O(1)");
+    }
+
+    #[test]
+    fn period_display() {
+        assert_eq!(BlockPeriod::Zero.to_string(), "0");
+        assert_eq!(BlockPeriod::DeltaSmall(2).to_string(), "2δ");
+        assert_eq!(BlockPeriod::DeltaBig(14).to_string(), "14Δ");
+        assert_eq!(BlockPeriod::Unreported.to_string(), "—");
+    }
+
+    #[test]
+    fn eval_computes_products() {
+        let c = Complexity { n_exp: 2, d_exp: 1 };
+        assert_eq!(c.eval(10, 3), 300);
+        assert_eq!(Complexity::CONSTANT.eval(99, 99), 1);
+    }
+
+    #[test]
+    fn all_rows_present_in_paper_order() {
+        let names: Vec<_> = table3_rows().iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            vec!["Abraham et al.", "Sync HotStuff", "OptSync", "Rotating BFT SMR", "EESMR"]
+        );
+    }
+}

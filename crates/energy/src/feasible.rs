@@ -1,0 +1,175 @@
+//! Feasible-region analysis (paper Fig. 1).
+//!
+//! Evaluates `ψ^EESMR_B − ψ^Baseline` over a grid of node counts `n` and
+//! payload sizes `m`. Negative cells are the region where running EESMR
+//! among the CPS nodes (over WiFi in the paper's example) consumes less
+//! energy than shipping everything to an external trusted node (over 4G).
+
+use crate::psi::{PsiParams, PsiProtocol};
+
+/// One cell of the feasible-region grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeasibleCell {
+    /// Node count.
+    pub n: usize,
+    /// Payload bytes.
+    pub payload: usize,
+    /// ψ^EESMR_B in mJ.
+    pub eesmr_mj: f64,
+    /// ψ^Baseline in mJ.
+    pub baseline_mj: f64,
+    /// `eesmr_mj - baseline_mj`; negative ⇒ EESMR is more energy-efficient.
+    pub delta_mj: f64,
+}
+
+impl FeasibleCell {
+    /// Whether EESMR is the better choice in this cell.
+    pub fn eesmr_favoured(&self) -> bool {
+        self.delta_mj < 0.0
+    }
+}
+
+/// The full grid, row-major over `n` then `payload`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeasibleRegion {
+    cells: Vec<FeasibleCell>,
+    n_values: Vec<usize>,
+    payload_values: Vec<usize>,
+}
+
+impl FeasibleRegion {
+    /// Computes the region with the paper's Fig. 1 setting (RSA-1024,
+    /// WiFi node links, 4G trusted link) via [`PsiParams::fig1`].
+    pub fn compute(n_values: &[usize], payload_values: &[usize]) -> Self {
+        Self::compute_with(n_values, payload_values, PsiParams::fig1)
+    }
+
+    /// Computes the region with custom parameters per `(n, payload)`.
+    pub fn compute_with(
+        n_values: &[usize],
+        payload_values: &[usize],
+        make_params: impl Fn(usize, usize) -> PsiParams,
+    ) -> Self {
+        let mut cells = Vec::with_capacity(n_values.len() * payload_values.len());
+        for &n in n_values {
+            for &m in payload_values {
+                let p = make_params(n, m);
+                let eesmr = PsiProtocol::Eesmr.psi_best(&p).total_mj();
+                let baseline = PsiProtocol::TrustedBaseline.psi_best(&p).total_mj();
+                cells.push(FeasibleCell {
+                    n,
+                    payload: m,
+                    eesmr_mj: eesmr,
+                    baseline_mj: baseline,
+                    delta_mj: eesmr - baseline,
+                });
+            }
+        }
+        FeasibleRegion {
+            cells,
+            n_values: n_values.to_vec(),
+            payload_values: payload_values.to_vec(),
+        }
+    }
+
+    /// All cells, row-major (`n` outer, `payload` inner).
+    pub fn cells(&self) -> &[FeasibleCell] {
+        &self.cells
+    }
+
+    /// The `n` axis values.
+    pub fn n_values(&self) -> &[usize] {
+        &self.n_values
+    }
+
+    /// The payload axis values.
+    pub fn payload_values(&self) -> &[usize] {
+        &self.payload_values
+    }
+
+    /// The cell at `(n, payload)` if both values are on the grid axes.
+    pub fn cell(&self, n: usize, payload: usize) -> Option<&FeasibleCell> {
+        let ni = self.n_values.iter().position(|&v| v == n)?;
+        let mi = self.payload_values.iter().position(|&v| v == payload)?;
+        self.cells.get(ni * self.payload_values.len() + mi)
+    }
+
+    /// Fraction of the grid where EESMR is favoured.
+    pub fn favoured_fraction(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells.iter().filter(|c| c.eesmr_favoured()).count() as f64 / self.cells.len() as f64
+    }
+
+    /// For each payload, the largest `n` (on the grid) at which EESMR is
+    /// still favoured, if any — the crossover frontier of Fig. 1.
+    pub fn crossover_frontier(&self) -> Vec<(usize, Option<usize>)> {
+        self.payload_values
+            .iter()
+            .map(|&m| {
+                let best_n = self
+                    .n_values
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.cell(n, m).is_some_and(FeasibleCell::eesmr_favoured))
+                    .max();
+                (m, best_n)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> FeasibleRegion {
+        FeasibleRegion::compute(&[4, 6, 8, 10, 12, 16], &[64, 256, 1024, 2048])
+    }
+
+    #[test]
+    fn grid_has_all_cells() {
+        let g = grid();
+        assert_eq!(g.cells().len(), 24);
+        assert!(g.cell(4, 64).is_some());
+        assert!(g.cell(5, 64).is_none(), "off-grid n");
+        assert!(g.cell(4, 100).is_none(), "off-grid payload");
+    }
+
+    #[test]
+    fn region_has_both_signs() {
+        // Fig. 1 shows a surface crossing zero.
+        let g = grid();
+        assert!(g.favoured_fraction() > 0.0, "some cells favour EESMR");
+        assert!(g.favoured_fraction() < 1.0, "some cells favour the baseline");
+    }
+
+    #[test]
+    fn small_n_favours_eesmr() {
+        let g = grid();
+        assert!(g.cell(4, 1024).unwrap().eesmr_favoured());
+        assert!(!g.cell(16, 1024).unwrap().eesmr_favoured());
+    }
+
+    #[test]
+    fn delta_is_consistent() {
+        let g = grid();
+        for c in g.cells() {
+            assert!((c.delta_mj - (c.eesmr_mj - c.baseline_mj)).abs() < 1e-9);
+            assert!(c.eesmr_mj > 0.0 && c.baseline_mj > 0.0);
+        }
+    }
+
+    #[test]
+    fn frontier_reports_each_payload() {
+        let g = grid();
+        let frontier = g.crossover_frontier();
+        assert_eq!(frontier.len(), 4);
+        for (_, crossover) in &frontier {
+            // At n = 4 EESMR wins for every payload in this grid, so a
+            // crossover exists everywhere.
+            assert!(crossover.is_some());
+        }
+    }
+}

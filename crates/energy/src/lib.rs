@@ -1,0 +1,52 @@
+//! Energy model for BFT-SMR protocols — the analytical core of the paper.
+//!
+//! This crate packages everything the paper's Sections 4 and 5 use to
+//! reason about energy:
+//!
+//! * [`Medium`] — the Table 1 media (BLE, 4G LTE, WiFi) with measured
+//!   send/receive/multicast costs and size interpolation.
+//! * [`ble`] — the BLE advertisement k-cast reliability model of §5.4
+//!   (fragmentation, per-packet loss, redundancy for a target reliability)
+//!   and the GATT unicast comparison arm (Fig. 2a/2b).
+//! * [`EnergyMeter`] — per-node accounting of send/recv/sign/verify/hash
+//!   energy, replacing the paper's INA169 measurement chain.
+//! * [`psi`] — the §4 ψ cost functions for EESMR, Sync HotStuff, OptSync
+//!   and the trusted baseline, plus the ν_f break-even ratio and the
+//!   energy-fault bound f_e (equation EB).
+//! * [`FeasibleRegion`] — the Fig. 1 grid analysis.
+//! * [`complexity`] — the structured Table 3 rows.
+//!
+//! # Example: when is EESMR the right choice?
+//!
+//! ```
+//! use eesmr_energy::{FeasibleRegion, psi::{PsiParams, PsiProtocol, energy_fault_bound}};
+//!
+//! // Fig. 1 setting: WiFi between nodes, 4G to the trusted node, RSA-1024.
+//! let region = FeasibleRegion::compute(&[4, 8, 12], &[256, 1024]);
+//! assert!(region.cell(4, 1024).unwrap().eesmr_favoured());
+//!
+//! // Energy-fault bound (EB): how many worst-case events can EESMR absorb
+//! // and still beat the baseline?
+//! let p = PsiParams::fig1(4, 1024);
+//! let fe = energy_fault_bound(
+//!     PsiProtocol::TrustedBaseline.psi_best(&p).total_mj(),
+//!     PsiProtocol::Eesmr.psi_best(&p).total_mj(),
+//!     PsiProtocol::Eesmr.psi_view_change(&p).total_mj(),
+//! );
+//! assert!(fe >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ble;
+pub mod complexity;
+pub mod feasible;
+pub mod medium;
+pub mod meter;
+pub mod psi;
+
+pub use ble::{BleGattModel, BleKcastModel, ADV_PAYLOAD_BYTES};
+pub use feasible::{FeasibleCell, FeasibleRegion};
+pub use medium::Medium;
+pub use meter::{EnergyCategory, EnergyMeter, HASH_MJ_PER_BYTE};

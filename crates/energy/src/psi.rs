@@ -1,0 +1,464 @@
+//! Closed-form protocol energy models — the paper's ψ functions (§4).
+//!
+//! §4 models the energy cost of a protocol per unit of consensus as a
+//! function `ψ(X)` of system parameters `X = (n, f, m, S, R, σ_s, σ_v)`:
+//! node count, fault bound, payload size, per-byte send/receive costs, and
+//! signing/verification costs. `ψ_B` is the best-case (fault-free) cost,
+//! `ψ_V = ψ_W − ψ_B` the extra cost of a view change.
+//!
+//! The models here count *operations* (signatures, verifications, hashed
+//! bytes, flooded messages) exactly as the protocol descriptions dictate
+//! and price them with the Table 1/Table 2 constants. They drive the
+//! Fig. 1 feasible-region analysis and the ν_f / f_e bounds.
+
+use eesmr_crypto::SigScheme;
+
+use crate::medium::Medium;
+use crate::meter::HASH_MJ_PER_BYTE;
+
+/// System parameters `X` for the ψ functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsiParams {
+    /// Total nodes `n`.
+    pub n: usize,
+    /// Fault bound `f < n/2`.
+    pub f: usize,
+    /// Payload bytes `m` per consensus unit (the size of `Cmds`).
+    pub payload: usize,
+    /// Flooding out-degree `d`: neighbours each node relays to.
+    pub d: usize,
+    /// Signature scheme (prices σ_s, σ_v and signature sizes).
+    pub scheme: SigScheme,
+    /// Medium for inter-node links.
+    pub node_medium: Medium,
+    /// Medium for reaching the external trusted node (baseline only).
+    pub trusted_medium: Medium,
+    /// Fixed per-message header bytes (type, view, round, ids).
+    pub header_bytes: usize,
+}
+
+impl PsiParams {
+    /// Parameters for the paper's Fig. 1 setting: RSA-1024, WiFi between
+    /// nodes, 4G to the trusted node, fully connected flooding.
+    pub fn fig1(n: usize, payload: usize) -> Self {
+        PsiParams {
+            n,
+            f: (n - 1) / 2,
+            payload,
+            d: n - 1,
+            scheme: SigScheme::Rsa1024,
+            node_medium: Medium::Wifi,
+            trusted_medium: Medium::FourG,
+            header_bytes: 16,
+        }
+    }
+
+    fn sig(&self) -> usize {
+        self.scheme.signature_size()
+    }
+
+    /// Size of a steady-state proposal: header ‖ parent hash ‖ Cmds ‖ σ_L.
+    pub fn proposal_size(&self) -> usize {
+        self.header_bytes + 32 + self.payload + self.sig()
+    }
+
+    /// Size of a vote/blame-style message: header ‖ hash ‖ σ.
+    pub fn vote_size(&self) -> usize {
+        self.header_bytes + 32 + self.sig()
+    }
+
+    /// Size of a quorum certificate of `t` signatures.
+    pub fn qc_size(&self, t: usize) -> usize {
+        self.header_bytes + 32 + t * self.sig()
+    }
+}
+
+/// An operation-count and energy breakdown of one ψ evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PsiBreakdown {
+    /// Signature generations.
+    pub signs: u64,
+    /// Signature verifications.
+    pub verifies: u64,
+    /// Bytes hashed.
+    pub hash_bytes: u64,
+    /// Point-to-point transmissions (flood hops count individually).
+    pub transmissions: u64,
+    /// Transmission energy, mJ.
+    pub send_mj: f64,
+    /// Reception energy, mJ.
+    pub recv_mj: f64,
+    /// Signing energy, mJ.
+    pub sign_mj: f64,
+    /// Verification energy, mJ.
+    pub verify_mj: f64,
+    /// Hashing energy, mJ.
+    pub hash_mj: f64,
+}
+
+impl PsiBreakdown {
+    /// Total energy, mJ.
+    pub fn total_mj(&self) -> f64 {
+        self.send_mj + self.recv_mj + self.sign_mj + self.verify_mj + self.hash_mj
+    }
+
+    fn add_signs(&mut self, count: u64, scheme: SigScheme) {
+        self.signs += count;
+        self.sign_mj += count as f64 * scheme.sign_energy_j() * 1000.0;
+    }
+
+    fn add_verifies(&mut self, count: u64, scheme: SigScheme) {
+        self.verifies += count;
+        self.verify_mj += count as f64 * scheme.verify_energy_j() * 1000.0;
+    }
+
+    fn add_hash(&mut self, bytes: u64) {
+        self.hash_bytes += bytes;
+        self.hash_mj += bytes as f64 * HASH_MJ_PER_BYTE;
+    }
+
+    /// One message of `size` flooded through the whole system: with
+    /// relay-once semantics over a `d`-regular graph, every node transmits
+    /// the message once to its `d` out-neighbours and every copy is
+    /// received once — `n·d` sends and receives.
+    fn add_flood(&mut self, p: &PsiParams, size: usize) {
+        let hops = (p.n * p.d) as u64;
+        self.transmissions += hops;
+        self.send_mj += hops as f64 * p.node_medium.send_mj(size);
+        self.recv_mj += hops as f64 * p.node_medium.recv_mj(size);
+    }
+
+    /// A direct exchange with the trusted node over the expensive medium.
+    fn add_trusted_roundtrip(&mut self, p: &PsiParams, up: usize, down: usize) {
+        self.transmissions += 2;
+        self.send_mj += p.trusted_medium.send_mj(up);
+        // The trusted node itself is externally powered; only the CPS
+        // node's receive cost for the downlink is charged.
+        self.recv_mj += p.trusted_medium.recv_mj(down);
+    }
+}
+
+/// Protocols modelled by §4 and §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PsiProtocol {
+    /// This paper's protocol.
+    Eesmr,
+    /// Sync HotStuff (Abraham et al., S&P 2020).
+    SyncHotStuff,
+    /// OptSync (Shrestha et al., CCS 2020).
+    OptSync,
+    /// The trusted-control-node baseline of §5.1.
+    TrustedBaseline,
+}
+
+impl PsiProtocol {
+    /// Best-case (fault-free) cost ψ_B per consensus unit, summed over all
+    /// CPS nodes.
+    pub fn psi_best(self, p: &PsiParams) -> PsiBreakdown {
+        let mut b = PsiBreakdown::default();
+        let scheme = p.scheme;
+        let n = p.n as u64;
+        match self {
+            PsiProtocol::Eesmr => {
+                // Leader signs once; proposal floods; every node verifies
+                // the single leader signature and hashes the proposal.
+                b.add_signs(1, scheme);
+                b.add_flood(p, p.proposal_size());
+                b.add_verifies(n, scheme);
+                b.add_hash(n * p.proposal_size() as u64);
+            }
+            PsiProtocol::SyncHotStuff => {
+                // Proposal carries a certificate of n/2+1 vote signatures;
+                // every node votes (sign + flood) and verifies the
+                // proposal, its certificate, and the votes of its own
+                // certificate.
+                let q = (p.n / 2 + 1) as u64;
+                let prop = p.proposal_size() + p.qc_size(q as usize);
+                b.add_signs(1 + n, scheme);
+                b.add_flood(p, prop);
+                for _ in 0..p.n {
+                    b.add_flood(p, p.vote_size());
+                }
+                b.add_verifies(n * (1 + 2 * q), scheme);
+                b.add_hash(n * prop as u64);
+            }
+            PsiProtocol::OptSync => {
+                // Same pattern; the responsive path needs 3n/4+1 votes.
+                let q = (3 * p.n / 4 + 1) as u64;
+                let prop = p.proposal_size() + p.qc_size(q as usize);
+                b.add_signs(1 + n, scheme);
+                b.add_flood(p, prop);
+                for _ in 0..p.n {
+                    b.add_flood(p, p.vote_size());
+                }
+                b.add_verifies(n * (1 + 2 * q), scheme);
+                b.add_hash(n * prop as u64);
+            }
+            PsiProtocol::TrustedBaseline => {
+                // Every node uploads its m-byte state to the trusted node
+                // and downloads the ordered block, all over the expensive
+                // medium; one signature each way per node.
+                let up = p.header_bytes + p.payload + p.sig();
+                let down = p.proposal_size();
+                b.add_signs(n, scheme);
+                b.add_verifies(n, scheme);
+                for _ in 0..p.n {
+                    b.add_trusted_roundtrip(p, up, down);
+                }
+                b.add_hash(n * down as u64);
+            }
+        }
+        b
+    }
+
+    /// View-change cost ψ_V (the extra energy of one leader change;
+    /// ψ_W = ψ_B + ψ_V).
+    pub fn psi_view_change(self, p: &PsiParams) -> PsiBreakdown {
+        let mut b = PsiBreakdown::default();
+        let scheme = p.scheme;
+        let n = p.n as u64;
+        let fq = (p.f + 1) as u64; // quorum f+1
+        match self {
+            PsiProtocol::Eesmr => {
+                // Blames: n signed blames flood; each node verifies f+1.
+                b.add_signs(n, scheme);
+                for _ in 0..p.n {
+                    b.add_flood(p, p.vote_size());
+                }
+                b.add_verifies(n * fq, scheme);
+                // Blame QC floods; all verify its f+1 signatures.
+                b.add_flood(p, p.qc_size(p.f + 1));
+                b.add_verifies(n * fq, scheme);
+                // CommitUpdate: every node floods its B_com; every node
+                // verifies the updates it certifies (up to n each).
+                for _ in 0..p.n {
+                    b.add_flood(p, p.vote_size());
+                }
+                b.add_verifies(n * n, scheme);
+                // Certify: converting the votes-in-the-head to explicit
+                // votes — each node signs once (common B_com case) and
+                // floods; f+1 verifications per node to form commit QCs.
+                b.add_signs(n, scheme);
+                for _ in 0..p.n {
+                    b.add_flood(p, p.vote_size());
+                }
+                b.add_verifies(n * fq, scheme);
+                // Commit QC broadcast + status to the new leader.
+                for _ in 0..p.n {
+                    b.add_flood(p, p.qc_size(p.f + 1));
+                }
+                b.add_verifies(n * fq, scheme);
+                // NewViewProposal with f+1 certificates; everyone verifies
+                // the f+1 embedded QCs (f+1 signatures each).
+                b.add_flood(p, p.header_bytes + (p.f + 1) * p.qc_size(p.f + 1));
+                b.add_verifies(n * fq * fq, scheme);
+                // Round-1 votes and the round-2 proposal with the vote QC.
+                b.add_signs(n, scheme);
+                for _ in 0..p.n {
+                    b.add_flood(p, p.vote_size());
+                }
+                b.add_verifies(fq, scheme);
+                b.add_flood(p, p.proposal_size() + p.qc_size(p.f + 1));
+                b.add_verifies(n * fq, scheme);
+                b.add_hash(n * p.qc_size(p.f + 1) as u64);
+            }
+            PsiProtocol::SyncHotStuff | PsiProtocol::OptSync => {
+                // Blames flood and are verified.
+                b.add_signs(n, scheme);
+                for _ in 0..p.n {
+                    b.add_flood(p, p.vote_size());
+                }
+                b.add_verifies(n * fq, scheme);
+                // Status: each node sends its highest certificate (already
+                // explicit — no extra signing) to the new leader.
+                let cert = p.qc_size(p.n / 2 + 1);
+                for _ in 0..p.n {
+                    b.add_flood(p, cert);
+                }
+                b.add_verifies(n * (p.n / 2 + 1) as u64, scheme);
+                // New-view proposal with the highest certificate + votes.
+                b.add_flood(p, p.proposal_size() + cert);
+                b.add_signs(n, scheme);
+                for _ in 0..p.n {
+                    b.add_flood(p, p.vote_size());
+                }
+                b.add_verifies(n * (p.n / 2 + 1) as u64, scheme);
+                b.add_hash(n * cert as u64);
+            }
+            PsiProtocol::TrustedBaseline => {
+                // The trusted node cannot fail; a "view change" is free.
+            }
+        }
+        b
+    }
+
+    /// Worst-case cost ψ_W = ψ_B + ψ_V.
+    pub fn psi_worst(self, p: &PsiParams) -> f64 {
+        self.psi_best(p).total_mj() + self.psi_view_change(p).total_mj()
+    }
+}
+
+/// The break-even view-change ratio ν_f between a candidate protocol and a
+/// reference (§4): the candidate is the better choice while the fraction of
+/// consensus units that suffer a view change stays below
+/// `ν_f = (ψ*_B − ψ_B) / (ψ_V − ψ*_V)`.
+///
+/// Returns `None` when the candidate is never better (worse best case and
+/// worse view change) or the ratio is unbounded (better in both regimes —
+/// the candidate always wins).
+pub fn break_even_nu(
+    candidate_best: f64,
+    candidate_vc: f64,
+    reference_best: f64,
+    reference_vc: f64,
+) -> Option<f64> {
+    let num = reference_best - candidate_best;
+    let den = candidate_vc - reference_vc;
+    if num >= 0.0 && den <= 0.0 {
+        None // candidate dominates; any ν works
+    } else if num <= 0.0 && den >= 0.0 {
+        Some(0.0) // reference dominates
+    } else if den > 0.0 {
+        Some((num / den).clamp(0.0, 1.0))
+    } else {
+        None
+    }
+}
+
+/// The energy-fault bound f_e of equation (EB): the number of adversarial
+/// worst-case events EESMR can absorb and still beat a protocol whose
+/// per-unit cost is `psi_other`, given EESMR's best-case and view-change
+/// costs: `f_e ≤ (ψ_other − ψ_B) / (ψ_B + ψ_V)`.
+pub fn energy_fault_bound(psi_other: f64, eesmr_best: f64, eesmr_vc: f64) -> f64 {
+    ((psi_other - eesmr_best) / (eesmr_best + eesmr_vc)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: usize, m: usize, d: usize) -> PsiParams {
+        PsiParams {
+            n,
+            f: (n - 1) / 2,
+            payload: m,
+            d,
+            scheme: SigScheme::Rsa1024,
+            node_medium: Medium::Ble,
+            trusted_medium: Medium::FourG,
+            header_bytes: 16,
+        }
+    }
+
+    #[test]
+    fn eesmr_best_uses_one_signature() {
+        let b = PsiProtocol::Eesmr.psi_best(&params(10, 128, 3));
+        assert_eq!(b.signs, 1, "O(1) signing per committed block (§3.3)");
+        assert_eq!(b.verifies, 10, "each node verifies the leader once");
+    }
+
+    #[test]
+    fn synchs_best_signs_linearly() {
+        let b = PsiProtocol::SyncHotStuff.psi_best(&params(10, 128, 3));
+        assert_eq!(b.signs, 11, "leader + one vote per node");
+        // Verify count is Θ(n²) system-wide.
+        assert_eq!(b.verifies, 10 * (1 + 2 * 6));
+    }
+
+    #[test]
+    fn eesmr_comm_is_linear_in_n_synchs_quadratic() {
+        // Table 3: EESMR O(nd) vs Sync HotStuff O(n²d) best-case.
+        let t_e_10 = PsiProtocol::Eesmr.psi_best(&params(10, 64, 3)).transmissions;
+        let t_e_20 = PsiProtocol::Eesmr.psi_best(&params(20, 64, 3)).transmissions;
+        assert_eq!(t_e_20, 2 * t_e_10, "EESMR transmissions scale linearly");
+
+        let t_s_10 = PsiProtocol::SyncHotStuff.psi_best(&params(10, 64, 3)).transmissions;
+        let t_s_20 = PsiProtocol::SyncHotStuff.psi_best(&params(20, 64, 3)).transmissions;
+        assert!(t_s_20 as f64 / t_s_10 as f64 > 3.5, "SyncHS transmissions scale ~quadratically");
+    }
+
+    #[test]
+    fn eesmr_beats_synchs_in_best_case() {
+        let p = params(10, 64, 3);
+        let e = PsiProtocol::Eesmr.psi_best(&p).total_mj();
+        let s = PsiProtocol::SyncHotStuff.psi_best(&p).total_mj();
+        assert!(e < s, "EESMR {e} must beat SyncHS {s} in steady state");
+    }
+
+    #[test]
+    fn eesmr_view_change_costs_more_than_synchs() {
+        // The paper's trade-off: EESMR pushes work to the view change.
+        let p = params(10, 64, 3);
+        let e = PsiProtocol::Eesmr.psi_view_change(&p).total_mj();
+        let s = PsiProtocol::SyncHotStuff.psi_view_change(&p).total_mj();
+        assert!(e > s, "EESMR VC {e} should exceed SyncHS VC {s}");
+    }
+
+    #[test]
+    fn optsync_verifies_more_than_synchs() {
+        let p = params(12, 64, 3);
+        let o = PsiProtocol::OptSync.psi_best(&p);
+        let s = PsiProtocol::SyncHotStuff.psi_best(&p);
+        assert!(o.verifies > s.verifies, "3n/4+1 vs n/2+1 quorums");
+        assert!(o.total_mj() > s.total_mj());
+    }
+
+    #[test]
+    fn baseline_has_free_view_change() {
+        let p = params(8, 64, 3);
+        assert_eq!(PsiProtocol::TrustedBaseline.psi_view_change(&p).total_mj(), 0.0);
+    }
+
+    #[test]
+    fn psi_worst_is_best_plus_vc() {
+        let p = params(9, 32, 2);
+        for proto in [PsiProtocol::Eesmr, PsiProtocol::SyncHotStuff, PsiProtocol::OptSync] {
+            let w = proto.psi_worst(&p);
+            let b = proto.psi_best(&p).total_mj();
+            let v = proto.psi_view_change(&p).total_mj();
+            assert!((w - (b + v)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn break_even_regimes() {
+        // Candidate better best-case, worse VC: finite positive ν.
+        let nu = break_even_nu(10.0, 50.0, 20.0, 30.0).unwrap();
+        assert!((nu - 0.5).abs() < 1e-12);
+        // Candidate dominates: None (always better).
+        assert_eq!(break_even_nu(10.0, 20.0, 20.0, 30.0), None);
+        // Reference dominates: Some(0).
+        assert_eq!(break_even_nu(20.0, 50.0, 10.0, 30.0), Some(0.0));
+    }
+
+    #[test]
+    fn energy_fault_bound_matches_eb_equation() {
+        // f_e ≤ (ψ_BL − ψ_B) / (ψ_B + ψ_V)
+        assert!((energy_fault_bound(110.0, 10.0, 40.0) - 2.0).abs() < 1e-12);
+        assert_eq!(energy_fault_bound(5.0, 10.0, 40.0), 0.0, "clamped at zero");
+    }
+
+    #[test]
+    fn fig1_params_are_paper_setting() {
+        let p = PsiParams::fig1(10, 512);
+        assert_eq!(p.scheme, SigScheme::Rsa1024);
+        assert_eq!(p.node_medium, Medium::Wifi);
+        assert_eq!(p.trusted_medium, Medium::FourG);
+        assert_eq!(p.d, 9);
+    }
+
+    #[test]
+    fn fig1_crossover_exists_in_n() {
+        // Small systems favour EESMR, large ones the 4G baseline — the
+        // feasible region of Fig. 1 has both signs.
+        let small = PsiParams::fig1(4, 1024);
+        let large = PsiParams::fig1(16, 1024);
+        let d_small = PsiProtocol::Eesmr.psi_best(&small).total_mj()
+            - PsiProtocol::TrustedBaseline.psi_best(&small).total_mj();
+        let d_large = PsiProtocol::Eesmr.psi_best(&large).total_mj()
+            - PsiProtocol::TrustedBaseline.psi_best(&large).total_mj();
+        assert!(d_small < 0.0, "EESMR should win at n=4 ({d_small})");
+        assert!(d_large > 0.0, "baseline should win at n=16 ({d_large})");
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the energy model, including a Monte-Carlo check of
+//! the closed-form k-cast reliability formula.
+
+use eesmr_energy::psi::{PsiParams, PsiProtocol};
+use eesmr_energy::{BleKcastModel, Medium};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulates `trials` k-casts with redundancy `r` and per-packet loss `p`,
+/// counting how often at least one of `k` receivers misses all copies.
+fn monte_carlo_failure(p: f64, k: usize, r: u32, trials: u32, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures = 0u32;
+    for _ in 0..trials {
+        let any_receiver_missed = (0..k).any(|_| (0..r).all(|_| rng.gen::<f64>() < p));
+        if any_receiver_missed {
+            failures += 1;
+        }
+    }
+    failures as f64 / trials as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The analytic failure probability matches simulation within noise.
+    #[test]
+    fn closed_form_matches_monte_carlo(k in 1usize..8, r in 1u32..5, seed in 0u64..100) {
+        let model = BleKcastModel::default();
+        let analytic = model.fragment_failure_prob(k, r);
+        let simulated = monte_carlo_failure(model.packet_loss, k, r, 20_000, seed);
+        // Allow generous sampling noise around small probabilities.
+        let tol = 0.02 + analytic * 0.2;
+        prop_assert!(
+            (analytic - simulated).abs() <= tol,
+            "analytic {analytic} vs simulated {simulated} (k={k}, r={r})"
+        );
+    }
+
+    /// ψ is monotone in payload for every protocol.
+    #[test]
+    fn psi_monotone_in_payload(n in 4usize..12, m in 16usize..1024, extra in 1usize..512) {
+        for proto in [
+            PsiProtocol::Eesmr,
+            PsiProtocol::SyncHotStuff,
+            PsiProtocol::OptSync,
+            PsiProtocol::TrustedBaseline,
+        ] {
+            let small = proto.psi_best(&PsiParams::fig1(n, m)).total_mj();
+            let large = proto.psi_best(&PsiParams::fig1(n, m + extra)).total_mj();
+            prop_assert!(large >= small, "{proto:?} not monotone in payload");
+        }
+    }
+
+    /// ψ is monotone in n for the networked protocols.
+    #[test]
+    fn psi_monotone_in_n(n in 4usize..12, m in 16usize..1024) {
+        for proto in [PsiProtocol::Eesmr, PsiProtocol::SyncHotStuff, PsiProtocol::TrustedBaseline] {
+            let small = proto.psi_best(&PsiParams::fig1(n, m)).total_mj();
+            let large = proto.psi_best(&PsiParams::fig1(n + 1, m)).total_mj();
+            prop_assert!(large > small, "{proto:?} not monotone in n");
+        }
+    }
+
+    /// Multicast never costs more than the equivalent unicasts on BLE.
+    #[test]
+    fn ble_multicast_cheaper_than_send(bytes in 1usize..4096) {
+        prop_assert!(Medium::Ble.multicast_send_mj(bytes) <= Medium::Ble.send_mj(bytes) * 1.01);
+    }
+}

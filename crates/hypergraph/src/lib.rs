@@ -1,0 +1,43 @@
+//! Hypergraph network model for multicast-capable CPS networks.
+//!
+//! Implements Appendix A of the paper: networks are modelled as directed
+//! hypergraphs where a hyper-edge `(S(e), R(e))` is one wireless multicast
+//! ("k-cast") from a sender to `k ≥ 1` receivers. The model generalises
+//! point-to-point graphs (every edge has one receiver) and broadcast
+//! domains (one edge reaching everyone).
+//!
+//! Provided here:
+//!
+//! * [`Hypergraph`] — edges, per-node degrees `d_in`/`d_out`
+//!   (Definitions A.3/A.4), per-node link counts `D_in`/`D_out`, the k-cast
+//!   parameter, and the independence-of-edges check (Definition A.2).
+//! * Connectivity analysis — flooding reachability, hop distances, the
+//!   flooding diameter used to derive Δ, fault bounds (Lemmas A.5/A.6) and
+//!   exhaustive partition-resistance checking.
+//! * [`topology`] — builders for the paper's ring k-cast testbed topology,
+//!   complete (multicast and unicast) graphs, stars, and random k-cast
+//!   graphs.
+//!
+//! # Example: the paper's testbed topology
+//!
+//! ```
+//! use eesmr_hypergraph::topology::ring_kcast;
+//!
+//! // n = 10 nodes, k = 3: p_i k-casts to p_{i+1}, p_{i+2}, p_{i+3}.
+//! let h = ring_kcast(10, 3);
+//! assert_eq!(h.k(), Some(3));
+//! assert!(h.is_strongly_connected());
+//! // Lemma A.6 necessary bound: f < k · min(D_in, D_out) = 3.
+//! assert_eq!(h.kcast_fault_bound(), 2);
+//! // And it really resists 2 arbitrary removals:
+//! assert!(h.is_partition_resistant(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod connectivity;
+mod graph;
+pub mod topology;
+
+pub use graph::{EdgeId, HyperEdge, Hypergraph, HypergraphError, NodeId};

@@ -1,0 +1,204 @@
+//! Topology builders used by the paper's experiments.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::{Hypergraph, NodeId};
+
+/// The paper's testbed topology (§5.6): node `p_i` transmits one k-cast to
+/// `p_{i+1 mod n}, …, p_{i+k mod n}`, so every node has `D_out = 1`
+/// outgoing k-cast and `D_in = k` incoming links.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k >= n`.
+pub fn ring_kcast(n: usize, k: usize) -> Hypergraph {
+    assert!(k > 0, "k-cast degree must be positive");
+    assert!(k < n, "k must leave at least one non-receiver (no self-loops)");
+    let mut h = Hypergraph::new(n);
+    for i in 0..n {
+        let receivers: Vec<NodeId> = (1..=k).map(|j| ((i + j) % n) as NodeId).collect();
+        h.add_edge(i as NodeId, receivers).expect("ring edges are valid by construction");
+    }
+    h
+}
+
+/// Fully connected topology realised with a single `(n-1)`-cast per node —
+/// the "wireless broadcast domain" setting.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn complete(n: usize) -> Hypergraph {
+    assert!(n >= 2, "complete topology needs at least two nodes");
+    let mut h = Hypergraph::new(n);
+    for i in 0..n {
+        let receivers: Vec<NodeId> =
+            (0..n).filter(|&j| j != i).map(|j| j as NodeId).collect();
+        h.add_edge(i as NodeId, receivers).expect("complete edges are valid");
+    }
+    h
+}
+
+/// Fully connected topology realised with `n-1` unicast edges per node —
+/// the classic point-to-point model (k = 1).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn complete_unicast(n: usize) -> Hypergraph {
+    assert!(n >= 2, "complete topology needs at least two nodes");
+    let mut h = Hypergraph::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                h.add_edge(i as NodeId, [j as NodeId]).expect("unicast edges are valid");
+            }
+        }
+    }
+    h
+}
+
+/// Star topology: every node exchanges unicasts with a `center` — the
+/// trusted-baseline communication pattern (§5.1).
+///
+/// # Panics
+///
+/// Panics if `center` is out of range or `n < 2`.
+pub fn star(n: usize, center: NodeId) -> Hypergraph {
+    assert!(n >= 2, "star topology needs at least two nodes");
+    assert!((center as usize) < n, "center must be a node");
+    let mut h = Hypergraph::new(n);
+    let spokes: Vec<NodeId> =
+        (0..n as NodeId).filter(|&p| p != center).collect();
+    h.add_edge(center, spokes.iter().copied()).expect("hub edge is valid");
+    for p in spokes {
+        h.add_edge(p, [center]).expect("spoke edges are valid");
+    }
+    h
+}
+
+/// Random k-cast topology: every node gets `d_out` outgoing k-casts to
+/// uniformly chosen receiver sets. Used for property tests and robustness
+/// experiments. The result is not guaranteed strongly connected — check
+/// with [`Hypergraph::is_strongly_connected`] and resample if needed.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `k >= n`, or `d_out == 0`.
+pub fn random_kcast<R: Rng>(n: usize, k: usize, d_out: usize, rng: &mut R) -> Hypergraph {
+    assert!(k > 0 && k < n, "need 0 < k < n");
+    assert!(d_out > 0, "need at least one out-edge per node");
+    let mut h = Hypergraph::new(n);
+    for i in 0..n as NodeId {
+        let mut others: Vec<NodeId> = (0..n as NodeId).filter(|&j| j != i).collect();
+        for _ in 0..d_out {
+            others.shuffle(rng);
+            h.add_edge(i, others[..k].iter().copied()).expect("sampled edges are valid");
+        }
+    }
+    h.make_independent();
+    h
+}
+
+/// Samples random k-cast topologies until one is strongly connected and
+/// partition-resistant to `f` faults, up to `attempts` tries.
+pub fn random_resilient_kcast<R: Rng>(
+    n: usize,
+    k: usize,
+    d_out: usize,
+    f: usize,
+    attempts: usize,
+    rng: &mut R,
+) -> Option<Hypergraph> {
+    for _ in 0..attempts {
+        let h = random_kcast(n, k, d_out, rng);
+        if h.is_strongly_connected() && h.is_partition_resistant(f) {
+            return Some(h);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ring_kcast_shape_matches_paper() {
+        let h = ring_kcast(10, 3);
+        assert_eq!(h.n(), 10);
+        assert_eq!(h.edges().len(), 10);
+        assert_eq!(h.k(), Some(3));
+        for p in 0..10 {
+            assert_eq!(h.cap_d_out_of(p), 1, "D_out = 1");
+            assert_eq!(h.cap_d_in_of(p), 3, "D_in = k");
+            assert_eq!(h.d_out(p), 3);
+            assert_eq!(h.d_in(p), 3);
+        }
+        assert!(h.is_independent());
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let h = ring_kcast(5, 2);
+        let e = h.out_edges(4).next().unwrap().1;
+        let rs: Vec<_> = e.receivers().iter().copied().collect();
+        assert_eq!(rs, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must leave")]
+    fn ring_rejects_k_equal_n() {
+        let _ = ring_kcast(4, 4);
+    }
+
+    #[test]
+    fn complete_has_single_ncast_per_node() {
+        let h = complete(6);
+        assert_eq!(h.edges().len(), 6);
+        assert_eq!(h.k(), Some(5));
+        assert_eq!(h.diameter(), Some(1));
+        assert!(h.is_partition_resistant(4));
+    }
+
+    #[test]
+    fn complete_unicast_has_n_squared_edges() {
+        let h = complete_unicast(4);
+        assert_eq!(h.edges().len(), 12);
+        assert_eq!(h.k(), Some(1));
+        assert_eq!(h.diameter(), Some(1));
+    }
+
+    #[test]
+    fn star_routes_through_center() {
+        let h = star(5, 0);
+        assert!(h.is_strongly_connected());
+        // Removing the center partitions the spokes.
+        assert!(!h.is_partition_resistant(1));
+        let bad = h.find_partitioning_set(1).unwrap();
+        assert_eq!(bad, vec![0]);
+    }
+
+    #[test]
+    fn random_kcast_is_independent_and_valid() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let h = random_kcast(12, 3, 2, &mut rng);
+        assert!(h.is_independent());
+        assert_eq!(h.k(), Some(3));
+        for e in h.edges() {
+            assert!(!e.receivers().contains(&e.sender()));
+        }
+    }
+
+    #[test]
+    fn random_resilient_finds_connected_graph() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let h = random_resilient_kcast(8, 3, 2, 1, 50, &mut rng)
+            .expect("a resilient 8-node graph should exist");
+        assert!(h.is_strongly_connected());
+        assert!(h.is_partition_resistant(1));
+    }
+}

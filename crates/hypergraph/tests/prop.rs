@@ -1,0 +1,62 @@
+//! Property tests for the hypergraph model.
+
+use eesmr_hypergraph::topology::{complete, random_kcast, ring_kcast};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// make_independent never loses coverage and is idempotent.
+    #[test]
+    fn make_independent_preserves_coverage(n in 4usize..12, k_raw in 1usize..6,
+                                           d_out in 1usize..4, seed in 0u64..500) {
+        let k = 1 + k_raw % (n - 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = random_kcast(n, k, d_out, &mut rng);
+        // Coverage per node before/after is preserved by construction
+        // (random_kcast already calls make_independent) — re-running must
+        // be a no-op.
+        let mut again = h.clone();
+        again.make_independent();
+        prop_assert_eq!(h.edges().len(), again.edges().len(), "idempotent");
+        prop_assert!(h.is_independent());
+    }
+
+    /// hop_distances and reachable_from agree.
+    #[test]
+    fn distances_agree_with_reachability(n in 3usize..12, k_raw in 1usize..6, start in 0u32..12) {
+        let k = 1 + k_raw % (n - 1);
+        let h = ring_kcast(n, k);
+        let start = start % n as u32;
+        let reach = h.reachable_from(start, &BTreeSet::new());
+        let dist = h.hop_distances(start);
+        for p in 0..n as u32 {
+            prop_assert_eq!(reach.contains(&p), dist[p as usize].is_some(), "node {}", p);
+        }
+    }
+
+    /// Degrees never exceed n−1 and Lemma A.6 never exceeds Lemma A.5's
+    /// distinct-node form.
+    #[test]
+    fn degree_bounds(n in 3usize..12, k_raw in 1usize..6, d_out in 1usize..4, seed in 0u64..500) {
+        let k = 1 + k_raw % (n - 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = random_kcast(n, k, d_out, &mut rng);
+        for p in 0..n as u32 {
+            prop_assert!(h.d_out(p) <= n - 1);
+            prop_assert!(h.d_in(p) <= n - 1);
+        }
+        prop_assert!(h.necessary_fault_bound() <= n - 2);
+    }
+
+    /// The complete multicast topology is maximally fault tolerant.
+    #[test]
+    fn complete_tolerates_all_minorities(n in 3usize..8) {
+        let h = complete(n);
+        prop_assert_eq!(h.necessary_fault_bound(), n - 2);
+        prop_assert!(h.is_partition_resistant(n - 2));
+    }
+}

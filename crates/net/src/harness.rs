@@ -1,0 +1,216 @@
+//! Single-actor test harness: drive one [`Actor`] by hand and observe its
+//! outputs, without a network.
+//!
+//! Integration tests over [`crate::SimNet`] check emergent behaviour;
+//! this harness checks *local* protocol rules — "given exactly this
+//! message, the replica must reject it / relay it / arm that timer". It is
+//! public API: downstream users writing their own protocols get the same
+//! white-box testing surface.
+
+use eesmr_energy::EnergyMeter;
+
+use crate::actor::{Actor, Context, Effect, NodeId, TimerId};
+use crate::time::{SimDuration, SimTime};
+
+/// An observable actor output (the resolved form of the context effects).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Output<M, T> {
+    /// One k-cast on the node's out-edges.
+    Multicast(M),
+    /// A network-layer flood, optionally targeted.
+    Flood {
+        /// The message.
+        msg: M,
+        /// `Some(node)` for routed sends.
+        target: Option<NodeId>,
+    },
+    /// A timer was armed.
+    SetTimer {
+        /// Cancellation handle.
+        id: TimerId,
+        /// Delay from now.
+        delay: SimDuration,
+        /// The token to fire with.
+        token: T,
+    },
+    /// A timer was cancelled.
+    CancelTimer(TimerId),
+}
+
+impl<M, T> Output<M, T> {
+    /// The transmitted message, if this output carries one.
+    pub fn message(&self) -> Option<&M> {
+        match self {
+            Output::Multicast(m) | Output::Flood { msg: m, .. } => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Drives a single actor with hand-crafted inputs.
+///
+/// # Examples
+///
+/// ```
+/// use eesmr_net::harness::Harness;
+/// use eesmr_net::{Actor, Context, Message, NodeId};
+///
+/// #[derive(Debug, Clone)]
+/// struct Ping;
+/// impl Message for Ping {
+///     fn wire_size(&self) -> usize { 8 }
+///     fn flood_key(&self) -> u64 { 1 }
+/// }
+/// struct EchoOnce { sent: bool }
+/// impl Actor for EchoOnce {
+///     type Msg = Ping;
+///     type Timer = ();
+///     fn on_message(&mut self, _f: NodeId, msg: Ping, ctx: &mut Context<'_, Ping, ()>) {
+///         if !self.sent { self.sent = true; ctx.multicast(msg); }
+///     }
+///     fn on_timer(&mut self, _t: (), _c: &mut Context<'_, Ping, ()>) {}
+/// }
+///
+/// let mut h = Harness::new(0, EchoOnce { sent: false });
+/// let out = h.deliver(1, Ping);
+/// assert_eq!(out.len(), 1, "echoed once");
+/// assert!(h.deliver(1, Ping).is_empty(), "but only once");
+/// ```
+pub struct Harness<A: Actor> {
+    id: NodeId,
+    actor: A,
+    meter: EnergyMeter,
+    next_timer_id: u64,
+    now: SimTime,
+}
+
+impl<A: Actor> Harness<A> {
+    /// Wraps `actor` as node `id` at time zero.
+    pub fn new(id: NodeId, actor: A) -> Self {
+        Harness { id, actor, meter: EnergyMeter::new(), next_timer_id: 0, now: SimTime::ZERO }
+    }
+
+    /// The wrapped actor.
+    pub fn actor(&self) -> &A {
+        &self.actor
+    }
+
+    /// Mutable access (for test setup).
+    pub fn actor_mut(&mut self) -> &mut A {
+        &mut self.actor
+    }
+
+    /// The actor's energy meter.
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Current virtual time presented to the actor.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock without delivering anything.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    fn invoke(
+        &mut self,
+        f: impl FnOnce(&mut A, &mut Context<'_, A::Msg, A::Timer>),
+    ) -> Vec<Output<A::Msg, A::Timer>> {
+        let mut ctx = Context {
+            node: self.id,
+            now: self.now,
+            meter: &mut self.meter,
+            next_timer_id: &mut self.next_timer_id,
+            effects: Vec::new(),
+        };
+        f(&mut self.actor, &mut ctx);
+        ctx.effects
+            .into_iter()
+            .map(|e| match e {
+                Effect::Multicast(m) => Output::Multicast(m),
+                Effect::Flood { msg, target } => Output::Flood { msg, target },
+                Effect::SetTimer { id, delay, token } => Output::SetTimer { id, delay, token },
+                Effect::CancelTimer(id) => Output::CancelTimer(id),
+            })
+            .collect()
+    }
+
+    /// Calls `on_start`.
+    pub fn start(&mut self) -> Vec<Output<A::Msg, A::Timer>> {
+        self.invoke(|a, ctx| a.on_start(ctx))
+    }
+
+    /// Delivers one message as if it came from `from`.
+    pub fn deliver(&mut self, from: NodeId, msg: A::Msg) -> Vec<Output<A::Msg, A::Timer>> {
+        self.invoke(|a, ctx| a.on_message(from, msg, ctx))
+    }
+
+    /// Fires a timer token directly (bypassing the schedule).
+    pub fn fire(&mut self, token: A::Timer) -> Vec<Output<A::Msg, A::Timer>> {
+        self.invoke(|a, ctx| a.on_timer(token, ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct N(u64);
+    impl Message for N {
+        fn wire_size(&self) -> usize {
+            8
+        }
+        fn flood_key(&self) -> u64 {
+            self.0
+        }
+    }
+
+    struct Doubler;
+    impl Actor for Doubler {
+        type Msg = N;
+        type Timer = &'static str;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, N, &'static str>) {
+            ctx.set_timer(SimDuration::from_millis(1), "tick");
+        }
+
+        fn on_message(&mut self, _f: NodeId, msg: N, ctx: &mut Context<'_, N, &'static str>) {
+            ctx.flood(N(msg.0 * 2));
+            ctx.send_to(3, N(msg.0));
+        }
+
+        fn on_timer(&mut self, t: &'static str, ctx: &mut Context<'_, N, &'static str>) {
+            assert_eq!(t, "tick");
+            ctx.multicast(N(0));
+        }
+    }
+
+    #[test]
+    fn outputs_are_observable_and_typed() {
+        let mut h = Harness::new(7, Doubler);
+        let started = h.start();
+        assert!(matches!(started[0], Output::SetTimer { token: "tick", .. }));
+
+        let out = h.deliver(1, N(21));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], Output::Flood { msg: N(42), target: None });
+        assert_eq!(out[1], Output::Flood { msg: N(21), target: Some(3) });
+        assert_eq!(out[0].message(), Some(&N(42)));
+
+        let ticked = h.fire("tick");
+        assert_eq!(ticked, vec![Output::Multicast(N(0))]);
+    }
+
+    #[test]
+    fn clock_advances_only_on_request() {
+        let mut h = Harness::new(0, Doubler);
+        assert_eq!(h.now(), SimTime::ZERO);
+        h.advance(SimDuration::from_millis(5));
+        assert_eq!(h.now().as_micros(), 5_000);
+    }
+}

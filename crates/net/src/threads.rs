@@ -1,0 +1,351 @@
+//! A real-concurrency transport: the same [`Actor`]s that run under the
+//! deterministic simulator run here on one OS thread per node, exchanging
+//! messages over crossbeam channels and firing timers off the wall clock.
+//!
+//! This is not used for the energy experiments (those need determinism and
+//! virtual time); it exists to demonstrate that the protocol
+//! implementations are runtime-agnostic — the property that would let them
+//! run over a real BLE stack. Energy is still accounted per operation with
+//! the same [`ChannelCost`] pricing.
+
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use eesmr_energy::{EnergyCategory, EnergyMeter};
+use eesmr_hypergraph::Hypergraph;
+
+use crate::actor::{Actor, Context, Effect, NodeId, TimerId};
+use crate::channel::ChannelCost;
+use crate::message::Message;
+use crate::time::SimTime;
+
+/// Configuration for the threaded transport.
+#[derive(Debug, Clone)]
+pub struct ThreadNetConfig {
+    /// The communication topology.
+    pub topology: Hypergraph,
+    /// Per-edge energy pricing.
+    pub channel: ChannelCost,
+}
+
+enum TEvent<M> {
+    Deliver {
+        origin: NodeId,
+        msg: M,
+        /// `(dedup key, optional target)` for flooded messages.
+        flood: Option<(u64, Option<NodeId>)>,
+        loopback: bool,
+    },
+    Stop,
+}
+
+struct PendingTimer<T> {
+    due: Instant,
+    id: TimerId,
+    token: T,
+    seq: u64,
+}
+
+impl<T> PartialEq for PendingTimer<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<T> Eq for PendingTimer<T> {}
+impl<T> PartialOrd for PendingTimer<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for PendingTimer<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// A running threaded network.
+pub struct ThreadNet<A: Actor> {
+    handles: Vec<JoinHandle<(A, EnergyMeter)>>,
+    senders: Vec<Sender<TEvent<A::Msg>>>,
+}
+
+struct NodeRuntime<A: Actor> {
+    id: NodeId,
+    actor: A,
+    meter: EnergyMeter,
+    topology: Hypergraph,
+    channel: ChannelCost,
+    senders: Vec<Sender<TEvent<A::Msg>>>,
+    receiver: Receiver<TEvent<A::Msg>>,
+    start: Instant,
+    next_timer_id: u64,
+    timer_seq: u64,
+    timers: BinaryHeap<PendingTimer<A::Timer>>,
+    cancelled: HashSet<u64>,
+    seen_floods: HashSet<u64>,
+    local: VecDeque<TEvent<A::Msg>>,
+}
+
+impl<A: Actor> NodeRuntime<A>
+where
+    A::Msg: Send,
+    A::Timer: Send,
+{
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    fn invoke(&mut self, f: impl FnOnce(&mut A, &mut Context<'_, A::Msg, A::Timer>)) {
+        let mut ctx = Context {
+            node: self.id,
+            now: self.now(),
+            meter: &mut self.meter,
+            next_timer_id: &mut self.next_timer_id,
+            effects: Vec::new(),
+        };
+        f(&mut self.actor, &mut ctx);
+        let effects = ctx.effects;
+        for effect in effects {
+            self.apply(effect);
+        }
+    }
+
+    fn transmit(&mut self, msg: &A::Msg, flood: Option<(u64, Option<NodeId>)>) {
+        let size = msg.wire_size();
+        let edges: Vec<(usize, Vec<NodeId>)> = self
+            .topology
+            .out_edges(self.id)
+            .map(|(_, e)| (e.k(), e.receivers().iter().copied().collect()))
+            .collect();
+        for (k, receivers) in edges {
+            let mj = self.channel.send_mj(size, k);
+            self.meter.charge(EnergyCategory::Send, mj);
+            for to in receivers {
+                // A send can fail only during shutdown; ignore then.
+                let _ = self.senders[to as usize].send(TEvent::Deliver {
+                    origin: self.id,
+                    msg: msg.clone(),
+                    flood,
+                    loopback: false,
+                });
+            }
+        }
+    }
+
+    fn apply(&mut self, effect: Effect<A::Msg, A::Timer>) {
+        match effect {
+            Effect::Multicast(msg) => {
+                self.local.push_back(TEvent::Deliver {
+                    origin: self.id,
+                    msg: msg.clone(),
+                    flood: None,
+                    loopback: true,
+                });
+                self.transmit(&msg, None);
+            }
+            Effect::Flood { msg, target } => {
+                let mut key = msg.flood_key();
+                if let Some(t) = target {
+                    key ^= 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1);
+                }
+                self.local.push_back(TEvent::Deliver {
+                    origin: self.id,
+                    msg,
+                    flood: Some((key, target)),
+                    loopback: true,
+                });
+            }
+            Effect::SetTimer { id, delay, token } => {
+                let due = Instant::now() + Duration::from_micros(delay.as_micros());
+                let seq = self.timer_seq;
+                self.timer_seq += 1;
+                self.timers.push(PendingTimer { due, id, token, seq });
+            }
+            Effect::CancelTimer(id) => {
+                self.cancelled.insert(id.0);
+            }
+        }
+    }
+
+    fn handle(&mut self, event: TEvent<A::Msg>) -> bool {
+        match event {
+            TEvent::Stop => return false,
+            TEvent::Deliver { origin, msg, flood, loopback } => {
+                if !loopback {
+                    let mj = self.channel.recv_mj(msg.wire_size());
+                    self.meter.charge(EnergyCategory::Recv, mj);
+                }
+                match flood {
+                    Some((key, target)) => {
+                        if !self.seen_floods.insert(key) {
+                            return true;
+                        }
+                        self.transmit(&msg, Some((key, target)));
+                        if target.is_none_or(|t| t == self.id) {
+                            self.invoke(|a, ctx| a.on_message(origin, msg, ctx));
+                        }
+                    }
+                    None => self.invoke(|a, ctx| a.on_message(origin, msg, ctx)),
+                }
+            }
+        }
+        true
+    }
+
+    fn run(mut self) -> (A, EnergyMeter) {
+        self.invoke(|a, ctx| a.on_start(ctx));
+        loop {
+            // Fire due timers.
+            let now = Instant::now();
+            while self.timers.peek().is_some_and(|t| t.due <= now) {
+                let t = self.timers.pop().expect("peeked");
+                if self.cancelled.remove(&t.id.0) {
+                    continue;
+                }
+                self.invoke(|a, ctx| a.on_timer(t.token.clone(), ctx));
+            }
+            // Drain locally queued (loopback) deliveries.
+            while let Some(ev) = self.local.pop_front() {
+                if !self.handle(ev) {
+                    return (self.actor, self.meter);
+                }
+            }
+            // Wait for the next external event or timer deadline.
+            let wait = self
+                .timers
+                .peek()
+                .map(|t| t.due.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(20))
+                .min(Duration::from_millis(20));
+            match self.receiver.recv_timeout(wait) {
+                Ok(ev) => {
+                    if !self.handle(ev) {
+                        return (self.actor, self.meter);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return (self.actor, self.meter),
+            }
+        }
+    }
+}
+
+impl<A> ThreadNet<A>
+where
+    A: Actor + Send + 'static,
+    A::Msg: Send + 'static,
+    A::Timer: Send + 'static,
+{
+    /// Spawns one thread per actor and starts the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actors.len() != cfg.topology.n()`.
+    pub fn spawn(cfg: ThreadNetConfig, actors: Vec<A>) -> Self {
+        assert_eq!(actors.len(), cfg.topology.n(), "one actor per topology node");
+        let n = actors.len();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push_back(rx);
+        }
+        let start = Instant::now();
+        let mut handles = Vec::with_capacity(n);
+        for (i, actor) in actors.into_iter().enumerate() {
+            let runtime = NodeRuntime {
+                id: i as NodeId,
+                actor,
+                meter: EnergyMeter::new(),
+                topology: cfg.topology.clone(),
+                channel: cfg.channel,
+                senders: senders.clone(),
+                receiver: receivers.pop_front().expect("one receiver per node"),
+                start,
+                next_timer_id: 0,
+                timer_seq: 0,
+                timers: BinaryHeap::new(),
+                cancelled: HashSet::new(),
+                seen_floods: HashSet::new(),
+                local: VecDeque::new(),
+            };
+            handles.push(std::thread::spawn(move || runtime.run()));
+        }
+        ThreadNet { handles, senders }
+    }
+
+    /// Stops all nodes and returns each actor with its energy meter.
+    pub fn shutdown(self) -> Vec<(A, EnergyMeter)> {
+        for tx in &self.senders {
+            let _ = tx.send(TEvent::Stop);
+        }
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use eesmr_hypergraph::topology::ring_kcast;
+
+    #[derive(Debug, Clone)]
+    struct Ping(u64);
+    impl Message for Ping {
+        fn wire_size(&self) -> usize {
+            32
+        }
+        fn flood_key(&self) -> u64 {
+            self.0
+        }
+    }
+
+    #[derive(Debug, Default)]
+    struct Echo {
+        got: Vec<u64>,
+        timer_fired: bool,
+    }
+
+    impl Actor for Echo {
+        type Msg = Ping;
+        type Timer = ();
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping, ()>) {
+            if ctx.id() == 0 {
+                ctx.flood(Ping(7));
+                ctx.set_timer(SimDuration::from_millis(5), ());
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: Ping, _ctx: &mut Context<'_, Ping, ()>) {
+            self.got.push(msg.0);
+        }
+
+        fn on_timer(&mut self, _t: (), _ctx: &mut Context<'_, Ping, ()>) {
+            self.timer_fired = true;
+        }
+    }
+
+    #[test]
+    fn flood_reaches_all_threads_once() {
+        let cfg = ThreadNetConfig {
+            topology: ring_kcast(5, 2),
+            channel: ChannelCost::ble_four_nines(2),
+        };
+        let net = ThreadNet::spawn(cfg, (0..5).map(|_| Echo::default()).collect::<Vec<_>>());
+        std::thread::sleep(Duration::from_millis(200));
+        let nodes = net.shutdown();
+        for (i, (node, meter)) in nodes.iter().enumerate() {
+            assert_eq!(node.got, vec![7], "node {i}");
+            assert!(meter.total_mj() > 0.0, "node {i} paid for radio work");
+        }
+        assert!(nodes[0].0.timer_fired, "real-time timer fired");
+    }
+}

@@ -1,0 +1,135 @@
+//! Fault plans — declarative fault injection for scenarios.
+
+use std::collections::BTreeMap;
+
+use eesmr_baselines::HsFault;
+use eesmr_core::FaultMode;
+use eesmr_net::NodeId;
+
+/// Which nodes misbehave, and how.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Node → first view in which it is completely silent.
+    pub silent_from_view: BTreeMap<NodeId, u64>,
+    /// Node → view in which it equivocates when leading.
+    pub equivocate_in_view: BTreeMap<NodeId, u64>,
+}
+
+impl FaultPlan {
+    /// Everybody honest.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The view-1 leader (node 0 under round-robin) never speaks — the
+    /// paper's "no progress" / stalling-leader scenario.
+    pub fn silent_leader() -> Self {
+        let mut plan = Self::default();
+        plan.silent_from_view.insert(0, 1);
+        plan
+    }
+
+    /// The view-1 leader proposes two conflicting blocks per round — the
+    /// equivocation scenario.
+    pub fn equivocating_leader() -> Self {
+        let mut plan = Self::default();
+        plan.equivocate_in_view.insert(0, 1);
+        plan
+    }
+
+    /// The given (non-leader) nodes are silent from the start.
+    pub fn silent_nodes(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut plan = Self::default();
+        for n in nodes {
+            plan.silent_from_view.insert(n, 1);
+        }
+        plan
+    }
+
+    /// Marks `node` silent starting at `view`.
+    pub fn with_silent(mut self, node: NodeId, from_view: u64) -> Self {
+        self.silent_from_view.insert(node, from_view);
+        self
+    }
+
+    /// Marks `node` as an equivocator in `view`.
+    pub fn with_equivocator(mut self, node: NodeId, in_view: u64) -> Self {
+        self.equivocate_in_view.insert(node, in_view);
+        self
+    }
+
+    /// Whether `node` deviates from the protocol at any point.
+    pub fn is_faulty(&self, node: NodeId) -> bool {
+        self.silent_from_view.contains_key(&node) || self.equivocate_in_view.contains_key(&node)
+    }
+
+    /// Number of faulty nodes.
+    pub fn count(&self) -> usize {
+        let mut nodes: std::collections::BTreeSet<NodeId> =
+            self.silent_from_view.keys().copied().collect();
+        nodes.extend(self.equivocate_in_view.keys().copied());
+        nodes.len()
+    }
+
+    /// The EESMR fault mode for `node`.
+    pub fn eesmr_mode(&self, node: NodeId) -> FaultMode {
+        if let Some(&v) = self.silent_from_view.get(&node) {
+            FaultMode::Silent { from_view: v }
+        } else if let Some(&v) = self.equivocate_in_view.get(&node) {
+            FaultMode::Equivocate { in_view: v }
+        } else {
+            FaultMode::Honest
+        }
+    }
+
+    /// The Sync HotStuff fault mode for `node`.
+    pub fn hs_mode(&self, node: NodeId) -> HsFault {
+        if let Some(&v) = self.silent_from_view.get(&node) {
+            HsFault::Silent { from_view: v }
+        } else if let Some(&v) = self.equivocate_in_view.get(&node) {
+            HsFault::Equivocate { in_view: v }
+        } else {
+            HsFault::Honest
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_mark_the_right_nodes() {
+        assert_eq!(FaultPlan::none().count(), 0);
+        let p = FaultPlan::silent_leader();
+        assert!(p.is_faulty(0));
+        assert!(!p.is_faulty(1));
+        assert_eq!(p.eesmr_mode(0), FaultMode::Silent { from_view: 1 });
+        assert_eq!(p.eesmr_mode(1), FaultMode::Honest);
+        assert_eq!(p.hs_mode(0), HsFault::Silent { from_view: 1 });
+    }
+
+    #[test]
+    fn equivocator_maps_to_both_protocols() {
+        let p = FaultPlan::equivocating_leader();
+        assert_eq!(p.eesmr_mode(0), FaultMode::Equivocate { in_view: 1 });
+        assert_eq!(p.hs_mode(0), HsFault::Equivocate { in_view: 1 });
+        assert_eq!(p.count(), 1);
+    }
+
+    #[test]
+    fn silent_nodes_and_chaining() {
+        let p = FaultPlan::silent_nodes([3, 4]).with_equivocator(0, 2).with_silent(5, 7);
+        assert_eq!(p.count(), 4);
+        assert_eq!(p.eesmr_mode(5), FaultMode::Silent { from_view: 7 });
+        assert_eq!(p.eesmr_mode(0), FaultMode::Equivocate { in_view: 2 });
+    }
+
+    #[test]
+    fn a_node_in_both_maps_counts_once() {
+        let p = FaultPlan::silent_nodes([1]).with_equivocator(1, 1);
+        assert_eq!(p.count(), 1);
+        // Silence wins (checked first) — a silent node cannot equivocate.
+        assert_eq!(p.eesmr_mode(1), FaultMode::Silent { from_view: 1 });
+    }
+}

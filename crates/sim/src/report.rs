@@ -1,0 +1,221 @@
+//! Run reports: what a scenario measured.
+
+use eesmr_energy::{EnergyCategory, EnergyMeter};
+use eesmr_net::{NetStats, NodeId, SimDuration};
+
+/// Energy breakdown for one node, in millijoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NodeEnergy {
+    /// Transmission.
+    pub send_mj: f64,
+    /// Reception.
+    pub recv_mj: f64,
+    /// Signature generation.
+    pub sign_mj: f64,
+    /// Signature verification.
+    pub verify_mj: f64,
+    /// Hashing.
+    pub hash_mj: f64,
+}
+
+impl NodeEnergy {
+    /// Builds a breakdown from a meter.
+    pub fn from_meter(meter: &EnergyMeter) -> Self {
+        NodeEnergy {
+            send_mj: meter.mj(EnergyCategory::Send),
+            recv_mj: meter.mj(EnergyCategory::Recv),
+            sign_mj: meter.mj(EnergyCategory::Sign),
+            verify_mj: meter.mj(EnergyCategory::Verify),
+            hash_mj: meter.mj(EnergyCategory::Hash),
+        }
+    }
+
+    /// Total energy, mJ.
+    pub fn total_mj(&self) -> f64 {
+        self.send_mj + self.recv_mj + self.sign_mj + self.verify_mj + self.hash_mj
+    }
+}
+
+/// Per-node results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// Node id.
+    pub id: NodeId,
+    /// Whether this node was in the fault plan.
+    pub faulty: bool,
+    /// Whether this node is the externally-powered trusted hub (excluded
+    /// from CPS energy totals, §5.1).
+    pub is_hub: bool,
+    /// Energy breakdown.
+    pub energy: NodeEnergy,
+    /// Highest committed height.
+    pub committed_height: u64,
+    /// Blocks committed.
+    pub blocks_committed: u64,
+    /// View changes completed.
+    pub view_changes: u64,
+    /// Signature operations (from the meter's counters).
+    pub signs: u64,
+    /// Verification operations.
+    pub verifies: u64,
+    /// Mean commit latency, if measured.
+    pub mean_commit_latency: Option<SimDuration>,
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Human-readable protocol name.
+    pub protocol: &'static str,
+    /// Node count.
+    pub n: usize,
+    /// k-cast degree of the topology.
+    pub k: usize,
+    /// Fault bound used by the protocol.
+    pub f: usize,
+    /// Payload bytes per block.
+    pub payload_bytes: usize,
+    /// The Δ used, in microseconds.
+    pub delta_us: u64,
+    /// Virtual time elapsed, microseconds.
+    pub elapsed_us: u64,
+    /// Per-node results (index = node id).
+    pub nodes: Vec<NodeReport>,
+    /// Network counters.
+    pub net: NetStats,
+}
+
+impl RunReport {
+    /// Iterator over correct (non-faulty, non-hub) nodes.
+    pub fn correct_nodes(&self) -> impl Iterator<Item = &NodeReport> {
+        self.nodes.iter().filter(|n| !n.faulty && !n.is_hub)
+    }
+
+    /// Minimum committed height among correct nodes (the log length every
+    /// correct node is guaranteed to have).
+    pub fn committed_height(&self) -> u64 {
+        self.correct_nodes().map(|n| n.committed_height).min().unwrap_or(0)
+    }
+
+    /// Total energy of the correct CPS nodes, mJ (the paper's Fig. 2f
+    /// metric).
+    pub fn total_correct_energy_mj(&self) -> f64 {
+        self.correct_nodes().map(|n| n.energy.total_mj()).sum()
+    }
+
+    /// Total correct-node energy per committed block, mJ.
+    pub fn energy_per_block_mj(&self) -> f64 {
+        let blocks = self.committed_height().max(1) as f64;
+        self.total_correct_energy_mj() / blocks
+    }
+
+    /// One node's energy, mJ.
+    pub fn node_energy_mj(&self, id: NodeId) -> f64 {
+        self.nodes[id as usize].energy.total_mj()
+    }
+
+    /// One node's energy per committed block, mJ (Fig. 2c/2d/3 metric).
+    pub fn node_energy_per_block_mj(&self, id: NodeId) -> f64 {
+        let blocks = self.nodes[id as usize].blocks_committed.max(1) as f64;
+        self.node_energy_mj(id) / blocks
+    }
+
+    /// Maximum number of view changes any correct node completed.
+    pub fn view_changes(&self) -> u64 {
+        self.correct_nodes().map(|n| n.view_changes).max().unwrap_or(0)
+    }
+
+    /// Mean commit latency over correct nodes.
+    pub fn mean_commit_latency(&self) -> Option<SimDuration> {
+        let latencies: Vec<u64> = self
+            .correct_nodes()
+            .filter_map(|n| n.mean_commit_latency.map(|d| d.as_micros()))
+            .collect();
+        if latencies.is_empty() {
+            return None;
+        }
+        Some(SimDuration::from_micros(latencies.iter().sum::<u64>() / latencies.len() as u64))
+    }
+
+    /// A one-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: n={} k={} f={} |b|={}B — {} blocks, {} VCs, {:.1} mJ/node/block",
+            self.protocol,
+            self.n,
+            self.k,
+            self.f,
+            self.payload_bytes,
+            self.committed_height(),
+            self.view_changes(),
+            self.energy_per_block_mj() / self.correct_nodes().count().max(1) as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: NodeId, total_mj: f64, height: u64, faulty: bool) -> NodeReport {
+        NodeReport {
+            id,
+            faulty,
+            is_hub: false,
+            energy: NodeEnergy { send_mj: total_mj, ..Default::default() },
+            committed_height: height,
+            blocks_committed: height,
+            view_changes: 0,
+            signs: 0,
+            verifies: 0,
+            mean_commit_latency: None,
+        }
+    }
+
+    fn report(nodes: Vec<NodeReport>) -> RunReport {
+        RunReport {
+            protocol: "test",
+            n: nodes.len(),
+            k: 2,
+            f: 1,
+            payload_bytes: 16,
+            delta_us: 1000,
+            elapsed_us: 10_000,
+            nodes,
+            net: NetStats::default(),
+        }
+    }
+
+    #[test]
+    fn correct_nodes_excludes_faulty_and_hub() {
+        let mut nodes = vec![node(0, 10.0, 5, true), node(1, 20.0, 5, false), node(2, 30.0, 4, false)];
+        nodes[0].is_hub = false;
+        let r = report(nodes);
+        assert_eq!(r.correct_nodes().count(), 2);
+        assert_eq!(r.total_correct_energy_mj(), 50.0);
+        assert_eq!(r.committed_height(), 4, "minimum over correct nodes");
+    }
+
+    #[test]
+    fn energy_per_block_divides_by_min_height() {
+        let r = report(vec![node(0, 40.0, 4, false), node(1, 40.0, 4, false)]);
+        assert_eq!(r.energy_per_block_mj(), 20.0);
+    }
+
+    #[test]
+    fn per_node_energy_per_block() {
+        let r = report(vec![node(0, 40.0, 8, false)]);
+        assert_eq!(r.node_energy_per_block_mj(0), 5.0);
+        // Zero blocks guard:
+        let r0 = report(vec![node(0, 40.0, 0, false)]);
+        assert_eq!(r0.node_energy_per_block_mj(0), 40.0);
+    }
+
+    #[test]
+    fn summary_is_informative() {
+        let r = report(vec![node(0, 10.0, 2, false)]);
+        let s = r.summary();
+        assert!(s.contains("n=1"));
+        assert!(s.contains("2 blocks"));
+    }
+}

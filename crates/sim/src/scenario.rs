@@ -1,0 +1,464 @@
+//! Scenario builder and runner — the experiment driver for all protocols.
+//!
+//! A [`Scenario`] describes *what to run* (protocol, system size, topology
+//! degree, payload, faults, signature scheme) and *when to stop* (a block
+//! target, a view target for view-change measurements, or a time budget).
+//! [`Scenario::run`] executes it on the discrete-event simulator and
+//! returns a [`RunReport`](crate::RunReport) with per-node energy and
+//! protocol metrics — the raw material for every figure in the paper's
+//! evaluation.
+
+use std::sync::Arc;
+
+use eesmr_baselines::sync_hotstuff::{build_hs_replicas, HsConfig, HsPacing, HsVariant};
+use eesmr_baselines::trusted::{build_tb_nodes, TbConfig, HUB};
+use eesmr_core::{build_replicas, Config, Pacing};
+use eesmr_crypto::{KeyStore, SigScheme};
+use eesmr_energy::Medium;
+use eesmr_hypergraph::topology::{ring_kcast, star};
+use eesmr_net::{Actor, ChannelCost, NetConfig, SimDuration, SimNet, SimTime};
+
+use crate::faults::FaultPlan;
+use crate::report::{NodeEnergy, NodeReport, RunReport};
+
+/// The protocols the harness can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// The paper's protocol.
+    Eesmr,
+    /// Sync HotStuff baseline.
+    SyncHotStuff,
+    /// OptSync baseline.
+    OptSync,
+    /// Trusted-control-node baseline (§5.1) on a star over 4G.
+    TrustedBaseline,
+}
+
+impl Protocol {
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Eesmr => "EESMR",
+            Protocol::SyncHotStuff => "Sync HotStuff",
+            Protocol::OptSync => "OptSync",
+            Protocol::TrustedBaseline => "Trusted baseline",
+        }
+    }
+}
+
+/// Stop condition for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopWhen {
+    /// Every correct node has committed at least this many blocks.
+    Blocks(u64),
+    /// Every correct node has entered this view and resumed steady state
+    /// (used for view-change energy measurements).
+    ViewReached(u64),
+    /// Run for a fixed span of virtual time.
+    Elapsed(SimDuration),
+}
+
+/// A complete experiment description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Node count (for the trusted baseline this includes the hub).
+    pub n: usize,
+    /// Ring k-cast degree (ignored by the trusted baseline's star).
+    pub k: usize,
+    /// Payload bytes per block (`|b_i|`).
+    pub payload_bytes: usize,
+    /// Run seed (keys, delays).
+    pub seed: u64,
+    /// Signature scheme (default RSA-1024, the paper's pick).
+    pub scheme: SigScheme,
+    /// Fault plan.
+    pub faults: FaultPlan,
+    /// Stop condition.
+    pub stop: StopWhen,
+    /// Hard deadline in virtual time.
+    pub deadline: SimDuration,
+    /// Streaming instead of blocking pacing.
+    pub streaming: bool,
+    /// EESMR: crash-only variant.
+    pub crash_only: bool,
+    /// EESMR: §3.5 equivocation speedup.
+    pub opt_equivocation_speedup: bool,
+    /// EESMR: §5.6 lock-only status.
+    pub opt_lock_only_status: bool,
+    /// Override the protocol fault bound `f` (default `⌈n/2⌉ − 1`). The
+    /// paper's Fig. 2e/3 sweep `f` with `k = f + 1`.
+    pub fault_bound: Option<usize>,
+    /// EESMR: §3.5 checkpoint interval (optimistic pre-commit).
+    pub checkpoint_interval: Option<u64>,
+}
+
+impl Scenario {
+    /// A scenario with the paper's defaults: BLE k-casts at 99.99 %
+    /// reliability, RSA-1024, 16-byte payloads, 20-block target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a valid ring degree for `n`.
+    pub fn new(protocol: Protocol, n: usize, k: usize) -> Self {
+        assert!(k >= 1 && k < n, "ring k-cast requires 1 ≤ k < n");
+        Scenario {
+            protocol,
+            n,
+            k,
+            payload_bytes: 16,
+            seed: 42,
+            scheme: SigScheme::Rsa1024,
+            faults: FaultPlan::none(),
+            stop: StopWhen::Blocks(20),
+            deadline: SimDuration::from_millis(120_000),
+            streaming: false,
+            crash_only: false,
+            opt_equivocation_speedup: false,
+            opt_lock_only_status: false,
+            fault_bound: None,
+            checkpoint_interval: None,
+        }
+    }
+
+    /// Enables the §3.5 checkpoint optimization with the given interval.
+    pub fn checkpoint_every(mut self, rounds: u64) -> Self {
+        self.checkpoint_interval = Some(rounds);
+        self
+    }
+
+    /// Overrides the protocol fault bound `f` (must keep `f < n/2`).
+    pub fn fault_bound(mut self, f: usize) -> Self {
+        self.fault_bound = Some(f);
+        self
+    }
+
+    /// Sets the payload size.
+    pub fn payload(mut self, bytes: usize) -> Self {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the stop condition.
+    pub fn stop(mut self, stop: StopWhen) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Sets the signature scheme.
+    pub fn scheme(mut self, scheme: SigScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Switches to streaming pacing.
+    pub fn streaming(mut self) -> Self {
+        self.streaming = true;
+        self
+    }
+
+    /// Enables the §5.6 optimizations the paper's testbed runs used.
+    pub fn with_paper_optimizations(mut self) -> Self {
+        self.opt_equivocation_speedup = true;
+        self.opt_lock_only_status = true;
+        self
+    }
+
+    /// Runs the scenario to completion.
+    pub fn run(&self) -> RunReport {
+        match self.protocol {
+            Protocol::Eesmr => self.run_eesmr(),
+            Protocol::SyncHotStuff => self.run_hs(HsVariant::SyncHotStuff),
+            Protocol::OptSync => self.run_hs(HsVariant::OptSync),
+            Protocol::TrustedBaseline => self.run_trusted(),
+        }
+    }
+
+    fn deadline_time(&self) -> SimTime {
+        SimTime::ZERO + self.deadline
+    }
+
+    fn run_eesmr(&self) -> RunReport {
+        let net_cfg = NetConfig::ble(ring_kcast(self.n, self.k), self.seed);
+        let delta = net_cfg.delta();
+        let mut config = Config::new(self.n, delta);
+        if let Some(f) = self.fault_bound {
+            config.f = f;
+        }
+        config.payload_bytes = self.payload_bytes;
+        config.crash_only = self.crash_only;
+        config.opt_equivocation_speedup = self.opt_equivocation_speedup;
+        config.opt_lock_only_status = self.opt_lock_only_status;
+        config.checkpoint_interval = self.checkpoint_interval;
+        if self.streaming {
+            config.pacing = Pacing::Streaming { max_outstanding: 8 };
+        }
+        let f = config.f;
+        let pki = Arc::new(KeyStore::generate(self.n, self.scheme, self.seed));
+        let faults = self.faults.clone();
+        let replicas = build_replicas(&config, &pki, |id| faults.eesmr_mode(id));
+        let mut net = SimNet::new(net_cfg, replicas);
+
+        let stop = self.stop;
+        let plan = self.faults.clone();
+        if let StopWhen::Elapsed(d) = stop {
+            net.run_until(SimTime::ZERO + d);
+        } else {
+            net.run_until_pred(self.deadline_time(), |actors| match stop {
+                StopWhen::Blocks(b) => actors
+                    .iter()
+                    .filter(|r| !plan.is_faulty(r.id()))
+                    .all(|r| r.committed_height() >= b),
+                StopWhen::ViewReached(v) => actors
+                    .iter()
+                    .filter(|r| !plan.is_faulty(r.id()))
+                    .all(|r| r.current_view() >= v && r.current_round() >= 3),
+                StopWhen::Elapsed(_) => false,
+            });
+        }
+
+        let nodes = (0..self.n as u32)
+            .map(|id| {
+                let r = net.actor(id);
+                let meter = net.meter(id);
+                NodeReport {
+                    id,
+                    faulty: self.faults.is_faulty(id),
+                    is_hub: false,
+                    energy: NodeEnergy::from_meter(meter),
+                    committed_height: r.committed_height(),
+                    blocks_committed: r.metrics().blocks_committed,
+                    view_changes: r.metrics().view_changes,
+                    signs: meter.count(eesmr_energy::EnergyCategory::Sign),
+                    verifies: meter.count(eesmr_energy::EnergyCategory::Verify),
+                    mean_commit_latency: r.metrics().mean_commit_latency(),
+                }
+            })
+            .collect();
+        self.report("EESMR", f, delta, &net_stats(&net), nodes, net.now())
+    }
+
+    fn run_hs(&self, variant: HsVariant) -> RunReport {
+        let net_cfg = NetConfig::ble(ring_kcast(self.n, self.k), self.seed);
+        let delta = net_cfg.delta();
+        let mut config = HsConfig::new(self.n, delta, variant);
+        if let Some(f) = self.fault_bound {
+            config.f = f;
+        }
+        config.payload_bytes = self.payload_bytes;
+        if self.streaming {
+            config.pacing = HsPacing::Streaming;
+        }
+        let f = config.f;
+        let pki = Arc::new(KeyStore::generate(self.n, self.scheme, self.seed));
+        let faults = self.faults.clone();
+        let replicas = build_hs_replicas(&config, &pki, |id| faults.hs_mode(id));
+        let mut net = SimNet::new(net_cfg, replicas);
+
+        let stop = self.stop;
+        let plan = self.faults.clone();
+        if let StopWhen::Elapsed(d) = stop {
+            net.run_until(SimTime::ZERO + d);
+        } else {
+            net.run_until_pred(self.deadline_time(), |actors| match stop {
+                StopWhen::Blocks(b) => actors
+                    .iter()
+                    .enumerate()
+                    .filter(|(id, _)| !plan.is_faulty(*id as u32))
+                    .all(|(_, r)| r.committed_height() >= b),
+                StopWhen::ViewReached(v) => actors
+                    .iter()
+                    .enumerate()
+                    .filter(|(id, _)| !plan.is_faulty(*id as u32))
+                    .all(|(_, r)| r.current_view() >= v),
+                StopWhen::Elapsed(_) => false,
+            });
+        }
+
+        let nodes = (0..self.n as u32)
+            .map(|id| {
+                let r = net.actor(id);
+                let meter = net.meter(id);
+                NodeReport {
+                    id,
+                    faulty: self.faults.is_faulty(id),
+                    is_hub: false,
+                    energy: NodeEnergy::from_meter(meter),
+                    committed_height: r.committed_height(),
+                    blocks_committed: r.metrics().blocks_committed,
+                    view_changes: r.metrics().view_changes,
+                    signs: meter.count(eesmr_energy::EnergyCategory::Sign),
+                    verifies: meter.count(eesmr_energy::EnergyCategory::Verify),
+                    mean_commit_latency: r.metrics().mean_commit_latency(),
+                }
+            })
+            .collect();
+        self.report(variant_name(variant), f, delta, &net_stats(&net), nodes, net.now())
+    }
+
+    fn run_trusted(&self) -> RunReport {
+        // Star over the expensive medium; Δ is one hop to/from the hub.
+        let mut net_cfg = NetConfig::ble(star(self.n, HUB), self.seed);
+        net_cfg.channel = ChannelCost::PerByte { medium: Medium::FourG };
+        let delta = net_cfg.delta();
+        let config = TbConfig {
+            n: self.n,
+            payload_bytes: self.payload_bytes,
+            order_period: delta * 2,
+        };
+        let pki = Arc::new(KeyStore::generate(self.n, self.scheme, self.seed));
+        let nodes_v = build_tb_nodes(&config, &pki);
+        let mut net = SimNet::new(net_cfg, nodes_v);
+
+        let stop = self.stop;
+        if let StopWhen::Elapsed(d) = stop {
+            net.run_until(SimTime::ZERO + d);
+        } else {
+            net.run_until_pred(self.deadline_time(), |actors| match stop {
+                StopWhen::Blocks(b) => actors.iter().all(|n| n.committed_height() >= b),
+                StopWhen::ViewReached(_) => true, // no views in the baseline
+                StopWhen::Elapsed(_) => false,
+            });
+        }
+
+        let nodes = (0..self.n as u32)
+            .map(|id| {
+                let r = net.actor(id);
+                let meter = net.meter(id);
+                NodeReport {
+                    id,
+                    faulty: false,
+                    is_hub: id == HUB,
+                    energy: NodeEnergy::from_meter(meter),
+                    committed_height: r.committed_height(),
+                    blocks_committed: r.metrics().blocks_committed,
+                    view_changes: 0,
+                    signs: meter.count(eesmr_energy::EnergyCategory::Sign),
+                    verifies: meter.count(eesmr_energy::EnergyCategory::Verify),
+                    mean_commit_latency: r.metrics().mean_commit_latency(),
+                }
+            })
+            .collect();
+        self.report("Trusted baseline", 0, delta, &net_stats(&net), nodes, net.now())
+    }
+
+    fn report(
+        &self,
+        protocol: &'static str,
+        f: usize,
+        delta: SimDuration,
+        net: &eesmr_net::NetStats,
+        nodes: Vec<NodeReport>,
+        now: SimTime,
+    ) -> RunReport {
+        RunReport {
+            protocol,
+            n: self.n,
+            k: self.k,
+            f,
+            payload_bytes: self.payload_bytes,
+            delta_us: delta.as_micros(),
+            elapsed_us: now.as_micros(),
+            nodes,
+            net: net.clone(),
+        }
+    }
+}
+
+fn variant_name(v: HsVariant) -> &'static str {
+    match v {
+        HsVariant::SyncHotStuff => "Sync HotStuff",
+        HsVariant::OptSync => "OptSync",
+    }
+}
+
+fn net_stats<A: Actor>(net: &SimNet<A>) -> eesmr_net::NetStats {
+    net.stats().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+
+    #[test]
+    fn eesmr_scenario_reaches_block_target() {
+        let report = Scenario::new(Protocol::Eesmr, 5, 2).stop(StopWhen::Blocks(5)).run();
+        assert_eq!(report.protocol, "EESMR");
+        assert!(report.committed_height() >= 5);
+        assert_eq!(report.view_changes(), 0);
+        assert!(report.total_correct_energy_mj() > 0.0);
+    }
+
+    #[test]
+    fn synchs_scenario_runs() {
+        let report = Scenario::new(Protocol::SyncHotStuff, 5, 2).stop(StopWhen::Blocks(5)).run();
+        assert!(report.committed_height() >= 5);
+        assert_eq!(report.protocol, "Sync HotStuff");
+    }
+
+    #[test]
+    fn optsync_scenario_runs() {
+        let report = Scenario::new(Protocol::OptSync, 8, 3).stop(StopWhen::Blocks(5)).run();
+        assert!(report.committed_height() >= 5);
+    }
+
+    #[test]
+    fn trusted_scenario_excludes_hub_energy() {
+        let report = Scenario::new(Protocol::TrustedBaseline, 6, 2).stop(StopWhen::Blocks(5)).run();
+        assert!(report.committed_height() >= 5);
+        let hub = &report.nodes[0];
+        assert!(hub.is_hub);
+        assert!(hub.energy.total_mj() > 0.0);
+        // Correct-node totals exclude the hub.
+        let manual: f64 =
+            report.nodes[1..].iter().map(|n| n.energy.total_mj()).sum();
+        assert!((report.total_correct_energy_mj() - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn view_change_scenario_stops_after_vc() {
+        let report = Scenario::new(Protocol::Eesmr, 5, 2)
+            .faults(FaultPlan::silent_leader())
+            .stop(StopWhen::ViewReached(2))
+            .run();
+        assert!(report.view_changes() >= 1);
+        // The faulty leader is excluded from correct-node aggregates.
+        assert_eq!(report.correct_nodes().count(), 4);
+    }
+
+    #[test]
+    fn eesmr_beats_synchs_total_energy_per_block() {
+        // The headline comparison at small scale: same topology, payload,
+        // and scheme — EESMR consumes less per committed block.
+        let e = Scenario::new(Protocol::Eesmr, 7, 3).stop(StopWhen::Blocks(10)).run();
+        let s = Scenario::new(Protocol::SyncHotStuff, 7, 3).stop(StopWhen::Blocks(10)).run();
+        assert!(
+            e.energy_per_block_mj() < s.energy_per_block_mj(),
+            "EESMR {:.1} vs SyncHS {:.1} mJ/block",
+            e.energy_per_block_mj(),
+            s.energy_per_block_mj()
+        );
+    }
+
+    #[test]
+    fn elapsed_stop_runs_exact_time() {
+        let report = Scenario::new(Protocol::Eesmr, 4, 2)
+            .stop(StopWhen::Elapsed(SimDuration::from_millis(50)))
+            .run();
+        assert_eq!(report.elapsed_us, 50_000);
+    }
+}

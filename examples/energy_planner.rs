@@ -1,0 +1,82 @@
+//! The §4 deployment-planning workflow: "our analysis allows
+//! administrators and protocol stake-holders and deployers to model
+//! protocols and use the application details … to make energy-aware
+//! protocol choices."
+//!
+//! Given a deployment (n nodes, payload size, media), this tool prints the
+//! ψ cost table for every protocol, the ν_f break-even ratio between EESMR
+//! and the alternatives, the energy-fault bound f_e (equation EB), and the
+//! recommendation the feasible-region analysis implies.
+//!
+//! ```text
+//! cargo run --example energy_planner [n] [payload_bytes]
+//! ```
+
+use eesmr_energy::psi::{break_even_nu, energy_fault_bound, PsiParams, PsiProtocol};
+use eesmr_energy::FeasibleRegion;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let payload: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(512);
+
+    let params = PsiParams::fig1(n, payload);
+    println!(
+        "deployment: n = {n}, payload = {payload} B, {} between nodes, {} to the trusted node, {}",
+        params.node_medium, params.trusted_medium, params.scheme
+    );
+
+    println!("\nψ per consensus unit (system-wide, mJ):");
+    println!("{:<18} {:>12} {:>12} {:>12}", "protocol", "ψ_B (best)", "ψ_V (VC)", "ψ_W (worst)");
+    let protos = [
+        PsiProtocol::Eesmr,
+        PsiProtocol::SyncHotStuff,
+        PsiProtocol::OptSync,
+        PsiProtocol::TrustedBaseline,
+    ];
+    for p in protos {
+        let best = p.psi_best(&params).total_mj();
+        let vc = p.psi_view_change(&params).total_mj();
+        println!("{:<18} {:>12.0} {:>12.0} {:>12.0}", format!("{p:?}"), best, vc, best + vc);
+    }
+
+    // Break-even view-change frequency vs each competitor (§4).
+    println!("\nν_f break-even (max fraction of units with a view change for EESMR to win):");
+    let e_best = PsiProtocol::Eesmr.psi_best(&params).total_mj();
+    let e_vc = PsiProtocol::Eesmr.psi_view_change(&params).total_mj();
+    for p in [PsiProtocol::SyncHotStuff, PsiProtocol::OptSync] {
+        let b = p.psi_best(&params).total_mj();
+        let v = p.psi_view_change(&params).total_mj();
+        match break_even_nu(e_best, e_vc, b, v) {
+            None => println!("  vs {p:?}: EESMR dominates at any view-change rate"),
+            Some(nu) if nu == 0.0 => println!("  vs {p:?}: the competitor dominates"),
+            Some(nu) => println!("  vs {p:?}: EESMR wins while ν_f ≤ {nu:.3}"),
+        }
+    }
+
+    // Energy-fault bound vs the trusted baseline (equation EB).
+    let bl = PsiProtocol::TrustedBaseline.psi_best(&params).total_mj();
+    let fe = energy_fault_bound(bl, e_best, e_vc);
+    println!("\nenergy-fault bound vs trusted baseline: f_e ≤ {fe:.2}");
+    if fe >= 1.0 {
+        println!("  -> EESMR stays ahead even if an adversary forces {} view change(s)", fe as u64);
+    } else {
+        println!("  -> the trusted baseline is the safer choice for this deployment");
+    }
+
+    // Where this deployment sits in the Fig. 1 region.
+    let region = FeasibleRegion::compute(&[n], &[payload]);
+    let cell = region.cell(n, payload).expect("on-grid");
+    println!(
+        "\nfeasible region: ψ_EESMR = {:.0} mJ, ψ_baseline = {:.0} mJ, Δ = {:+.0} mJ",
+        cell.eesmr_mj, cell.baseline_mj, cell.delta_mj
+    );
+    println!(
+        "recommendation: {}",
+        if cell.eesmr_favoured() {
+            "run EESMR among the CPS nodes"
+        } else {
+            "ship consensus to the trusted control node"
+        }
+    );
+}

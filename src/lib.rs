@@ -1,0 +1,3 @@
+//! Umbrella crate for the EESMR reproduction. See README.md.
+pub use eesmr_core as core_protocol;
+
