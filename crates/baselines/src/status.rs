@@ -35,9 +35,7 @@ impl SmrStatus for eesmr_core::Replica {
 /// # Panics
 ///
 /// Panics with a diagnostic if two logs diverge.
-pub fn assert_prefix_consistency<'a, S: SmrStatus + 'a>(
-    replicas: impl IntoIterator<Item = &'a S>,
-) {
+pub fn assert_prefix_consistency<'a, S: SmrStatus + 'a>(replicas: impl IntoIterator<Item = &'a S>) {
     let logs: Vec<&[Digest]> = replicas.into_iter().map(|r| r.committed_log()).collect();
     check_prefix_consistency(&logs).expect("SMR safety violated");
 }

@@ -21,10 +21,10 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
+use eesmr_core::message::signing_bytes;
 use eesmr_core::{
     Block, BlockStore, CertifiedBlock, Command, Metrics, MsgKind, QuorumCert, TxPool,
 };
-use eesmr_core::message::signing_bytes;
 use eesmr_crypto::{Digest, Hashable, KeyPair, KeyStore, Signature};
 use eesmr_net::{Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
 
@@ -166,11 +166,9 @@ impl HsPayload {
 
     fn signing_digest(&self, view: u64) -> Digest {
         match self {
-            HsPayload::Propose { block, .. } => Digest::of_parts(&[
-                b"hs-prop",
-                block.id().as_bytes(),
-                &block.height.to_le_bytes(),
-            ]),
+            HsPayload::Propose { block, .. } => {
+                Digest::of_parts(&[b"hs-prop", block.id().as_bytes(), &block.height.to_le_bytes()])
+            }
             HsPayload::Vote { block_id, .. } => *block_id,
             HsPayload::Blame { .. } => Digest::of_parts(&[b"hs-blame", &view.to_le_bytes()]),
             HsPayload::BlameQc(qc) => qc.digest(),
@@ -526,7 +524,8 @@ impl HsReplica {
                     Some(c) if c.block.id() == parent.id() => Some(c.qc.clone()),
                     _ => None,
                 };
-                let twin_msg = self.sign(HsPayload::Propose { block: twin, justify: justify2 }, ctx);
+                let twin_msg =
+                    self.sign(HsPayload::Propose { block: twin, justify: justify2 }, ctx);
                 ctx.flood(twin_msg);
             }
         }
@@ -541,8 +540,7 @@ impl HsReplica {
         let block_id = block.id();
         let key = (msg.view, block.height);
         if let Some((seen_id, _)) = self.proposals_seen.get(&key) {
-            let processed =
-                self.voted.contains(&(msg.view, block.height)) || msg.view < self.v_cur;
+            let processed = self.voted.contains(&(msg.view, block.height)) || msg.view < self.v_cur;
             if *seen_id == block_id && processed {
                 return; // exact duplicate — no fresh signature check
             }
@@ -917,12 +915,7 @@ impl HsReplica {
             return;
         }
         // Pick the highest certificate among the statuses (ours included).
-        let best = self
-            .statuses
-            .values()
-            .flatten()
-            .max_by_key(|c| c.block.height)
-            .cloned();
+        let best = self.statuses.values().flatten().max_by_key(|c| c.block.height).cloned();
         if let Some(best) = &best {
             let higher =
                 self.highest_cert.as_ref().is_none_or(|c| best.block.height > c.block.height);

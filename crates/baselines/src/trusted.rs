@@ -14,8 +14,8 @@
 
 use std::sync::Arc;
 
-use eesmr_core::{Block, BlockStore, Command, Metrics, MsgKind, TxPool};
 use eesmr_core::message::signing_bytes;
+use eesmr_core::{Block, BlockStore, Command, Metrics, MsgKind, TxPool};
 use eesmr_crypto::{Digest, KeyPair, KeyStore, Signature};
 use eesmr_net::{Actor, Context, Message, NodeId, SimDuration, SimTime};
 
@@ -93,11 +93,8 @@ impl Message for TbMsg {
     }
 
     fn flood_key(&self) -> u64 {
-        Digest::of_parts(&[
-            &self.signer.to_le_bytes(),
-            self.payload.signing_digest().as_bytes(),
-        ])
-        .to_u64()
+        Digest::of_parts(&[&self.signer.to_le_bytes(), self.payload.signing_digest().as_bytes()])
+            .to_u64()
     }
 }
 
@@ -273,8 +270,7 @@ impl Actor for TbNode {
                     self.committed_height = block.height;
                     self.metrics.blocks_committed += 1;
                     self.metrics.committed_height = block.height;
-                    let msg =
-                        TbMsg::new(TbPayload::Ordered { block }, self.pki.keypair(self.id));
+                    let msg = TbMsg::new(TbPayload::Ordered { block }, self.pki.keypair(self.id));
                     ctx.meter().charge_sign(self.pki.scheme());
                     ctx.meter().charge_hash(msg.wire_size());
                     ctx.multicast(msg); // the hub's edge reaches every spoke

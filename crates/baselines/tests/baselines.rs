@@ -29,8 +29,7 @@ fn run_hs(
 }
 
 fn assert_consistent(net: &SimNet<HsReplica>, correct: impl Iterator<Item = u32>) {
-    let logs: Vec<&[eesmr_crypto::Digest]> =
-        correct.map(|id| net.actor(id).committed()).collect();
+    let logs: Vec<&[eesmr_crypto::Digest]> = correct.map(|id| net.actor(id).committed()).collect();
     check_prefix_consistency(&logs).expect("SyncHS safety violated");
 }
 
@@ -56,10 +55,7 @@ fn synchs_every_node_signs_votes() {
     let committed = net.actor(0).committed_height();
     for id in 0..5 {
         let signs = net.meter(id).count(EnergyCategory::Sign);
-        assert!(
-            signs >= committed,
-            "node {id} signed {signs} times for {committed} blocks"
-        );
+        assert!(signs >= committed, "node {id} signed {signs} times for {committed} blocks");
     }
 }
 
@@ -113,10 +109,7 @@ fn optsync_commits_faster_than_synchs_wallclock() {
     let h_classic = mk(HsVariant::SyncHotStuff);
     // On the multi-hop ring the fast quorum can trail the 2Δ path by a
     // block, so allow a small tolerance.
-    assert!(
-        h_opt + 2 >= h_classic,
-        "OptSync ({h_opt}) should keep pace with SyncHS ({h_classic})"
-    );
+    assert!(h_opt + 2 >= h_classic, "OptSync ({h_opt}) should keep pace with SyncHS ({h_classic})");
 }
 
 #[test]
@@ -128,10 +121,7 @@ fn optsync_verifies_more_than_synchs() {
         let blocks = net.actor(0).committed_height().max(1);
         verifies as f64 / blocks as f64
     };
-    assert!(
-        per_block(&opt) > per_block(&classic),
-        "OptSync verifies 3n/4+1 votes vs n/2+1"
-    );
+    assert!(per_block(&opt) > per_block(&classic), "OptSync verifies 3n/4+1 votes vs n/2+1");
 }
 
 #[test]
@@ -148,11 +138,7 @@ fn run_tb(n: usize, millis: u64) -> SimNet<TbNode> {
     // Star topology over the expensive medium (4G), as in §5.1.
     let mut cfg = NetConfig::ble(star(n, HUB), 9);
     cfg.channel = ChannelCost::PerByte { medium: Medium::FourG };
-    let config = TbConfig {
-        n,
-        payload_bytes: 64,
-        order_period: SimDuration::from_millis(5),
-    };
+    let config = TbConfig { n, payload_bytes: 64, order_period: SimDuration::from_millis(5) };
     let pki = Arc::new(KeyStore::generate(n, SigScheme::Rsa1024, 9));
     let nodes = build_tb_nodes(&config, &pki);
     let mut net = SimNet::new(cfg, nodes);
@@ -166,10 +152,7 @@ fn trusted_baseline_orders_and_distributes() {
     let hub_height = net.actor(HUB).committed_height();
     assert!(hub_height >= 3, "the hub ordered blocks, got {hub_height}");
     for id in 1..6 {
-        assert!(
-            net.actor(id).committed_height() >= hub_height - 1,
-            "spoke {id} follows the hub"
-        );
+        assert!(net.actor(id).committed_height() >= hub_height - 1, "spoke {id} follows the hub");
     }
     let logs: Vec<&[eesmr_crypto::Digest]> = (0..6).map(|id| net.actor(id).committed()).collect();
     check_prefix_consistency(&logs).expect("trusted baseline logs diverge");

@@ -19,13 +19,9 @@ fn main() {
         }
         let report = s.run();
         let blocks = report.committed_height().max(1) as f64;
-        let replica: f64 =
-            (1..10).map(|id| report.node_energy_per_block_mj(id)).sum::<f64>() / 9.0;
-        let verifies: f64 = report.nodes[1..]
-            .iter()
-            .map(|n| n.verifies as f64)
-            .sum::<f64>()
-            / (9.0 * blocks);
+        let replica: f64 = (1..10).map(|id| report.node_energy_per_block_mj(id)).sum::<f64>() / 9.0;
+        let verifies: f64 =
+            report.nodes[1..].iter().map(|n| n.verifies as f64).sum::<f64>() / (9.0 * blocks);
         let label = if interval == 0 { "off".to_string() } else { format!("c={interval}") };
         csv.rowd(&[&interval, &replica, &verifies]);
         rows.push(vec![label, format!("{replica:.0}"), format!("{verifies:.2}")]);

@@ -7,7 +7,8 @@ use eesmr_energy::BleKcastModel;
 fn main() {
     let model = BleKcastModel::default();
     let targets = [0.99, 0.999, 0.9999, 0.99999, 0.999999];
-    let mut csv = Csv::create("ablation_reliability", &["k", "reliability", "redundancy", "sender_mj_25b"]);
+    let mut csv =
+        Csv::create("ablation_reliability", &["k", "reliability", "redundancy", "sender_mj_25b"]);
     let mut rows = Vec::new();
     for k in [3usize, 7] {
         for &t in &targets {

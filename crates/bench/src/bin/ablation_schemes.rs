@@ -15,16 +15,14 @@ fn main() {
         SigScheme::EcdsaBp160R1,
         SigScheme::Hmac,
     ];
-    let mut csv = Csv::create("ablation_schemes", &["scheme", "leader_mj_per_smr", "replica_mj_per_smr"]);
+    let mut csv =
+        Csv::create("ablation_schemes", &["scheme", "leader_mj_per_smr", "replica_mj_per_smr"]);
     let mut rows = Vec::new();
     for scheme in schemes {
-        let report = Scenario::new(Protocol::Eesmr, 10, 3)
-            .scheme(scheme)
-            .stop(StopWhen::Blocks(20))
-            .run();
+        let report =
+            Scenario::new(Protocol::Eesmr, 10, 3).scheme(scheme).stop(StopWhen::Blocks(20)).run();
         let leader = report.node_energy_per_block_mj(0);
-        let replica: f64 =
-            (1..10).map(|id| report.node_energy_per_block_mj(id)).sum::<f64>() / 9.0;
+        let replica: f64 = (1..10).map(|id| report.node_energy_per_block_mj(id)).sum::<f64>() / 9.0;
         csv.rowd(&[&scheme.name(), &leader, &replica]);
         rows.push(vec![scheme.name().to_string(), format!("{leader:.0}"), format!("{replica:.0}")]);
     }

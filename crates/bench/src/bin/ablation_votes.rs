@@ -9,7 +9,13 @@ use eesmr_sim::{Protocol, Scenario, StopWhen};
 fn main() {
     let mut csv = Csv::create(
         "ablation_votes",
-        &["protocol", "signs_per_block", "verifies_per_block", "kcasts_per_block", "total_mj_per_block"],
+        &[
+            "protocol",
+            "signs_per_block",
+            "verifies_per_block",
+            "kcasts_per_block",
+            "total_mj_per_block",
+        ],
     );
     let mut rows = Vec::new();
     for (proto, label) in [
@@ -23,13 +29,7 @@ fn main() {
         let verifies: u64 = report.correct_nodes().map(|n| n.verifies).sum();
         let kcasts = report.net.kcasts as f64 / blocks;
         let mj = report.energy_per_block_mj();
-        csv.rowd(&[
-            &label,
-            &(signs as f64 / blocks),
-            &(verifies as f64 / blocks),
-            &kcasts,
-            &mj,
-        ]);
+        csv.rowd(&[&label, &(signs as f64 / blocks), &(verifies as f64 / blocks), &kcasts, &mj]);
         rows.push(vec![
             label.to_string(),
             format!("{:.1}", signs as f64 / blocks),

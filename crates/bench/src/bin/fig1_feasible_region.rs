@@ -11,7 +11,10 @@ fn main() {
     let m_values: Vec<usize> = vec![64, 128, 256, 512, 1024, 1536, 2048];
     let region = FeasibleRegion::compute(&n_values, &m_values);
 
-    let mut csv = Csv::create("fig1_feasible_region", &["n", "payload_bytes", "eesmr_mj", "baseline_mj", "delta_mj"]);
+    let mut csv = Csv::create(
+        "fig1_feasible_region",
+        &["n", "payload_bytes", "eesmr_mj", "baseline_mj", "delta_mj"],
+    );
     for c in region.cells() {
         csv.rowd(&[&c.n, &c.payload, &c.eesmr_mj, &c.baseline_mj, &c.delta_mj]);
     }

@@ -7,13 +7,12 @@ use eesmr_sim::{Protocol, Scenario, StopWhen};
 
 fn main() {
     let n = 10;
-    let mut csv = Csv::create("fig2c_leader_replica", &["k", "leader_mj_per_smr", "replica_mj_per_smr"]);
+    let mut csv =
+        Csv::create("fig2c_leader_replica", &["k", "leader_mj_per_smr", "replica_mj_per_smr"]);
     let mut rows = Vec::new();
     for k in 2..=7usize {
-        let report = Scenario::new(Protocol::Eesmr, n, k)
-            .payload(16)
-            .stop(StopWhen::Blocks(30))
-            .run();
+        let report =
+            Scenario::new(Protocol::Eesmr, n, k).payload(16).stop(StopWhen::Blocks(30)).run();
         let leader = report.node_energy_per_block_mj(0); // node 0 leads view 1
         let replicas: Vec<f64> =
             (1..n as u32).map(|id| report.node_energy_per_block_mj(id)).collect();

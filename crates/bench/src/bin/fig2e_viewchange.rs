@@ -38,10 +38,8 @@ fn main() {
         let stall_mj = stall.node_energy_mj(1);
 
         // Honest SMR for comparison: leader energy per committed block.
-        let honest = Scenario::new(Protocol::Eesmr, n, k)
-            .fault_bound(f)
-            .stop(StopWhen::Blocks(20))
-            .run();
+        let honest =
+            Scenario::new(Protocol::Eesmr, n, k).fault_bound(f).stop(StopWhen::Blocks(20)).run();
         let honest_mj = honest.node_energy_per_block_mj(0);
 
         csv.rowd(&[&k, &f, &equiv_mj, &stall_mj, &honest_mj]);

@@ -5,11 +5,7 @@ use eesmr_bench::{print_table, Csv};
 use eesmr_sim::{Protocol, Scenario, StopWhen};
 
 fn total_per_smr(protocol: Protocol, n: usize, k: usize) -> f64 {
-    Scenario::new(protocol, n, k)
-        .payload(16)
-        .stop(StopWhen::Blocks(20))
-        .run()
-        .energy_per_block_mj()
+    Scenario::new(protocol, n, k).payload(16).stop(StopWhen::Blocks(20)).run().energy_per_block_mj()
 }
 
 fn main() {

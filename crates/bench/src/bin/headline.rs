@@ -25,9 +25,10 @@ fn main() {
         .faults(FaultPlan::silent_nodes(silent))
         .stop(StopWhen::Blocks(15))
         .run();
-    let steady_ratio =
-        synchs.node_energy_per_block_mj(0) / eesmr.node_energy_per_block_mj(0);
-    println!("steady state (leader, n=13, f=6): SyncHS / EESMR = {steady_ratio:.2}x (paper: 2.85x)");
+    let steady_ratio = synchs.node_energy_per_block_mj(0) / eesmr.node_energy_per_block_mj(0);
+    println!(
+        "steady state (leader, n=13, f=6): SyncHS / EESMR = {steady_ratio:.2}x (paper: 2.85x)"
+    );
     csv.rowd(&[&"steady_state_leader_ratio", &"2.85", &format!("{steady_ratio:.3}")]);
 
     // View change ratio (EESMR / SyncHS — EESMR is the more expensive one).
@@ -68,6 +69,10 @@ fn main() {
         min_saving * 100.0,
         max_saving * 100.0
     );
-    csv.rowd(&[&"steady_state_savings_range_pct", &"33-64", &format!("{:.1}-{:.1}", min_saving * 100.0, max_saving * 100.0)]);
+    csv.rowd(&[
+        &"steady_state_savings_range_pct",
+        &"33-64",
+        &format!("{:.1}-{:.1}", min_saving * 100.0, max_saving * 100.0),
+    ]);
     println!("wrote {}", csv.path().display());
 }

@@ -7,7 +7,16 @@ use eesmr_energy::medium::{Medium, ANCHOR_SIZES};
 fn main() {
     let mut csv = Csv::create(
         "table1_media",
-        &["size_bytes", "ble_send", "ble_recv", "ble_multicast", "fourg_send", "fourg_recv", "wifi_send", "wifi_recv"],
+        &[
+            "size_bytes",
+            "ble_send",
+            "ble_recv",
+            "ble_multicast",
+            "fourg_send",
+            "fourg_recv",
+            "wifi_send",
+            "wifi_recv",
+        ],
     );
     let mut rows = Vec::new();
     for &size in &ANCHOR_SIZES {
@@ -29,7 +38,16 @@ fn main() {
     }
     print_table(
         "Table 1: energy per message (mJ)",
-        &["Size", "BLE send", "BLE recv", "BLE mcast", "4G send", "4G recv", "WiFi send", "WiFi recv"],
+        &[
+            "Size",
+            "BLE send",
+            "BLE recv",
+            "BLE mcast",
+            "4G send",
+            "4G recv",
+            "WiFi send",
+            "WiFi recv",
+        ],
         &rows,
     );
     println!("\nwrote {}", csv.path().display());

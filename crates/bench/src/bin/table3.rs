@@ -28,7 +28,17 @@ fn main() {
     }
     print_table(
         "Table 3: best-case vs worst-case comparison",
-        &["Protocol", "Comm (best)", "Sign", "Verify", "Period", "Comm (worst)", "Sign", "Verify", "Period"],
+        &[
+            "Protocol",
+            "Comm (best)",
+            "Sign",
+            "Verify",
+            "Period",
+            "Comm (worst)",
+            "Sign",
+            "Verify",
+            "Period",
+        ],
         &rows,
     );
 
@@ -43,9 +53,14 @@ fn main() {
             erows.push(vec![name.to_string(), n.to_string(), format!("{v:.1}")]);
         }
     }
-    print_table("Empirical k-casts per committed block (k = 3)", &["Protocol", "n", "k-casts/block"], &erows);
+    print_table(
+        "Empirical k-casts per committed block (k = 3)",
+        &["Protocol", "n", "k-casts/block"],
+        &erows,
+    );
 
-    let e_ratio = kcasts_per_block(Protocol::Eesmr, 12, 3) / kcasts_per_block(Protocol::Eesmr, 6, 3);
+    let e_ratio =
+        kcasts_per_block(Protocol::Eesmr, 12, 3) / kcasts_per_block(Protocol::Eesmr, 6, 3);
     let s_ratio = kcasts_per_block(Protocol::SyncHotStuff, 12, 3)
         / kcasts_per_block(Protocol::SyncHotStuff, 6, 3);
     println!("\nscaling when n doubles (6 -> 12): EESMR x{e_ratio:.2} (expect ~2), SyncHS x{s_ratio:.2} (expect ~4)");

@@ -14,8 +14,7 @@ use std::path::PathBuf;
 
 /// Directory experiment CSVs are written to (`target/experiments/`).
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     fs::create_dir_all(&dir).expect("can create target/experiments");
     dir
 }
@@ -63,13 +62,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let line: Vec<String> =
-        headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
+    let line: Vec<String> = headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
     println!("{}", line.join("  "));
     println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
     for row in rows {
-        let line: Vec<String> =
-            row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        let line: Vec<String> = row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
         println!("{}", line.join("  "));
     }
 }

@@ -317,7 +317,8 @@ mod tests {
         let mut ids = vec![store.genesis_id()];
         for i in 0..len {
             let parent = store.get(ids.last().unwrap()).unwrap().clone();
-            let b = Block::extending(&parent, 1, 3 + i as u64, vec![Command::synthetic(i as u64, 16)]);
+            let b =
+                Block::extending(&parent, 1, 3 + i as u64, vec![Command::synthetic(i as u64, 16)]);
             ids.push(store.insert(b));
         }
         ids
@@ -430,7 +431,12 @@ mod tests {
         assert!(store.lineage(&fork_id, &ids[3]).is_fork());
 
         // A gap reads as Unknown, not Fork.
-        let far = Block::extending(&Block { parent: Digest::of(b"?"), height: 10, view: 9, round: 9, payload: vec![] }, 9, 10, vec![]);
+        let far = Block::extending(
+            &Block { parent: Digest::of(b"?"), height: 10, view: 9, round: 9, payload: vec![] },
+            9,
+            10,
+            vec![],
+        );
         let far_id = store.insert(far);
         assert_eq!(store.lineage(&far_id, &ids[3]), Lineage::Unknown);
         assert_eq!(store.lineage(&Digest::of(b"missing"), &ids[1]), Lineage::Unknown);

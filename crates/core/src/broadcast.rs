@@ -241,18 +241,10 @@ impl BbNode {
             // correct node that saw a clean 4Δ window — everyone can adopt.
             let sigs: Vec<(NodeId, Signature)> =
                 self.votes.iter().take(self.quorum()).map(|(n, s)| (*n, s.clone())).collect();
-            let cert = QuorumCert {
-                kind: MsgKind::Certify,
-                view: 0,
-                data: accepted,
-                height: 0,
-                sigs,
-            };
-            let msg = BbMsg::new(
-                BbPayload::Terminate { cert, value: value.clone() },
-                &self.pki,
-                self.id,
-            );
+            let cert =
+                QuorumCert { kind: MsgKind::Certify, view: 0, data: accepted, height: 0, sigs };
+            let msg =
+                BbMsg::new(BbPayload::Terminate { cert, value: value.clone() }, &self.pki, self.id);
             ctx.meter().charge_sign(self.pki.scheme());
             ctx.flood(msg);
             self.output = Some(BbOutput::Value(value));
@@ -311,7 +303,8 @@ impl Actor for BbNode {
                     return;
                 }
                 let Some((digest, _)) = self.accepted else { return };
-                let vote = BbMsg::new(BbPayload::CommitVote { value_digest: digest }, &self.pki, self.id);
+                let vote =
+                    BbMsg::new(BbPayload::CommitVote { value_digest: digest }, &self.pki, self.id);
                 ctx.meter().charge_sign(self.pki.scheme());
                 // Our own vote counts.
                 self.votes.insert(self.id, vote.sig.clone());

@@ -57,16 +57,11 @@ impl AckCollector {
         if self.accepted.contains_key(&ack.command) {
             return None;
         }
-        let replicas = self
-            .seen
-            .entry(ack.command)
-            .or_default()
-            .entry(ack.result)
-            .or_default();
+        let replicas = self.seen.entry(ack.command).or_default().entry(ack.result).or_default();
         if !replicas.contains(&ack.replica) {
             replicas.push(ack.replica);
         }
-        if replicas.len() >= self.f + 1 {
+        if replicas.len() > self.f {
             self.accepted.insert(ack.command, ack.result);
             return Some(ack.result);
         }

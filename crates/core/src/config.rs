@@ -123,7 +123,12 @@ impl Config {
         match self.checkpoint_interval {
             None => true,
             // Verify the first steady round of a view and every c-th round.
-            Some(c) => round <= 3 || round % c == 0,
+            // `is_multiple_of(0)` would silently skip verification forever;
+            // a zero interval is a misconfiguration and must fail loudly.
+            Some(c) => {
+                assert!(c > 0, "checkpoint interval must be positive");
+                round <= 3 || round.is_multiple_of(c)
+            }
         }
     }
 

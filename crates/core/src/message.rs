@@ -168,9 +168,7 @@ impl Status {
     fn wire_size(&self) -> usize {
         match self {
             Status::CommitQcs(v) => v.iter().map(|c| c.qc.wire_size() + c.block.wire_size()).sum(),
-            Status::Locks(v) => {
-                v.iter().map(|s| s.block.wire_size() + 4 + s.sig.wire_size()).sum()
-            }
+            Status::Locks(v) => v.iter().map(|s| s.block.wire_size() + 4 + s.sig.wire_size()).sum(),
         }
     }
 }
@@ -401,11 +399,7 @@ mod tests {
 
     fn propose(view: u64, round: u64, pki: &KeyStore, signer: NodeId) -> SignedMsg {
         let block = Block::extending(&Block::genesis(), view, round, vec![]);
-        SignedMsg::new(
-            Payload::Propose { block, round, justify: None },
-            view,
-            pki.keypair(signer),
-        )
+        SignedMsg::new(Payload::Propose { block, round, justify: None }, view, pki.keypair(signer))
     }
 
     #[test]
@@ -530,6 +524,6 @@ mod tests {
         // header 13 + block (72) + round 8 + RSA-1024 sig 128
         assert_eq!(msg.wire_size(), 13 + 72 + 8 + 128);
         let blame = SignedMsg::new(Payload::Blame { proof: None }, 1, pki.keypair(0));
-        assert_eq!(blame.wire_size(), 13 + 0 + 128);
+        assert_eq!(blame.wire_size(), 13 + 128);
     }
 }

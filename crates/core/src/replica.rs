@@ -309,7 +309,8 @@ impl Replica {
         if let Some(t) = self.blame_timer.take() {
             ctx.cancel_timer(t);
         }
-        let id = ctx.set_timer(self.config.delta * multiple, TimerToken::Blame { view: self.v_cur });
+        let id =
+            ctx.set_timer(self.config.delta * multiple, TimerToken::Blame { view: self.v_cur });
         self.blame_timer = Some(id);
     }
 
@@ -366,11 +367,8 @@ impl Replica {
         }
         self.want_propose = false;
         let round = self.r_cur;
-        let parent = self
-            .store
-            .get(&self.b_lock)
-            .expect("locked block is always present locally")
-            .clone();
+        let parent =
+            self.store.get(&self.b_lock).expect("locked block is always present locally").clone();
         let batch = self.txpool.next_batch(self.config.max_batch);
         let block = Block::extending(&parent, self.v_cur, round, batch);
         ctx.meter().charge_hash(block.wire_size());
@@ -413,9 +411,8 @@ impl Replica {
         // signature check (dedup by content hash, as a real node would).
         let key = (msg.view, *round);
         if let Some((seen_id, _)) = self.proposals_seen.get(&key) {
-            let processed = self.relayed.contains(&block_id)
-                || msg.view < self.v_cur
-                || *round < self.r_cur;
+            let processed =
+                self.relayed.contains(&block_id) || msg.view < self.v_cur || *round < self.r_cur;
             if *seen_id == block_id && processed {
                 return;
             }
@@ -567,8 +564,7 @@ impl Replica {
         if !self.verify_envelope(&msg, ctx) {
             return;
         }
-        let blocks: Vec<Block> =
-            self.store.ancestors(want, 256).into_iter().cloned().collect();
+        let blocks: Vec<Block> = self.store.ancestors(want, 256).into_iter().cloned().collect();
         if blocks.is_empty() {
             return;
         }

@@ -24,7 +24,9 @@ use eesmr_net::NodeId;
 
 use crate::block::Block;
 use crate::config::FaultMode;
-use crate::message::{CertifiedBlock, MsgKind, Payload, QuorumCert, SignedBlock, SignedMsg, Status};
+use crate::message::{
+    CertifiedBlock, MsgKind, Payload, QuorumCert, SignedBlock, SignedMsg, Status,
+};
 use crate::replica::{Ctx, Replica, TimerToken};
 
 impl Replica {
@@ -45,7 +47,12 @@ impl Replica {
 
     /// Two conflicting leader-signed proposals for the same view and round
     /// (lines 220–226).
-    pub(crate) fn on_equivocation(&mut self, first: SignedMsg, second: SignedMsg, ctx: &mut Ctx<'_>) {
+    pub(crate) fn on_equivocation(
+        &mut self,
+        first: SignedMsg,
+        second: SignedMsg,
+        ctx: &mut Ctx<'_>,
+    ) {
         if self.view_aborted || self.config.crash_only {
             return;
         }
@@ -92,7 +99,9 @@ impl Replica {
         // Equivocation proof: cancel commit timers, join the blaming
         // (lines 224–226), and optionally fast-quit.
         if let Some(p) = proof {
-            if !self.config.crash_only && !self.view_aborted && self.proof_is_valid(msg.view, p, ctx)
+            if !self.config.crash_only
+                && !self.view_aborted
+                && self.proof_is_valid(msg.view, p, ctx)
             {
                 let (first, second) = (**p).clone();
                 self.on_equivocation(first, second, ctx);
@@ -108,8 +117,7 @@ impl Replica {
                 .take(self.config.quorum())
                 .map(|(n, s)| (*n, s.clone()))
                 .collect();
-            let qc =
-                QuorumCert { kind: MsgKind::Blame, view: self.v_cur, data, height: 0, sigs };
+            let qc = QuorumCert { kind: MsgKind::Blame, view: self.v_cur, data, height: 0, sigs };
             let msg = self.sign(Payload::BlameQc(qc), ctx);
             ctx.flood(msg);
             self.view_aborted = true;
@@ -163,14 +171,11 @@ impl Replica {
             return;
         }
         // Announce B_com and self-certify it.
-        let block = self
-            .store
-            .get(&self.b_com)
-            .expect("highest committed block is stored")
-            .clone();
+        let block = self.store.get(&self.b_com).expect("highest committed block is stored").clone();
         let update = self.sign(Payload::CommitUpdate { block }, ctx);
         ctx.flood(update);
-        let certify_bytes = crate::message::signing_bytes(MsgKind::Certify, self.v_cur, &self.b_com);
+        let certify_bytes =
+            crate::message::signing_bytes(MsgKind::Certify, self.v_cur, &self.b_com);
         let own = self.pki.keypair(self.id).sign(&certify_bytes);
         ctx.meter().charge_sign(self.pki.scheme());
         self.vc.certifies.insert(self.id, own);
@@ -325,8 +330,7 @@ impl Replica {
             if let Some(best) = best {
                 self.nv.status_qcs.insert(self.id, best);
             }
-            let lock_block =
-                self.store.get(&self.b_lock).expect("locked block stored").clone();
+            let lock_block = self.store.get(&self.b_lock).expect("locked block stored").clone();
             let bytes =
                 crate::message::signing_bytes(MsgKind::LockStatus, self.v_cur, &lock_block.id());
             let sig = self.pki.keypair(self.id).sign(&bytes);
@@ -355,10 +359,8 @@ impl Replica {
 
     fn drain_future_views(&mut self, ctx: &mut Ctx<'_>) {
         let current: Vec<(NodeId, SignedMsg)> = {
-            let (now, later): (Vec<_>, Vec<_>) = self
-                .future_views
-                .drain(..)
-                .partition(|(_, m)| m.view <= self.v_cur);
+            let (now, later): (Vec<_>, Vec<_>) =
+                self.future_views.drain(..).partition(|(_, m)| m.view <= self.v_cur);
             self.future_views = later;
             now
         };
@@ -424,11 +426,8 @@ impl Replica {
             ctx.set_timer(self.config.delta, TimerToken::LeaderStatus { view });
             return;
         }
-        let parent = self
-            .store
-            .get(&highest_id)
-            .expect("status blocks were inserted on receipt")
-            .clone();
+        let parent =
+            self.store.get(&highest_id).expect("status blocks were inserted on receipt").clone();
         let block = Block::extending(&parent, self.v_cur, 1, Vec::new());
         ctx.meter().charge_hash(block.wire_size());
         self.store.insert(block.clone());
@@ -540,10 +539,8 @@ impl Replica {
         self.b_lock_height = block.height;
         self.nv.prop_hash = Some(msg.payload.signing_digest(msg.view));
         self.nv.round1_block = Some(block_id);
-        let vote = self.sign(
-            Payload::NewViewVote { prop_hash: msg.payload.signing_digest(msg.view) },
-            ctx,
-        );
+        let vote = self
+            .sign(Payload::NewViewVote { prop_hash: msg.payload.signing_digest(msg.view) }, ctx);
         ctx.flood(vote);
         self.r_cur = 2;
         self.reset_blame_timer(6, ctx);
@@ -565,13 +562,8 @@ impl Replica {
         // f+1 votes: certify round 1 and propose round 2 (lines 260–263).
         let round1 = self.nv.round1_block.expect("voted proposals record their block");
         let parent = self.store.get(&round1).expect("round-1 block stored").clone();
-        let sigs: Vec<(NodeId, _)> = self
-            .nv
-            .votes
-            .iter()
-            .take(self.config.quorum())
-            .map(|(n, s)| (*n, s.clone()))
-            .collect();
+        let sigs: Vec<(NodeId, _)> =
+            self.nv.votes.iter().take(self.config.quorum()).map(|(n, s)| (*n, s.clone())).collect();
         let qc = QuorumCert {
             kind: MsgKind::NewViewVote,
             view: self.v_cur,

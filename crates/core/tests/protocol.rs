@@ -86,7 +86,13 @@ fn silent_leader_triggers_view_change_and_recovery() {
     // change the view, and commit under leader 1.
     let net = run(
         Setup {
-            faults: |id| if id == 0 { FaultMode::Silent { from_view: 1 } } else { FaultMode::Honest },
+            faults: |id| {
+                if id == 0 {
+                    FaultMode::Silent { from_view: 1 }
+                } else {
+                    FaultMode::Honest
+                }
+            },
             ..Setup::default()
         },
         1_000,
@@ -104,7 +110,13 @@ fn silent_leader_triggers_view_change_and_recovery() {
 fn equivocating_leader_is_evicted_without_conflicting_commits() {
     let net = run(
         Setup {
-            faults: |id| if id == 0 { FaultMode::Equivocate { in_view: 1 } } else { FaultMode::Honest },
+            faults: |id| {
+                if id == 0 {
+                    FaultMode::Equivocate { in_view: 1 }
+                } else {
+                    FaultMode::Honest
+                }
+            },
             ..Setup::default()
         },
         1_000,
@@ -125,7 +137,13 @@ fn equivocation_speedup_still_recovers() {
     let net = run(
         Setup {
             tweak: |c| c.opt_equivocation_speedup = true,
-            faults: |id| if id == 0 { FaultMode::Equivocate { in_view: 1 } } else { FaultMode::Honest },
+            faults: |id| {
+                if id == 0 {
+                    FaultMode::Equivocate { in_view: 1 }
+                } else {
+                    FaultMode::Honest
+                }
+            },
             ..Setup::default()
         },
         1_000,
@@ -142,7 +160,13 @@ fn lock_only_status_view_change_works() {
     let net = run(
         Setup {
             tweak: |c| c.opt_lock_only_status = true,
-            faults: |id| if id == 0 { FaultMode::Silent { from_view: 1 } } else { FaultMode::Honest },
+            faults: |id| {
+                if id == 0 {
+                    FaultMode::Silent { from_view: 1 }
+                } else {
+                    FaultMode::Honest
+                }
+            },
             ..Setup::default()
         },
         1_000,
@@ -159,7 +183,13 @@ fn crash_only_variant_handles_crash_faults() {
     let net = run(
         Setup {
             tweak: |c| c.crash_only = true,
-            faults: |id| if id == 0 { FaultMode::Silent { from_view: 1 } } else { FaultMode::Honest },
+            faults: |id| {
+                if id == 0 {
+                    FaultMode::Silent { from_view: 1 }
+                } else {
+                    FaultMode::Honest
+                }
+            },
             ..Setup::default()
         },
         1_000,
@@ -257,10 +287,7 @@ fn steady_state_energy_is_dominated_by_one_signer() {
     let leader_signs = net.meter(0).count(eesmr_energy::EnergyCategory::Sign);
     for id in 1..5u32 {
         let signs = net.meter(id).count(eesmr_energy::EnergyCategory::Sign);
-        assert!(
-            signs <= 1,
-            "non-leader {id} should not sign in the steady state, signed {signs}"
-        );
+        assert!(signs <= 1, "non-leader {id} should not sign in the steady state, signed {signs}");
     }
     assert!(leader_signs >= 5, "the leader signs once per proposal");
 }
@@ -284,7 +311,13 @@ fn logs_survive_longer_runs_with_rotating_faults() {
         Setup {
             n: 6,
             k: 2,
-            faults: |id| if id == 2 { FaultMode::Silent { from_view: 3 } } else { FaultMode::Honest },
+            faults: |id| {
+                if id == 2 {
+                    FaultMode::Silent { from_view: 3 }
+                } else {
+                    FaultMode::Honest
+                }
+            },
             ..Setup::default()
         },
         4_000,
@@ -300,17 +333,14 @@ fn logs_survive_longer_runs_with_rotating_faults() {
 #[test]
 fn checkpoint_variant_commits_and_saves_verifications() {
     let plain = run(Setup::default(), 400);
-    let checkpointed = run(
-        Setup { tweak: |c| c.checkpoint_interval = Some(8), ..Setup::default() },
-        400,
-    );
+    let checkpointed =
+        run(Setup { tweak: |c| c.checkpoint_interval = Some(8), ..Setup::default() }, 400);
     // Same liveness and safety...
     assert!(checkpointed.actor(0).committed_height() >= 5);
     assert_log_consistency(&checkpointed, 0..5);
     // ...with strictly fewer signature verifications at the replicas.
-    let verifies = |net: &SimNet<Replica>, id: u32| {
-        net.meter(id).count(eesmr_energy::EnergyCategory::Verify)
-    };
+    let verifies =
+        |net: &SimNet<Replica>, id: u32| net.meter(id).count(eesmr_energy::EnergyCategory::Verify);
     assert!(
         verifies(&checkpointed, 3) < verifies(&plain, 3),
         "checkpointing should cut verification work: {} vs {}",
@@ -326,7 +356,13 @@ fn checkpoint_variant_still_catches_equivocation() {
     let net = run(
         Setup {
             tweak: |c| c.checkpoint_interval = Some(8),
-            faults: |id| if id == 0 { FaultMode::Equivocate { in_view: 1 } } else { FaultMode::Honest },
+            faults: |id| {
+                if id == 0 {
+                    FaultMode::Equivocate { in_view: 1 }
+                } else {
+                    FaultMode::Honest
+                }
+            },
             ..Setup::default()
         },
         1_500,

@@ -24,12 +24,8 @@ fn replica(id: u32, pki: &Arc<KeyStore>) -> Harness<Replica> {
 
 /// A leader-signed steady-state proposal for view 1.
 fn proposal(pki: &Arc<KeyStore>, round: u64, payload_tag: u64) -> (Block, SignedMsg) {
-    let block = Block::extending(
-        &Block::genesis(),
-        1,
-        round,
-        vec![Command::synthetic(payload_tag, 16)],
-    );
+    let block =
+        Block::extending(&Block::genesis(), 1, round, vec![Command::synthetic(payload_tag, 16)]);
     let msg = SignedMsg::new(
         Payload::Propose { block: block.clone(), round, justify: None },
         1,
@@ -68,11 +64,8 @@ fn rejects_proposal_from_non_leader() {
     h.start();
     let block = Block::extending(&Block::genesis(), 1, 3, vec![]);
     // Node 2 signs a proposal although node 0 leads view 1.
-    let forged = SignedMsg::new(
-        Payload::Propose { block, round: 3, justify: None },
-        1,
-        pki.keypair(2),
-    );
+    let forged =
+        SignedMsg::new(Payload::Propose { block, round: 3, justify: None }, 1, pki.keypair(2));
     let out = h.deliver(2, forged);
     assert!(out.is_empty(), "nothing is relayed or armed");
     assert_eq!(h.actor().metrics().proposals_rejected, 1);
@@ -222,11 +215,7 @@ fn invalid_equivocation_proof_is_ignored() {
     // equivocation.
     let (_, a) = proposal(&pki, 3, 1);
     let (_, b) = proposal(&pki, 4, 2);
-    let bogus = SignedMsg::new(
-        Payload::Blame { proof: Some(Box::new((a, b))) },
-        1,
-        pki.keypair(2),
-    );
+    let bogus = SignedMsg::new(Payload::Blame { proof: Some(Box::new((a, b))) }, 1, pki.keypair(2));
     h.deliver(2, bogus);
     assert_eq!(h.actor().metrics().equivocations_detected, 0);
 }

@@ -33,9 +33,7 @@ impl KeyStore {
     /// Panics if `n == 0`.
     pub fn generate(n: usize, scheme: SigScheme, seed: u64) -> Self {
         assert!(n > 0, "a system needs at least one node");
-        let pairs = (0..n as SignerId)
-            .map(|id| KeyPair::derive(id, scheme, seed))
-            .collect();
+        let pairs = (0..n as SignerId).map(|id| KeyPair::derive(id, scheme, seed)).collect();
         KeyStore { scheme, pairs }
     }
 

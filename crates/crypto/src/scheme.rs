@@ -204,8 +204,12 @@ mod tests {
     fn brainpool_more_expensive_than_nist() {
         // §5.5: brainpool curves cost ~5J/11J vs ~1J/2J for NIST curves at
         // comparable sizes.
-        assert!(SigScheme::EcdsaBp160R1.sign_energy_j() > SigScheme::EcdsaSecp192R1.sign_energy_j());
-        assert!(SigScheme::EcdsaBp256R1.verify_energy_j() > SigScheme::EcdsaSecp256R1.verify_energy_j());
+        assert!(
+            SigScheme::EcdsaBp160R1.sign_energy_j() > SigScheme::EcdsaSecp192R1.sign_energy_j()
+        );
+        assert!(
+            SigScheme::EcdsaBp256R1.verify_energy_j() > SigScheme::EcdsaSecp256R1.verify_energy_j()
+        );
     }
 
     #[test]

@@ -91,10 +91,7 @@ impl KeyPair {
     pub fn derive(id: SignerId, scheme: SigScheme, seed: u64) -> Self {
         let key = *Digest::of_parts(&[b"eesmr-keygen", &seed.to_le_bytes(), &id.to_le_bytes()])
             .as_bytes();
-        KeyPair {
-            secret: SecretKey { id, scheme, key },
-            public: PublicKey { id, scheme, key },
-        }
+        KeyPair { secret: SecretKey { id, scheme, key }, public: PublicKey { id, scheme, key } }
     }
 
     /// The public half.
@@ -243,12 +240,10 @@ mod tests {
         let kp = pair(9);
         let dbg = format!("{:?}", kp);
         // The hex of the key must not appear in debug output.
-        let key_hex = Digest::from_bytes(*Digest::of_parts(&[
-            b"eesmr-keygen",
-            &7u64.to_le_bytes(),
-            &9u32.to_le_bytes(),
-        ])
-        .as_bytes())
+        let key_hex = Digest::from_bytes(
+            *Digest::of_parts(&[b"eesmr-keygen", &7u64.to_le_bytes(), &9u32.to_le_bytes()])
+                .as_bytes(),
+        )
         .to_hex();
         assert!(!dbg.contains(&key_hex));
     }

@@ -227,12 +227,8 @@ mod tests {
         let kc = BleKcastModel::default();
         let g = BleGattModel::default();
         let payload = 500;
-        assert!(
-            g.unicast_send_mj(payload, 1) < kc.reliable_kcast_send_mj(payload, 7, 0.9999)
-        );
+        assert!(g.unicast_send_mj(payload, 1) < kc.reliable_kcast_send_mj(payload, 7, 0.9999));
         let small = 25;
-        assert!(
-            kc.reliable_kcast_send_mj(small, 7, 0.9999) < g.unicast_send_mj(small, 7)
-        );
+        assert!(kc.reliable_kcast_send_mj(small, 7, 0.9999) < g.unicast_send_mj(small, 7));
     }
 }

@@ -52,8 +52,7 @@ impl Hypergraph {
     /// Whether every correct node can reach every other correct node after
     /// removing `removed` (strong connectivity of the residual graph).
     pub fn is_strongly_connected_without(&self, removed: &BTreeSet<NodeId>) -> bool {
-        let alive: Vec<NodeId> =
-            (0..self.n() as NodeId).filter(|p| !removed.contains(p)).collect();
+        let alive: Vec<NodeId> = (0..self.n() as NodeId).filter(|p| !removed.contains(p)).collect();
         if alive.len() <= 1 {
             return true;
         }
@@ -122,13 +121,7 @@ impl Hypergraph {
         self.partition_probe(0, n, f, &mut chosen)
     }
 
-    fn partition_probe(
-        &self,
-        from: NodeId,
-        n: NodeId,
-        f: usize,
-        chosen: &mut Vec<NodeId>,
-    ) -> bool {
+    fn partition_probe(&self, from: NodeId, n: NodeId, f: usize, chosen: &mut Vec<NodeId>) -> bool {
         // Check the current removal set (covers "at most f" by recursion).
         let removed: BTreeSet<NodeId> = chosen.iter().copied().collect();
         if !self.is_strongly_connected_without(&removed) {

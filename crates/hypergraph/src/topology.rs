@@ -33,8 +33,7 @@ pub fn complete(n: usize) -> Hypergraph {
     assert!(n >= 2, "complete topology needs at least two nodes");
     let mut h = Hypergraph::new(n);
     for i in 0..n {
-        let receivers: Vec<NodeId> =
-            (0..n).filter(|&j| j != i).map(|j| j as NodeId).collect();
+        let receivers: Vec<NodeId> = (0..n).filter(|&j| j != i).map(|j| j as NodeId).collect();
         h.add_edge(i as NodeId, receivers).expect("complete edges are valid");
     }
     h
@@ -69,8 +68,7 @@ pub fn star(n: usize, center: NodeId) -> Hypergraph {
     assert!(n >= 2, "star topology needs at least two nodes");
     assert!((center as usize) < n, "center must be a node");
     let mut h = Hypergraph::new(n);
-    let spokes: Vec<NodeId> =
-        (0..n as NodeId).filter(|&p| p != center).collect();
+    let spokes: Vec<NodeId> = (0..n as NodeId).filter(|&p| p != center).collect();
     h.add_edge(center, spokes.iter().copied()).expect("hub edge is valid");
     for p in spokes {
         h.add_edge(p, [center]).expect("spoke edges are valid");

@@ -46,8 +46,8 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let h = random_kcast(n, k, d_out, &mut rng);
         for p in 0..n as u32 {
-            prop_assert!(h.d_out(p) <= n - 1);
-            prop_assert!(h.d_in(p) <= n - 1);
+            prop_assert!(h.d_out(p) < n);
+            prop_assert!(h.d_in(p) < n);
         }
         prop_assert!(h.necessary_fault_bound() <= n - 2);
     }

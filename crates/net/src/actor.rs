@@ -139,11 +139,14 @@ mod tests {
         }
     }
 
-    fn ctx<'a>(
-        meter: &'a mut EnergyMeter,
-        next: &'a mut u64,
-    ) -> Context<'a, Ping, &'static str> {
-        Context { node: 3, now: SimTime::from_micros(42), meter, next_timer_id: next, effects: Vec::new() }
+    fn ctx<'a>(meter: &'a mut EnergyMeter, next: &'a mut u64) -> Context<'a, Ping, &'static str> {
+        Context {
+            node: 3,
+            now: SimTime::from_micros(42),
+            meter,
+            next_timer_id: next,
+            effects: Vec::new(),
+        }
     }
 
     #[test]

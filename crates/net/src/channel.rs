@@ -55,9 +55,7 @@ impl ChannelCost {
     /// Receiver-side energy (mJ) for one node receiving `bytes`.
     pub fn recv_mj(&self, bytes: usize) -> f64 {
         match self {
-            ChannelCost::BleKcast { model, redundancy } => {
-                model.kcast_recv_mj(bytes, *redundancy)
-            }
+            ChannelCost::BleKcast { model, redundancy } => model.kcast_recv_mj(bytes, *redundancy),
             ChannelCost::BleGatt { model } => model.unicast_recv_mj(bytes, 1),
             ChannelCost::PerByte { medium } => medium.recv_mj(bytes),
         }

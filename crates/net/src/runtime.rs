@@ -66,10 +66,8 @@ impl NetConfig {
     ///
     /// Panics if the topology is not strongly connected.
     pub fn delta(&self) -> SimDuration {
-        let d = self
-            .topology
-            .diameter()
-            .expect("Δ is only defined for strongly connected topologies");
+        let d =
+            self.topology.diameter().expect("Δ is only defined for strongly connected topologies");
         self.hop_delay_max * (d as u64).max(1)
     }
 }
@@ -281,7 +279,7 @@ impl<A: Actor> SimNet<A> {
                         }
                         // Relay once on all out-edges (network-layer gossip).
                         self.transmit(node, &msg, Some(meta), true);
-                        let deliver_here = meta.target.map_or(true, |t| t == node);
+                        let deliver_here = meta.target.is_none_or(|t| t == node);
                         if deliver_here {
                             self.stats.deliveries += 1;
                             // Flooded messages report their *origin* as the
@@ -396,11 +394,7 @@ impl<A: Actor> SimNet<A> {
         }
     }
 
-    fn invoke(
-        &mut self,
-        node: NodeId,
-        f: impl FnOnce(&mut A, &mut Context<'_, A::Msg, A::Timer>),
-    ) {
+    fn invoke(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Context<'_, A::Msg, A::Timer>)) {
         let mut ctx = Context {
             node,
             now: self.now,
@@ -418,7 +412,12 @@ impl<A: Actor> SimNet<A> {
                     self.push(
                         self.now,
                         node,
-                        EventKind::Deliver { from: node, msg: msg.clone(), flood: None, loopback: true },
+                        EventKind::Deliver {
+                            from: node,
+                            msg: msg.clone(),
+                            flood: None,
+                            loopback: true,
+                        },
                     );
                     self.transmit(node, &msg, None, false);
                 }
@@ -501,7 +500,12 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, _from: NodeId, msg: TMsg, _ctx: &mut Context<'_, TMsg, &'static str>) {
+        fn on_message(
+            &mut self,
+            _from: NodeId,
+            msg: TMsg,
+            _ctx: &mut Context<'_, TMsg, &'static str>,
+        ) {
             match msg {
                 TMsg::Ping(x) => self.pings.push(x),
                 TMsg::Hop(x) => self.hops.push(x),
@@ -547,7 +551,7 @@ mod tests {
         net.run_for(SimDuration::from_millis(50));
         // Node 0's Hop reaches its two ring neighbours 1, 2 — and itself.
         for id in 0..8u32 {
-            let expect = matches!(id, 0 | 1 | 2);
+            let expect = matches!(id, 0..=2);
             assert_eq!(!net.actor(id).hops.is_empty(), expect, "node {id}");
         }
     }

@@ -283,10 +283,7 @@ where
         for tx in &self.senders {
             let _ = tx.send(TEvent::Stop);
         }
-        self.handles
-            .into_iter()
-            .map(|h| h.join().expect("node thread panicked"))
-            .collect()
+        self.handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
     }
 }
 
@@ -335,10 +332,8 @@ mod tests {
 
     #[test]
     fn flood_reaches_all_threads_once() {
-        let cfg = ThreadNetConfig {
-            topology: ring_kcast(5, 2),
-            channel: ChannelCost::ble_four_nines(2),
-        };
+        let cfg =
+            ThreadNetConfig { topology: ring_kcast(5, 2), channel: ChannelCost::ble_four_nines(2) };
         let net = ThreadNet::spawn(cfg, (0..5).map(|_| Echo::default()).collect::<Vec<_>>());
         std::thread::sleep(Duration::from_millis(200));
         let nodes = net.shutdown();

@@ -188,7 +188,8 @@ mod tests {
 
     #[test]
     fn correct_nodes_excludes_faulty_and_hub() {
-        let mut nodes = vec![node(0, 10.0, 5, true), node(1, 20.0, 5, false), node(2, 30.0, 4, false)];
+        let mut nodes =
+            vec![node(0, 10.0, 5, true), node(1, 20.0, 5, false), node(2, 30.0, 4, false)];
         nodes[0].is_hub = false;
         let r = report(nodes);
         assert_eq!(r.correct_nodes().count(), 2);

@@ -124,6 +124,7 @@ impl Scenario {
 
     /// Enables the §3.5 checkpoint optimization with the given interval.
     pub fn checkpoint_every(mut self, rounds: u64) -> Self {
+        assert!(rounds > 0, "checkpoint interval must be positive");
         self.checkpoint_interval = Some(rounds);
         self
     }
@@ -314,11 +315,8 @@ impl Scenario {
         let mut net_cfg = NetConfig::ble(star(self.n, HUB), self.seed);
         net_cfg.channel = ChannelCost::PerByte { medium: Medium::FourG };
         let delta = net_cfg.delta();
-        let config = TbConfig {
-            n: self.n,
-            payload_bytes: self.payload_bytes,
-            order_period: delta * 2,
-        };
+        let config =
+            TbConfig { n: self.n, payload_bytes: self.payload_bytes, order_period: delta * 2 };
         let pki = Arc::new(KeyStore::generate(self.n, self.scheme, self.seed));
         let nodes_v = build_tb_nodes(&config, &pki);
         let mut net = SimNet::new(net_cfg, nodes_v);
@@ -424,8 +422,7 @@ mod tests {
         assert!(hub.is_hub);
         assert!(hub.energy.total_mj() > 0.0);
         // Correct-node totals exclude the hub.
-        let manual: f64 =
-            report.nodes[1..].iter().map(|n| n.energy.total_mj()).sum();
+        let manual: f64 = report.nodes[1..].iter().map(|n| n.energy.total_mj()).sum();
         assert!((report.total_correct_energy_mj() - manual).abs() < 1e-9);
     }
 

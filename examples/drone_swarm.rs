@@ -19,13 +19,11 @@ use eesmr_hypergraph::topology::ring_kcast;
 use eesmr_net::{NetConfig, SimDuration, SimNet};
 
 fn snapshot(net: &SimNet<Replica>, label: &str) {
-    let views: Vec<u64> = (1..net.actors().len() as u32).map(|id| net.actor(id).current_view()).collect();
+    let views: Vec<u64> =
+        (1..net.actors().len() as u32).map(|id| net.actor(id).current_view()).collect();
     let heights: Vec<u64> =
         (1..net.actors().len() as u32).map(|id| net.actor(id).committed_height()).collect();
-    println!(
-        "[{label}] views={views:?} heights={heights:?} (t = {})",
-        net.now()
-    );
+    println!("[{label}] views={views:?} heights={heights:?} (t = {})", net.now());
 }
 
 fn main() {
@@ -58,9 +56,8 @@ fn main() {
 
     // Run until the swarm has evicted the coordinator.
     let deadline = net.now() + SimDuration::from_millis(5_000);
-    let evicted = net.run_until_pred(deadline, |drones| {
-        drones.iter().skip(1).all(|d| d.current_view() >= 2)
-    });
+    let evicted =
+        net.run_until_pred(deadline, |drones| drones.iter().skip(1).all(|d| d.current_view() >= 2));
     assert!(evicted, "the swarm must evict the equivocator");
     snapshot(&net, "coordinator down");
 

@@ -49,7 +49,7 @@ fn main() {
         let v = p.psi_view_change(&params).total_mj();
         match break_even_nu(e_best, e_vc, b, v) {
             None => println!("  vs {p:?}: EESMR dominates at any view-change rate"),
-            Some(nu) if nu == 0.0 => println!("  vs {p:?}: the competitor dominates"),
+            Some(0.0) => println!("  vs {p:?}: the competitor dominates"),
             Some(nu) => println!("  vs {p:?}: EESMR wins while ν_f ≤ {nu:.3}"),
         }
     }

@@ -39,7 +39,10 @@ fn main() {
     // Each sensor queues one soil reading per epoch as a client command.
     for (id, replica) in replicas.iter_mut().enumerate() {
         for epoch in 0..20u64 {
-            let reading = format!("sensor={id} epoch={epoch} nitrate_ppm={}", 12 + (id as u64 * 7 + epoch) % 9);
+            let reading = format!(
+                "sensor={id} epoch={epoch} nitrate_ppm={}",
+                12 + (id as u64 * 7 + epoch) % 9
+            );
             replica.submit(Command::new(reading.into_bytes()));
         }
     }
@@ -74,10 +77,7 @@ fn main() {
 
     // Energy budget: a CR2477 coin cell holds ~2900 J usable.
     let correct: Vec<u32> = (0..N as u32).filter(|id| !matches!(id, 7 | 8)).collect();
-    let worst_node_mj = correct
-        .iter()
-        .map(|&id| net.meter(id).total_mj())
-        .fold(0.0f64, f64::max);
+    let worst_node_mj = correct.iter().map(|&id| net.meter(id).total_mj()).fold(0.0f64, f64::max);
     let per_round_mj = worst_node_mj / height.max(1) as f64;
     let battery_mj = 2_900_000.0;
     let rounds = battery_mj / per_round_mj;

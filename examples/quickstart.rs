@@ -15,7 +15,12 @@ use eesmr_net::{NetConfig, SimDuration, SimNet};
 fn main() {
     // 1. Topology: 7 CPS nodes, each k-casting to its 3 ring successors.
     let topology = ring_kcast(7, 3);
-    println!("topology: n={}, k={:?}, diameter={:?}", topology.n(), topology.k(), topology.diameter());
+    println!(
+        "topology: n={}, k={:?}, diameter={:?}",
+        topology.n(),
+        topology.k(),
+        topology.diameter()
+    );
     println!("tolerates f = {} faults (Lemma A.6 bound)", topology.kcast_fault_bound());
 
     // 2. Network: BLE advertisements with 99.99% reliable k-casts.
@@ -44,7 +49,12 @@ fn main() {
     }
     for (i, block_id) in r0.committed().iter().take(5).enumerate() {
         let b = r0.block(block_id).expect("committed block");
-        println!("  #{i}: height {} ({} B payload) {}", b.height, b.payload_len(), block_id.short_hex());
+        println!(
+            "  #{i}: height {} ({} B payload) {}",
+            b.height,
+            b.payload_len(),
+            block_id.short_hex()
+        );
     }
     println!("  ...");
 

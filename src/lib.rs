@@ -1,3 +1,65 @@
-//! Umbrella crate for the EESMR reproduction. See README.md.
-pub use eesmr_core as core_protocol;
+//! Umbrella crate for the EESMR reproduction: one `use eesmr::prelude::*`
+//! pulls in the protocol, the deterministic simulator, the energy model,
+//! the k-cast topology builders, and the experiment harness. See README.md
+//! for the crate map and how to regenerate each paper table and figure.
+//!
+//! The workspace layers, bottom to top:
+//!
+//! | crate | re-exported as | provides |
+//! |-------|----------------|----------|
+//! | `eesmr-crypto` | [`crypto`] | SHA-256, HMAC, simulated signatures, scheme energy catalogue |
+//! | `eesmr-hypergraph` | [`hypergraph`] | directed hypergraphs of k-casts, connectivity analysis |
+//! | `eesmr-energy` | [`energy`] | media costs, BLE reliability, meters, closed-form ψ |
+//! | `eesmr-net` | [`net`] | deterministic discrete-event simulator + threaded transport |
+//! | `eesmr-core` | [`core_protocol`] | the EESMR protocol itself |
+//! | `eesmr-baselines` | [`baselines`] | Sync HotStuff, OptSync, trusted-node baseline |
+//! | `eesmr-sim` | [`sim`] | scenario harness and run reports |
+//! | `eesmr-bench` | [`bench`] | CSV/table plumbing behind the figure binaries |
+//!
+//! # Quick example
+//!
+//! Run EESMR and Sync HotStuff on the same 6-node testbed and compare the
+//! energy each spends per committed block:
+//!
+//! ```
+//! use eesmr::prelude::*;
+//!
+//! let eesmr = Scenario::new(Protocol::Eesmr, 6, 3).stop(StopWhen::Blocks(5)).run();
+//! let synchs = Scenario::new(Protocol::SyncHotStuff, 6, 3).stop(StopWhen::Blocks(5)).run();
+//! assert!(eesmr.committed_height() >= 5);
+//! assert!(eesmr.energy_per_block_mj() < synchs.energy_per_block_mj());
+//! ```
+//!
+//! For driving the simulator directly (custom topologies, fault
+//! injection, per-node meters) see the `quickstart` example and the
+//! [`net::SimNet`] docs.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use eesmr_baselines as baselines;
+pub use eesmr_bench as bench;
+pub use eesmr_core as core_protocol;
+pub use eesmr_crypto as crypto;
+pub use eesmr_energy as energy;
+pub use eesmr_hypergraph as hypergraph;
+pub use eesmr_net as net;
+pub use eesmr_sim as sim;
+
+pub mod prelude {
+    //! The one-line import for experiments: scenario harness, protocol
+    //! config, simulator, topologies, and energy meters.
+
+    pub use eesmr_core::{build_replicas, Config, FaultMode, LeaderPolicy, Pacing, Replica};
+    pub use eesmr_crypto::{Digest, Hashable, KeyStore, SigScheme};
+    pub use eesmr_energy::psi::{PsiParams, PsiProtocol};
+    pub use eesmr_energy::{BleKcastModel, EnergyCategory, EnergyMeter, FeasibleRegion, Medium};
+    pub use eesmr_hypergraph::topology::{
+        complete, complete_unicast, random_kcast, random_resilient_kcast, ring_kcast, star,
+    };
+    pub use eesmr_hypergraph::Hypergraph;
+    pub use eesmr_net::{NetConfig, SimDuration, SimNet, SimTime, ThreadNet, ThreadNetConfig};
+    pub use eesmr_sim::{
+        FaultPlan, NodeEnergy, NodeReport, Protocol, RunReport, Scenario, StopWhen,
+    };
+}

@@ -1,0 +1,46 @@
+//! The simulator's determinism contract (`eesmr-net/src/runtime.rs`): a
+//! scenario is a pure function of its configuration and seed. Two runs
+//! with the same seed must produce *identical* `RunReport`s — every
+//! energy figure, commit, view change, and network counter — across all
+//! protocols, with and without faults.
+
+use eesmr_sim::{FaultPlan, Protocol, RunReport, Scenario, StopWhen};
+
+fn run(protocol: Protocol, seed: u64, faults: FaultPlan) -> RunReport {
+    Scenario::new(protocol, 6, 3).seed(seed).faults(faults).stop(StopWhen::Blocks(4)).run()
+}
+
+#[test]
+fn same_seed_same_report_for_every_protocol() {
+    for protocol in
+        [Protocol::Eesmr, Protocol::SyncHotStuff, Protocol::OptSync, Protocol::TrustedBaseline]
+    {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let a = run(protocol, seed, FaultPlan::none());
+            let b = run(protocol, seed, FaultPlan::none());
+            assert_eq!(a, b, "{protocol:?} diverged with seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn same_seed_same_report_under_faults() {
+    for faults in [FaultPlan::silent_leader(), FaultPlan::none().with_equivocator(1, 1)] {
+        let a = run(Protocol::Eesmr, 7, faults.clone());
+        let b = run(Protocol::Eesmr, 7, faults);
+        assert_eq!(a, b, "faulty runs must still be deterministic");
+    }
+}
+
+#[test]
+fn seed_actually_matters_somewhere() {
+    // Guard against the seed being ignored entirely: across a spread of
+    // seeds, at least one pair of EESMR runs must differ in some respect
+    // (delivery jitter makes timing-derived metrics seed-dependent).
+    let reports: Vec<RunReport> =
+        (0..8).map(|s| run(Protocol::Eesmr, s, FaultPlan::none())).collect();
+    assert!(
+        reports.windows(2).any(|w| w[0] != w[1]),
+        "eight different seeds produced eight identical reports; is the seed wired through?"
+    );
+}

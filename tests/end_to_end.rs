@@ -10,8 +10,7 @@ use eesmr_hypergraph::topology::ring_kcast;
 use eesmr_net::{Fate, NetConfig, SimDuration, SimNet};
 use eesmr_sim::{FaultPlan, Protocol, Scenario, StopWhen};
 
-const PROTOCOLS: [Protocol; 3] =
-    [Protocol::Eesmr, Protocol::SyncHotStuff, Protocol::OptSync];
+const PROTOCOLS: [Protocol; 3] = [Protocol::Eesmr, Protocol::SyncHotStuff, Protocol::OptSync];
 
 #[test]
 fn every_protocol_commits_in_honest_runs() {
@@ -153,10 +152,7 @@ fn chain_sync_repairs_a_lossy_node() {
         lossy >= healthy / 2,
         "the lossy node kept up through chain sync: {lossy} vs {healthy}"
     );
-    assert!(
-        net.actor(4).metrics().sync_requests > 0,
-        "chain sync was actually exercised"
-    );
+    assert!(net.actor(4).metrics().sync_requests > 0, "chain sync was actually exercised");
     let logs: Vec<&[eesmr_crypto::Digest]> =
         (0..n as u32).map(|id| net.actor(id).committed()).collect();
     check_prefix_consistency(&logs).expect("safety under loss");

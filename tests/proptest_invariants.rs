@@ -2,8 +2,8 @@
 
 use eesmr_core::{Block, BlockStore, Command, Lineage};
 use eesmr_crypto::{Digest, KeyStore, SigScheme};
-use eesmr_energy::{BleKcastModel, Medium};
 use eesmr_energy::psi::break_even_nu;
+use eesmr_energy::{BleKcastModel, Medium};
 use eesmr_hypergraph::topology::ring_kcast;
 use eesmr_sim::{FaultPlan, Protocol, Scenario, StopWhen};
 use proptest::prelude::*;
@@ -141,7 +141,7 @@ proptest! {
         // Sufficiency can be weaker, never stronger, than Lemma A.5 — as
         // long as at least two correct nodes remain to be partitioned
         // (removing n-1 nodes leaves connectivity vacuous).
-        if necessary + 1 <= n - 2 && h.is_partition_resistant(necessary + 1) {
+        if necessary < n - 2 && h.is_partition_resistant(necessary + 1) {
             prop_assert!(false, "resisted more faults than the necessary bound allows");
         }
     }

@@ -1,0 +1,50 @@
+//! Offline stand-in for the `crossbeam::channel` API surface this
+//! workspace uses (`unbounded`, `Sender`, `Receiver`, `RecvTimeoutError`),
+//! backed by `std::sync::mpsc`. The std channel provides the same
+//! unbounded MPSC semantics the threaded transport needs; only
+//! multi-consumer `select!` support would require the real crate, and
+//! nothing here uses it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel {
+    //! Unbounded MPSC channels with timeout-capable receive.
+
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+
+    /// Creates a channel of unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn send_recv_and_timeout() {
+            let (tx, rx) = unbounded();
+            tx.send(5u32).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn senders_clone_across_threads() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(1u8).unwrap()).join().unwrap();
+            tx.send(2).unwrap();
+            let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use rand::rngs::StdRng;
+
+use crate::Strategy;
+
+/// Length bounds for collection strategies, mirroring
+/// `proptest::collection::SizeRange`. Conversions from `usize` ranges guide
+/// integer-literal inference at call sites (`vec(any::<u8>(), 0..128)`).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    len: SizeRange,
+}
+
+/// A `Vec` strategy with the given element strategy and length bounds.
+pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, len: len.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let span = (self.len.hi - self.len.lo) as u64;
+        let n = self.len.lo + (rand::RngCore::next_u64(rng) % span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

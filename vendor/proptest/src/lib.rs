@@ -1,0 +1,303 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no registry access, so this crate provides a
+//! deterministic miniature of the proptest surface the test suites call:
+//! the [`proptest!`] macro (with `#![proptest_config(..)]`, `pat in
+//! strategy` and `name: type` argument forms), range and `any::<T>()`
+//! strategies, [`collection::vec`], and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   assertion message but is not minimised.
+//! * **Deterministic streams.** Each test function derives its RNG seed
+//!   from its own module path, so runs are reproducible and CI-stable.
+//! * Strategies are plain generators (`Strategy::generate`), not lazy
+//!   value trees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+
+/// Per-block execution configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many random cases each test function runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                let off = (rand::RngCore::next_u64(rng) as u128 % span as u128) as i128;
+                ((self.start as i128) + off) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128) - (start as i128) + 1;
+                let off = (rand::RngCore::next_u64(rng) as u128 % span as u128) as i128;
+                ((start as i128) + off) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rand::RngCore::next_u64(rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Types with a canonical "any value" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Finite, sign-symmetric, spanning several orders of magnitude.
+        let unit = (rand::RngCore::next_u64(rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (unit - 0.5) * 2e9
+    }
+}
+
+/// The `any::<T>()` strategy: an unconstrained value of `T`.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Returns the canonical strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Everything a `proptest!` caller needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+
+    /// Namespace mirror of the real crate's `prelude::prop` re-export, so
+    /// `prop::collection::vec(..)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Derives the deterministic RNG for one generated test function.
+#[doc(hidden)]
+pub fn __test_rng(name: &str) -> StdRng {
+    // FNV-1a over the fully qualified test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Defines property tests. Supports the forms this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn holds(x in 0usize..10, flag: bool, v in prop::collection::vec(any::<u8>(), 0..32)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each `fn` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::__test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                $crate::__proptest_bind!(__rng; $($args)*);
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds one argument list entry.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $pat:pat in $strat:expr) => {
+        let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("property failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        ::std::assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        ::std::assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        ::std::assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        ::std::assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Mixed binding forms all work and ranges stay in bounds.
+        #[test]
+        fn bindings_and_ranges(x in 3usize..9, y in 0u64..=5, flag: bool,
+                               mut v in prop::collection::vec(any::<u8>(), 1..16)) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y <= 5);
+            let _ = flag;
+            v.push(0);
+            prop_assert!(!v.is_empty() && v.len() <= 16);
+        }
+    }
+
+    proptest! {
+        /// The no-config form uses the default case count.
+        #[test]
+        fn default_config_runs(a in 0i64..10, b in 0i64..10) {
+            prop_assert_eq!(a + b, b + a);
+            if a != b {
+                prop_assert_ne!(a, b, "guarded by the if");
+            }
+        }
+    }
+
+    #[test]
+    fn test_rng_is_deterministic_per_name() {
+        let mut a = crate::__test_rng("x::y");
+        let mut b = crate::__test_rng("x::y");
+        assert_eq!(rand::RngCore::next_u64(&mut a), rand::RngCore::next_u64(&mut b));
+    }
+}
