@@ -1,35 +1,46 @@
 //! Ablation: EESMR energy per SMR under different signature schemes
 //! (design choice in §5.5 — RSA-1024's cheap verification suits the
-//! one-signer/many-verifiers pattern).
+//! one-signer/many-verifiers pattern). The scheme axis runs as one grid
+//! on the parallel driver.
 
-use eesmr_bench::{print_table, Csv};
+use eesmr_bench::Emit;
 use eesmr_crypto::SigScheme;
-use eesmr_sim::{Protocol, Scenario, StopWhen};
+use eesmr_driver::{progress, Driver, ScenarioGrid};
+use eesmr_sim::StopWhen;
+
+const SCHEMES: [SigScheme; 6] = [
+    SigScheme::Rsa1024,
+    SigScheme::Rsa2048,
+    SigScheme::EcdsaSecp192R1,
+    SigScheme::EcdsaSecp256K1,
+    SigScheme::EcdsaBp160R1,
+    SigScheme::Hmac,
+];
 
 fn main() {
-    let schemes = [
-        SigScheme::Rsa1024,
-        SigScheme::Rsa2048,
-        SigScheme::EcdsaSecp192R1,
-        SigScheme::EcdsaSecp256K1,
-        SigScheme::EcdsaBp160R1,
-        SigScheme::Hmac,
-    ];
-    let mut csv =
-        Csv::create("ablation_schemes", &["scheme", "leader_mj_per_smr", "replica_mj_per_smr"]);
-    let mut rows = Vec::new();
-    for scheme in schemes {
-        let report =
-            Scenario::new(Protocol::Eesmr, 10, 3).scheme(scheme).stop(StopWhen::Blocks(20)).run();
+    let grid = ScenarioGrid::named("ablation_schemes")
+        .nodes([10])
+        .degrees([3])
+        .schemes(SCHEMES)
+        .stop(StopWhen::Blocks(20));
+    let suite = Driver::from_env().run_grid_with_progress(&grid, progress::stderr_status());
+
+    let mut emit = Emit::new(
+        "Ablation: EESMR energy per SMR by signature scheme (mJ), n=10 k=3",
+        "ablation_schemes",
+        &["Scheme", "Leader", "Replica (avg)"],
+        &["scheme", "leader_mj_per_smr", "replica_mj_per_smr"],
+    );
+    for scheme in SCHEMES {
+        let report = suite.find(|c| c.scheme == scheme).expect("scheme on the grid").report();
         let leader = report.node_energy_per_block_mj(0);
         let replica: f64 = (1..10).map(|id| report.node_energy_per_block_mj(id)).sum::<f64>() / 9.0;
-        csv.rowd(&[&scheme.name(), &leader, &replica]);
-        rows.push(vec![scheme.name().to_string(), format!("{leader:.0}"), format!("{replica:.0}")]);
+        emit.row(
+            vec![scheme.name().to_string(), format!("{leader:.0}"), format!("{replica:.0}")],
+            vec![scheme.name().to_string(), leader.to_string(), replica.to_string()],
+        );
     }
-    print_table(
-        "Ablation: EESMR energy per SMR by signature scheme (mJ), n=10 k=3",
-        &["Scheme", "Leader", "Replica (avg)"],
-        &rows,
-    );
-    println!("wrote {}", csv.path().display());
+    emit.finish();
+    let paths = suite.write();
+    println!("wrote {} and {}", paths.csv.display(), paths.json.display());
 }

@@ -1,8 +1,16 @@
-//! Runs every table/figure regeneration binary's logic in sequence by
-//! invoking the sibling binaries. Writes all CSV series under
-//! `target/experiments/`.
+//! Runs every table/figure regeneration binary by invoking the sibling
+//! binaries through the parallel driver's worker pool (`EESMR_WORKERS`
+//! children at a time; children inherit `EESMR_QUICK` / `EESMR_OUT_DIR`,
+//! and run single-worker unless `EESMR_WORKERS` is set explicitly). Each
+//! child's output is captured and replayed in the fixed target order, so
+//! stdout (tables, results) is identical no matter how the children are
+//! scheduled; only the live `[done]`/`[FAIL]` status lines on stderr
+//! follow completion order. Writes all CSV series under the experiment
+//! output directory.
 
 use std::process::Command;
+
+use eesmr_driver::Driver;
 
 const TARGETS: &[&str] = &[
     "table1",
@@ -25,21 +33,57 @@ const TARGETS: &[&str] = &[
 
 fn main() {
     let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
+    let dir = exe.parent().expect("bin dir").to_path_buf();
+
+    let driver = Driver::from_env();
+    // Parallelism lives at the process level here: when EESMR_WORKERS is
+    // unset, each child would otherwise also default to one worker per
+    // core, and N parallel children × N workers each oversubscribes the
+    // CPU. An explicit EESMR_WORKERS is inherited untouched (CI's
+    // EESMR_WORKERS=2 exercises multi-worker grids inside the children).
+    let child_workers = std::env::var(eesmr_driver::config::ENV_WORKERS)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or_else(|| "1".to_string(), |w| w.max(1).to_string());
+    eprintln!(
+        "running {} experiment binaries across {} workers ({} per child)",
+        TARGETS.len(),
+        driver.config().workers,
+        child_workers
+    );
+    let outputs = driver.map(TARGETS, |&target| {
+        let output = Command::new(dir.join(target))
+            .env(eesmr_driver::config::ENV_WORKERS, &child_workers)
+            .output();
+        match &output {
+            Ok(o) if o.status.success() => eprintln!("[done] {target}"),
+            _ => eprintln!("[FAIL] {target}"),
+        }
+        output
+    });
+
     let mut failures = Vec::new();
-    for target in TARGETS {
+    for (target, output) in TARGETS.iter().zip(outputs) {
         println!("\n=== {target} ===");
-        let status = Command::new(dir.join(target)).status();
-        match status {
-            Ok(s) if s.success() => {}
-            other => {
-                eprintln!("{target} failed: {other:?}");
+        match output {
+            Ok(o) => {
+                print!("{}", String::from_utf8_lossy(&o.stdout));
+                // Replay the child's stderr (progress lines, warnings)
+                // even on success — it was captured, not inherited.
+                eprint!("{}", String::from_utf8_lossy(&o.stderr));
+                if !o.status.success() {
+                    eprintln!("{target} failed: {:?}", o.status);
+                    failures.push(*target);
+                }
+            }
+            Err(e) => {
+                eprintln!("{target} failed to spawn: {e}");
                 failures.push(*target);
             }
         }
     }
     if failures.is_empty() {
-        println!("\nall experiments completed; CSVs in target/experiments/");
+        println!("\nall experiments completed; CSVs in {}", eesmr_driver::out_dir().display());
     } else {
         eprintln!("\nfailed: {failures:?}");
         std::process::exit(1);

@@ -1,15 +1,25 @@
 //! Regenerates **Fig. 1**: the feasible region ψ^EESMR − ψ^Baseline over a
 //! grid of node counts and message sizes (RSA-1024, WiFi between nodes, 4G
 //! to the trusted node). Negative values mean EESMR is the more
-//! energy-efficient choice.
+//! energy-efficient choice. Each n-row of the region is computed through
+//! the driver's ordered worker pool, then reassembled into a
+//! `FeasibleRegion` for the canonical frontier analysis. (The CSV is
+//! row-per-cell while the table is row-per-n, so this binary drives
+//! `Csv`/`print_table` directly instead of the shared `Emit` sink.)
 
 use eesmr_bench::{print_table, Csv};
-use eesmr_energy::FeasibleRegion;
+use eesmr_driver::Driver;
+use eesmr_energy::{FeasibleCell, FeasibleRegion};
 
 fn main() {
     let n_values: Vec<usize> = (3..=16).collect();
     let m_values: Vec<usize> = vec![64, 128, 256, 512, 1024, 1536, 2048];
-    let region = FeasibleRegion::compute(&n_values, &m_values);
+
+    // One task per n: the closed-form ψ row over every payload size.
+    let row_cells: Vec<Vec<FeasibleCell>> = Driver::from_env()
+        .map(&n_values, |&n| FeasibleRegion::compute(&[n], &m_values).cells().to_vec());
+    let region =
+        FeasibleRegion::from_rows(&n_values, &m_values, row_cells.into_iter().flatten().collect());
 
     let mut csv = Csv::create(
         "fig1_feasible_region",

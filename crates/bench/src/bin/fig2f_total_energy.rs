@@ -1,37 +1,53 @@
 //! Regenerates **Fig. 2f**: total energy consumed by the correct nodes per
-//! SMR in EESMR vs Sync HotStuff, for k ∈ {3, 5} and n ∈ 4..9.
+//! SMR in EESMR vs Sync HotStuff, for k ∈ {3, 5} and n ∈ 4..9. The
+//! 2 × 6 × 2 sweep runs as one grid on the parallel driver.
 
-use eesmr_bench::{print_table, Csv};
-use eesmr_sim::{Protocol, Scenario, StopWhen};
-
-fn total_per_smr(protocol: Protocol, n: usize, k: usize) -> f64 {
-    Scenario::new(protocol, n, k).payload(16).stop(StopWhen::Blocks(20)).run().energy_per_block_mj()
-}
+use eesmr_bench::Emit;
+use eesmr_driver::{progress, Driver, ScenarioGrid};
+use eesmr_sim::{Protocol, StopWhen};
 
 fn main() {
-    let mut csv = Csv::create("fig2f_total_energy", &["n", "k", "eesmr_mj", "synchs_mj"]);
-    let mut rows = Vec::new();
+    let grid = ScenarioGrid::named("fig2f_total_energy")
+        .protocols([Protocol::Eesmr, Protocol::SyncHotStuff])
+        .nodes(4..=9)
+        .degrees([3, 5])
+        .stop(StopWhen::Blocks(20));
+    let suite = Driver::from_env().run_grid_with_progress(&grid, progress::stderr_status());
+
+    let mut emit = Emit::new(
+        "Fig. 2f: total correct-node energy per SMR (mJ)",
+        "fig2f_total_energy",
+        &["n", "k", "EESMR", "Sync HotStuff", "SyncHS/EESMR"],
+        &["n", "k", "eesmr_mj", "synchs_mj"],
+    );
     for n in 4..=9usize {
         for k in [3usize, 5] {
             if k >= n {
-                continue; // ring k-cast needs k < n
+                continue; // ring k-cast needs k < n (skipped by the grid too)
             }
-            let e = total_per_smr(Protocol::Eesmr, n, k);
-            let s = total_per_smr(Protocol::SyncHotStuff, n, k);
-            csv.rowd(&[&n, &k, &e, &s]);
-            rows.push(vec![
-                n.to_string(),
-                k.to_string(),
-                format!("{e:.0}"),
-                format!("{s:.0}"),
-                format!("{:.2}x", s / e),
-            ]);
+            let per_smr = |protocol| {
+                suite
+                    .find(|c| c.protocol == protocol && c.n == n && c.k == k)
+                    .expect("cell on the grid")
+                    .stats
+                    .energy_per_block_mj
+                    .mean
+            };
+            let e = per_smr(Protocol::Eesmr);
+            let s = per_smr(Protocol::SyncHotStuff);
+            emit.row(
+                vec![
+                    n.to_string(),
+                    k.to_string(),
+                    format!("{e:.0}"),
+                    format!("{s:.0}"),
+                    format!("{:.2}x", s / e),
+                ],
+                vec![n.to_string(), k.to_string(), e.to_string(), s.to_string()],
+            );
         }
     }
-    print_table(
-        "Fig. 2f: total correct-node energy per SMR (mJ)",
-        &["n", "k", "EESMR", "Sync HotStuff", "SyncHS/EESMR"],
-        &rows,
-    );
-    println!("wrote {}", csv.path().display());
+    emit.finish();
+    let paths = suite.write();
+    println!("wrote {} and {}", paths.csv.display(), paths.json.display());
 }

@@ -1,29 +1,30 @@
 //! Regenerates **Fig. 3**: leader energy in EESMR vs Sync HotStuff to
 //! tolerate f Byzantine faults in an n = 13 system (k = f + 1), for both
 //! the honest-leader (per-SMR) and faulty-leader (per view change) cases.
+//! The 24 scenarios are declared as an explicit list on one grid and run
+//! in parallel.
 
-use eesmr_bench::{print_table, Csv};
+use eesmr_bench::Emit;
+use eesmr_driver::{progress, Driver, ScenarioGrid, SuiteReport};
 use eesmr_sim::{FaultPlan, Protocol, Scenario, StopWhen};
 
 const N: usize = 13;
 
 /// Honest SMR: leader correct, f mid-ring nodes silent (away from the
 /// leader's in-neighbourhood so the leader still receives relays); energy
-/// per block at the leader.
-fn honest_leader_mj(protocol: Protocol, f: usize) -> f64 {
+/// per block is read at the leader.
+fn honest_scenario(protocol: Protocol, f: usize) -> Scenario {
     let silent = (2u32..2 + f as u32).collect::<Vec<_>>();
     Scenario::new(protocol, N, f + 1)
         .fault_bound(f)
         .faults(FaultPlan::silent_nodes(silent))
         .payload(16)
         .stop(StopWhen::Blocks(15))
-        .run()
-        .node_energy_per_block_mj(0)
 }
 
-/// View change: view-1 leader silent; energy at the incoming leader for
-/// the whole change.
-fn vc_leader_mj(protocol: Protocol, f: usize) -> f64 {
+/// View change: view-1 leader silent; energy is read at the incoming
+/// leader for the whole change.
+fn vc_scenario(protocol: Protocol, f: usize) -> Scenario {
     let mut scenario = Scenario::new(protocol, N, f + 1)
         .fault_bound(f)
         .faults(FaultPlan::silent_leader())
@@ -32,34 +33,67 @@ fn vc_leader_mj(protocol: Protocol, f: usize) -> f64 {
     if protocol == Protocol::Eesmr {
         scenario = scenario.with_paper_optimizations();
     }
-    scenario.run().node_energy_mj(1)
+    scenario
+}
+
+fn label(case: &str, protocol: Protocol, f: usize) -> String {
+    format!("{case}/{}/f={f}", protocol.name())
+}
+
+fn honest_leader_mj(suite: &SuiteReport, protocol: Protocol, f: usize) -> f64 {
+    suite
+        .by_label(&label("honest", protocol, f))
+        .expect("honest cell")
+        .report()
+        .node_energy_per_block_mj(0)
+}
+
+fn vc_leader_mj(suite: &SuiteReport, protocol: Protocol, f: usize) -> f64 {
+    suite.by_label(&label("vc", protocol, f)).expect("vc cell").report().node_energy_mj(1)
 }
 
 fn main() {
-    let mut csv = Csv::create(
+    let mut grid = ScenarioGrid::named("fig3_eesmr_vs_synchs");
+    for f in 1..=6usize {
+        for protocol in [Protocol::Eesmr, Protocol::SyncHotStuff] {
+            grid = grid
+                .scenario(label("honest", protocol, f), honest_scenario(protocol, f))
+                .scenario(label("vc", protocol, f), vc_scenario(protocol, f));
+        }
+    }
+    let suite = Driver::from_env().run_grid_with_progress(&grid, progress::stderr_status());
+
+    let mut emit = Emit::new(
+        "Fig. 3: leader energy, n=13 (mJ)",
         "fig3_eesmr_vs_synchs",
+        &["f", "k", "EESMR honest SMR", "SyncHS honest SMR", "EESMR VC", "SyncHS VC"],
         &["f", "k", "eesmr_honest_mj", "synchs_honest_mj", "eesmr_vc_mj", "synchs_vc_mj"],
     );
-    let mut rows = Vec::new();
     for f in 1..=6usize {
-        let eh = honest_leader_mj(Protocol::Eesmr, f);
-        let sh = honest_leader_mj(Protocol::SyncHotStuff, f);
-        let ev = vc_leader_mj(Protocol::Eesmr, f);
-        let sv = vc_leader_mj(Protocol::SyncHotStuff, f);
-        csv.rowd(&[&f, &(f + 1), &eh, &sh, &ev, &sv]);
-        rows.push(vec![
-            f.to_string(),
-            (f + 1).to_string(),
-            format!("{eh:.0}"),
-            format!("{sh:.0}"),
-            format!("{ev:.0}"),
-            format!("{sv:.0}"),
-        ]);
+        let eh = honest_leader_mj(&suite, Protocol::Eesmr, f);
+        let sh = honest_leader_mj(&suite, Protocol::SyncHotStuff, f);
+        let ev = vc_leader_mj(&suite, Protocol::Eesmr, f);
+        let sv = vc_leader_mj(&suite, Protocol::SyncHotStuff, f);
+        emit.row(
+            vec![
+                f.to_string(),
+                (f + 1).to_string(),
+                format!("{eh:.0}"),
+                format!("{sh:.0}"),
+                format!("{ev:.0}"),
+                format!("{sv:.0}"),
+            ],
+            vec![
+                f.to_string(),
+                (f + 1).to_string(),
+                eh.to_string(),
+                sh.to_string(),
+                ev.to_string(),
+                sv.to_string(),
+            ],
+        );
     }
-    print_table(
-        "Fig. 3: leader energy, n=13 (mJ)",
-        &["f", "k", "EESMR honest SMR", "SyncHS honest SMR", "EESMR VC", "SyncHS VC"],
-        &rows,
-    );
-    println!("wrote {}", csv.path().display());
+    emit.finish();
+    let paths = suite.write();
+    println!("wrote {} and {}", paths.csv.display(), paths.json.display());
 }

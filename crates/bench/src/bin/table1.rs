@@ -1,12 +1,38 @@
 //! Regenerates **Table 1**: energy consumption per message for BLE, 4G LTE
-//! and WiFi at 256 B – 2 kB (mJ).
+//! and WiFi at 256 B – 2 kB (mJ). The per-size rows are computed through
+//! the driver's ordered worker pool.
 
-use eesmr_bench::{print_table, Csv};
+use eesmr_bench::Emit;
+use eesmr_driver::Driver;
 use eesmr_energy::medium::{Medium, ANCHOR_SIZES};
 
 fn main() {
-    let mut csv = Csv::create(
+    let rows = Driver::from_env().map(&ANCHOR_SIZES, |&size| {
+        let cells = [
+            Medium::Ble.send_mj(size),
+            Medium::Ble.recv_mj(size),
+            Medium::Ble.multicast_send_mj(size),
+            Medium::FourG.send_mj(size),
+            Medium::FourG.recv_mj(size),
+            Medium::Wifi.send_mj(size),
+            Medium::Wifi.recv_mj(size),
+        ];
+        (size, cells)
+    });
+
+    let mut emit = Emit::new(
+        "Table 1: energy per message (mJ)",
         "table1_media",
+        &[
+            "Size",
+            "BLE send",
+            "BLE recv",
+            "BLE mcast",
+            "4G send",
+            "4G recv",
+            "WiFi send",
+            "WiFi recv",
+        ],
         &[
             "size_bytes",
             "ble_send",
@@ -18,37 +44,12 @@ fn main() {
             "wifi_recv",
         ],
     );
-    let mut rows = Vec::new();
-    for &size in &ANCHOR_SIZES {
-        let cells = [
-            Medium::Ble.send_mj(size),
-            Medium::Ble.recv_mj(size),
-            Medium::Ble.multicast_send_mj(size),
-            Medium::FourG.send_mj(size),
-            Medium::FourG.recv_mj(size),
-            Medium::Wifi.send_mj(size),
-            Medium::Wifi.recv_mj(size),
-        ];
-        let mut row = vec![format!("{size} B")];
-        row.extend(cells.iter().map(|c| format!("{c:.2}")));
-        rows.push(row);
+    for (size, cells) in rows {
+        let mut table_row = vec![format!("{size} B")];
+        table_row.extend(cells.iter().map(|c| format!("{c:.2}")));
         let mut csv_row = vec![size.to_string()];
         csv_row.extend(cells.iter().map(|c| format!("{c}")));
-        csv.row(&csv_row);
+        emit.row(table_row, csv_row);
     }
-    print_table(
-        "Table 1: energy per message (mJ)",
-        &[
-            "Size",
-            "BLE send",
-            "BLE recv",
-            "BLE mcast",
-            "4G send",
-            "4G recv",
-            "WiFi send",
-            "WiFi recv",
-        ],
-        &rows,
-    );
-    println!("\nwrote {}", csv.path().display());
+    emit.finish();
 }

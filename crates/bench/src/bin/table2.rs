@@ -1,38 +1,43 @@
 //! Regenerates **Table 2**: signing/verification energy (J) for ECDSA
-//! curves, RSA moduli and HMAC, plus the scheme sizes the wire model uses.
+//! curves, RSA moduli and HMAC, plus the scheme sizes the wire model
+//! uses. The per-scheme rows are computed through the driver's ordered
+//! worker pool.
 
-use eesmr_bench::{print_table, Csv};
+use eesmr_bench::Emit;
 use eesmr_crypto::SigScheme;
+use eesmr_driver::Driver;
 
 fn main() {
-    let mut csv = Csv::create(
+    let rows = Driver::from_env().map(&SigScheme::ALL, |scheme| {
+        (
+            vec![
+                scheme.name().to_string(),
+                format!("{:.2}", scheme.sign_energy_j()),
+                format!("{:.2}", scheme.verify_energy_j()),
+                scheme.signature_size().to_string(),
+                scheme.public_key_size().to_string(),
+                scheme.security_bits().to_string(),
+            ],
+            vec![
+                scheme.name().to_string(),
+                scheme.sign_energy_j().to_string(),
+                scheme.verify_energy_j().to_string(),
+                scheme.signature_size().to_string(),
+                scheme.public_key_size().to_string(),
+                scheme.security_bits().to_string(),
+            ],
+        )
+    });
+
+    let mut emit = Emit::new(
+        "Table 2: signature scheme energy (J) and sizes",
         "table2_signatures",
+        &["Scheme", "Sign (J)", "Verify (J)", "Sig (B)", "PK (B)", "Security"],
         &["scheme", "sign_j", "verify_j", "sig_bytes", "pk_bytes", "security_bits"],
     );
-    let mut rows = Vec::new();
-    for scheme in SigScheme::ALL {
-        rows.push(vec![
-            scheme.name().to_string(),
-            format!("{:.2}", scheme.sign_energy_j()),
-            format!("{:.2}", scheme.verify_energy_j()),
-            scheme.signature_size().to_string(),
-            scheme.public_key_size().to_string(),
-            scheme.security_bits().to_string(),
-        ]);
-        csv.rowd(&[
-            &scheme.name(),
-            &scheme.sign_energy_j(),
-            &scheme.verify_energy_j(),
-            &scheme.signature_size(),
-            &scheme.public_key_size(),
-            &scheme.security_bits(),
-        ]);
+    for (table_row, csv_row) in rows {
+        emit.row(table_row, csv_row);
     }
-    print_table(
-        "Table 2: signature scheme energy (J) and sizes",
-        &["Scheme", "Sign (J)", "Verify (J)", "Sig (B)", "PK (B)", "Security"],
-        &rows,
-    );
+    emit.finish();
     println!("\nThe paper's pick for CPS: RSA-1024 (cheap verification fits one-signer/many-verifiers SMR).");
-    println!("wrote {}", csv.path().display());
 }

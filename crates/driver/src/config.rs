@@ -1,0 +1,97 @@
+//! Driver configuration: worker count, repeats, quick mode, and their
+//! environment overrides.
+
+use std::env;
+
+/// Environment variable overriding [`DriverConfig::workers`].
+pub const ENV_WORKERS: &str = "EESMR_WORKERS";
+/// Environment variable enabling [`DriverConfig::quick_mode`] (`1`/`true`).
+pub const ENV_QUICK: &str = "EESMR_QUICK";
+
+/// Knobs for a [`Driver`](crate::Driver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriverConfig {
+    /// Worker threads to fan scenarios across. `1` means run inline on
+    /// the calling thread. Never affects *results*: the driver restores
+    /// grid order regardless of completion order.
+    pub workers: usize,
+    /// How many times to run each grid cell; repeat `r` reseeds the
+    /// cell's scenario (repeat 0 keeps its own seed, later repeats
+    /// stride into a disjoint seed range). Summary statistics aggregate
+    /// across repeats. Forced to `1` in quick mode.
+    pub repeats: usize,
+    /// Shrink every scenario's stop condition to a smoke-test size (see
+    /// [`crate::ScenarioGrid`] docs) — used by CI to exercise the
+    /// parallel path cheaply.
+    pub quick_mode: bool,
+}
+
+impl Default for DriverConfig {
+    /// One worker per available core (at least 1), single repeat, full
+    /// scenarios.
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        DriverConfig { workers, repeats: 1, quick_mode: false }
+    }
+}
+
+impl DriverConfig {
+    /// The defaults with `EESMR_WORKERS` / `EESMR_QUICK` applied on top.
+    pub fn from_env() -> Self {
+        let mut config = Self::default();
+        if let Some(workers) = env::var(ENV_WORKERS).ok().and_then(|v| v.parse::<usize>().ok()) {
+            config.workers = workers.max(1);
+        }
+        if let Ok(quick) = env::var(ENV_QUICK) {
+            config.quick_mode = !matches!(quick.as_str(), "" | "0" | "false");
+        }
+        config
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the per-cell repeat count (clamped to at least 1).
+    pub fn repeats(mut self, repeats: usize) -> Self {
+        self.repeats = repeats.max(1);
+        self
+    }
+
+    /// Enables or disables quick mode.
+    pub fn quick(mut self, quick: bool) -> Self {
+        self.quick_mode = quick;
+        self
+    }
+
+    /// Repeats actually run per cell (quick mode forces 1).
+    pub fn effective_repeats(&self) -> usize {
+        if self.quick_mode {
+            1
+        } else {
+            self.repeats.max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_clamp_to_one() {
+        let c = DriverConfig::default().workers(0).repeats(0);
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.repeats, 1);
+        assert!(!c.quick_mode);
+    }
+
+    #[test]
+    fn quick_mode_forces_single_repeat() {
+        let c = DriverConfig::default().repeats(5);
+        assert_eq!(c.effective_repeats(), 5);
+        assert_eq!(c.quick(true).effective_repeats(), 1);
+    }
+}

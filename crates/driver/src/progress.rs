@@ -1,0 +1,89 @@
+//! Live per-scenario progress events.
+//!
+//! Workers publish events onto an internal channel; a dedicated drainer
+//! thread invokes the caller's callback, so status lines are serialized
+//! (never interleaved) no matter how many workers run. Event *order*
+//! follows completion and is therefore not deterministic — only the
+//! [`SuiteReport`](crate::SuiteReport) is.
+
+use std::time::Duration;
+
+/// One progress event from the worker pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgressEvent {
+    /// A worker picked up a cell (one event per repeat).
+    Started {
+        /// Cell index in grid order.
+        index: usize,
+        /// Total number of cells in the grid.
+        total: usize,
+        /// Cell label.
+        label: String,
+        /// Which repeat of the cell this run is (0-based).
+        repeat: usize,
+    },
+    /// A run finished.
+    Finished {
+        /// Cell index in grid order.
+        index: usize,
+        /// Total number of cells in the grid.
+        total: usize,
+        /// Cell label.
+        label: String,
+        /// Which repeat of the cell this run was (0-based).
+        repeat: usize,
+        /// The run's one-line summary ([`RunReport::summary`](eesmr_sim::RunReport::summary)).
+        summary: String,
+        /// Wall-clock time the run took.
+        wall: Duration,
+    },
+}
+
+impl ProgressEvent {
+    /// A one-line status string, e.g.
+    /// `[ 3/12] done EESMR n=6 k=3 … (0.41s): EESMR: n=6 …`.
+    pub fn status_line(&self) -> String {
+        match self {
+            ProgressEvent::Started { index, total, label, repeat } => {
+                let repeat =
+                    if *repeat > 0 { format!(" (repeat {repeat})") } else { String::new() };
+                format!("[{:>2}/{total}] run  {label}{repeat}", index + 1)
+            }
+            ProgressEvent::Finished { index, total, label, wall, .. } => {
+                format!("[{:>2}/{total}] done {label} ({:.2}s)", index + 1, wall.as_secs_f64())
+            }
+        }
+    }
+}
+
+/// A ready-made callback printing [`ProgressEvent::status_line`]s for
+/// finished runs to stderr (stdout stays clean for the result tables).
+pub fn stderr_status() -> impl Fn(ProgressEvent) + Sync + Send {
+    |event| {
+        if matches!(event, ProgressEvent::Finished { .. }) {
+            eprintln!("{}", event.status_line());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_lines_are_informative() {
+        let start = ProgressEvent::Started { index: 2, total: 12, label: "cell".into(), repeat: 0 };
+        assert_eq!(start.status_line(), "[ 3/12] run  cell");
+        let rep = ProgressEvent::Started { index: 2, total: 12, label: "cell".into(), repeat: 1 };
+        assert!(rep.status_line().contains("repeat 1"));
+        let done = ProgressEvent::Finished {
+            index: 11,
+            total: 12,
+            label: "cell".into(),
+            repeat: 0,
+            summary: String::new(),
+            wall: Duration::from_millis(500),
+        };
+        assert_eq!(done.status_line(), "[12/12] done cell (0.50s)");
+    }
+}

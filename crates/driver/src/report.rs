@@ -1,0 +1,296 @@
+//! Structured suite reports: per-cell results, summary statistics across
+//! repeats, and JSON/CSV sinks.
+
+use std::path::PathBuf;
+
+use eesmr_sim::{CellKey, RunReport};
+
+use crate::sink::{out_dir, Csv};
+
+/// Mean/min/max of one metric across a cell's repeats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty slice of samples; `None` when empty.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in samples {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Some(Summary { mean: sum / samples.len() as f64, min, max })
+    }
+}
+
+/// Summary statistics for one cell, across its repeats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStats {
+    /// Total correct-node energy per committed block, mJ.
+    pub energy_per_block_mj: Summary,
+    /// Total correct-node energy, mJ.
+    pub total_correct_energy_mj: Summary,
+    /// Mean commit latency in µs (`None` if no repeat measured one).
+    pub commit_latency_us: Option<Summary>,
+    /// View changes completed (max over correct nodes, per repeat).
+    pub view_changes: Summary,
+    /// Committed height (min over correct nodes, per repeat).
+    pub committed_height: Summary,
+}
+
+impl CellStats {
+    /// Aggregates a cell's repeats (panics on an empty slice — the driver
+    /// always runs at least one repeat per cell).
+    pub fn from_runs(runs: &[RunReport]) -> CellStats {
+        assert!(!runs.is_empty(), "a cell has at least one run");
+        let collect = |f: &dyn Fn(&RunReport) -> f64| -> Vec<f64> { runs.iter().map(f).collect() };
+        let latencies: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.mean_commit_latency().map(|d| d.as_micros() as f64))
+            .collect();
+        CellStats {
+            energy_per_block_mj: Summary::of(&collect(&|r| r.energy_per_block_mj())).unwrap(),
+            total_correct_energy_mj: Summary::of(&collect(&|r| r.total_correct_energy_mj()))
+                .unwrap(),
+            commit_latency_us: Summary::of(&latencies),
+            view_changes: Summary::of(&collect(&|r| r.view_changes() as f64)).unwrap(),
+            committed_height: Summary::of(&collect(&|r| r.committed_height() as f64)).unwrap(),
+        }
+    }
+}
+
+/// Everything one grid cell produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Cell label (defaults to the scenario's [`label`](eesmr_sim::Scenario::label)).
+    pub label: String,
+    /// The cell's sweep coordinates.
+    pub key: CellKey,
+    /// One report per repeat, in repeat order.
+    pub runs: Vec<RunReport>,
+    /// Summary statistics across the repeats.
+    pub stats: CellStats,
+}
+
+impl CellResult {
+    /// The first repeat's report (the one a `repeats = 1` suite is
+    /// entirely described by).
+    pub fn report(&self) -> &RunReport {
+        &self.runs[0]
+    }
+}
+
+/// The structured outcome of running a whole grid: per-cell results in
+/// deterministic grid order, independent of worker scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteReport {
+    /// Suite name (from the grid; used for sink file names).
+    pub name: String,
+    /// Per-cell results, in grid order.
+    pub cells: Vec<CellResult>,
+}
+
+/// Where [`SuiteReport::write`] put the suite sinks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuitePaths {
+    /// The per-cell summary CSV.
+    pub csv: PathBuf,
+    /// The structured JSON report.
+    pub json: PathBuf,
+}
+
+impl SuiteReport {
+    /// The first cell whose key satisfies `pred`. Keys are unique across
+    /// a cartesian sweep but not necessarily across explicit scenarios
+    /// (a [`CellKey`] omits fault plans and stop conditions) — look
+    /// those up with [`by_label`](Self::by_label) instead.
+    pub fn find(&self, pred: impl Fn(&CellKey) -> bool) -> Option<&CellResult> {
+        self.cells.iter().find(|c| pred(&c.key))
+    }
+
+    /// The cell with the given label.
+    pub fn by_label(&self, label: &str) -> Option<&CellResult> {
+        self.cells.iter().find(|c| c.label == label)
+    }
+
+    /// First-repeat reports in grid order.
+    pub fn reports(&self) -> impl Iterator<Item = &RunReport> {
+        self.cells.iter().map(CellResult::report)
+    }
+
+    /// Writes both sinks (`<name>.suite.csv` and `<name>.suite.json`)
+    /// under [`out_dir`].
+    pub fn write(&self) -> SuitePaths {
+        SuitePaths { csv: self.write_csv(), json: self.write_json() }
+    }
+
+    /// Writes the per-cell summary CSV (`<name>.suite.csv`) under
+    /// [`out_dir`], sharing the [`Csv`] writer with the figure binaries.
+    pub fn write_csv(&self) -> PathBuf {
+        let mut csv = Csv::create(
+            &format!("{}.suite", self.name),
+            &[
+                "label",
+                "protocol",
+                "n",
+                "k",
+                "payload_bytes",
+                "scheme",
+                "seed",
+                "repeats",
+                "committed_height",
+                "view_changes",
+                "energy_per_block_mj_mean",
+                "energy_per_block_mj_min",
+                "energy_per_block_mj_max",
+                "total_energy_mj_mean",
+                "commit_latency_us_mean",
+            ],
+        );
+        for cell in &self.cells {
+            let s = &cell.stats;
+            csv.rowd(&[
+                &cell.label,
+                &cell.report().protocol,
+                &cell.key.n,
+                &cell.key.k,
+                &cell.key.payload_bytes,
+                &cell.key.scheme.name(),
+                &cell.key.seed,
+                &cell.runs.len(),
+                &s.committed_height.mean,
+                &s.view_changes.mean,
+                &s.energy_per_block_mj.mean,
+                &s.energy_per_block_mj.min,
+                &s.energy_per_block_mj.max,
+                &s.total_correct_energy_mj.mean,
+                &s.commit_latency_us.map_or_else(|| "".into(), |l| l.mean.to_string()),
+            ]);
+        }
+        csv.path().clone()
+    }
+
+    /// Writes the structured JSON report (`<name>.suite.json`) under
+    /// [`out_dir`]. Hand-rolled serialization — the workspace has no
+    /// serde.
+    pub fn write_json(&self) -> PathBuf {
+        let path = out_dir().join(format!("{}.suite.json", self.name));
+        std::fs::write(&path, self.to_json()).expect("can write suite JSON");
+        path
+    }
+
+    /// The suite as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"suite\": {},\n", json_string(&self.name)));
+        out.push_str("  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            let s = &cell.stats;
+            out.push_str("    {");
+            out.push_str(&format!("\"label\": {}, ", json_string(&cell.label)));
+            out.push_str(&format!("\"protocol\": {}, ", json_string(cell.report().protocol)));
+            out.push_str(&format!(
+                "\"n\": {}, \"k\": {}, \"f\": {}, \"payload_bytes\": {}, ",
+                cell.key.n,
+                cell.key.k,
+                cell.report().f,
+                cell.key.payload_bytes
+            ));
+            out.push_str(&format!(
+                "\"scheme\": {}, \"seed\": {}, \"repeats\": {}, ",
+                json_string(cell.key.scheme.name()),
+                cell.key.seed,
+                cell.runs.len()
+            ));
+            out.push_str(&format!(
+                "\"committed_height\": {}, \"view_changes\": {}, ",
+                json_f64(s.committed_height.mean),
+                json_f64(s.view_changes.mean)
+            ));
+            out.push_str(&format!(
+                "\"energy_per_block_mj\": {}, ",
+                json_summary(&s.energy_per_block_mj)
+            ));
+            out.push_str(&format!(
+                "\"total_correct_energy_mj\": {}, ",
+                json_summary(&s.total_correct_energy_mj)
+            ));
+            out.push_str(&format!(
+                "\"commit_latency_us\": {}",
+                s.commit_latency_us.as_ref().map_or_else(|| "null".into(), json_summary)
+            ));
+            out.push_str(if i + 1 < self.cells.len() { "},\n" } else { "}\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_summary(s: &Summary) -> String {
+    format!(
+        "{{\"mean\": {}, \"min\": {}, \"max\": {}}}",
+        json_f64(s.mean),
+        json_f64(s.min),
+        json_f64(s.max)
+    )
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_samples() {
+        assert_eq!(Summary::of(&[]), None);
+        let s = Summary::of(&[2.0, 4.0, 9.0]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+}

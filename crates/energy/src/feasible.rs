@@ -72,6 +72,31 @@ impl FeasibleRegion {
         }
     }
 
+    /// Reassembles a region from row-major cells (`n` outer, `payload`
+    /// inner) — the inverse of [`cells`](Self::cells), for callers that
+    /// compute the per-`n` rows in parallel and still want the region's
+    /// analysis methods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count is not `n_values × payload_values`.
+    pub fn from_rows(
+        n_values: &[usize],
+        payload_values: &[usize],
+        cells: Vec<FeasibleCell>,
+    ) -> Self {
+        assert_eq!(
+            cells.len(),
+            n_values.len() * payload_values.len(),
+            "cells must cover the full n × payload grid"
+        );
+        FeasibleRegion {
+            cells,
+            n_values: n_values.to_vec(),
+            payload_values: payload_values.to_vec(),
+        }
+    }
+
     /// All cells, row-major (`n` outer, `payload` inner).
     pub fn cells(&self) -> &[FeasibleCell] {
         &self.cells

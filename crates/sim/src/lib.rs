@@ -25,4 +25,4 @@ pub mod scenario;
 
 pub use faults::FaultPlan;
 pub use report::{NodeEnergy, NodeReport, RunReport};
-pub use scenario::{Protocol, Scenario, StopWhen};
+pub use scenario::{CellKey, Protocol, Scenario, StopWhen};

@@ -22,7 +22,7 @@ use crate::faults::FaultPlan;
 use crate::report::{NodeEnergy, NodeReport, RunReport};
 
 /// The protocols the harness can drive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// The paper's protocol.
     Eesmr,
@@ -92,6 +92,32 @@ pub struct Scenario {
     pub fault_bound: Option<usize>,
     /// EESMR: §3.5 checkpoint interval (optimistic pre-commit).
     pub checkpoint_interval: Option<u64>,
+}
+
+/// The sweep coordinates identifying one cell of an experiment grid: the
+/// axes every figure in the paper varies. `Copy` + `Eq` + `Hash` so
+/// drivers can key result tables by cell (see `eesmr-driver`).
+///
+/// A key covers the sweep axes only — not the fault plan, stop
+/// condition, or optimization flags — so two explicitly-built scenarios
+/// that differ only in those (e.g. an honest run and a view-change run
+/// at the same `(protocol, n, k)`) share a key. Cells of one cartesian
+/// sweep always have distinct keys; disambiguate explicit scenarios by
+/// their label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Node count.
+    pub n: usize,
+    /// Ring k-cast degree.
+    pub k: usize,
+    /// Payload bytes per block.
+    pub payload_bytes: usize,
+    /// Signature scheme.
+    pub scheme: SigScheme,
+    /// Run seed.
+    pub seed: u64,
 }
 
 impl Scenario {
@@ -176,6 +202,36 @@ impl Scenario {
         self.opt_equivocation_speedup = true;
         self.opt_lock_only_status = true;
         self
+    }
+
+    /// The cell-grid coordinates of this scenario.
+    pub fn cell(&self) -> CellKey {
+        CellKey {
+            protocol: self.protocol,
+            n: self.n,
+            k: self.k,
+            payload_bytes: self.payload_bytes,
+            scheme: self.scheme,
+            seed: self.seed,
+        }
+    }
+
+    /// A human-readable label for status lines and report rows, e.g.
+    /// `EESMR n=6 k=3 |b|=16B RSA-1024 seed=42`.
+    pub fn label(&self) -> String {
+        let mut label = format!(
+            "{} n={} k={} |b|={}B {} seed={}",
+            self.protocol.name(),
+            self.n,
+            self.k,
+            self.payload_bytes,
+            self.scheme.name(),
+            self.seed
+        );
+        if self.faults.count() > 0 {
+            label.push_str(&format!(" faults={}", self.faults.count()));
+        }
+        label
     }
 
     /// Runs the scenario to completion.
@@ -449,6 +505,21 @@ mod tests {
             e.energy_per_block_mj(),
             s.energy_per_block_mj()
         );
+    }
+
+    #[test]
+    fn label_and_cell_describe_the_sweep_axes() {
+        let s = Scenario::new(Protocol::Eesmr, 6, 3).payload(128).seed(7);
+        assert_eq!(s.cell().n, 6);
+        assert_eq!(s.cell().seed, 7);
+        assert_eq!(s.cell(), s.clone().cell(), "cell key is a pure function of the scenario");
+        let label = s.label();
+        assert!(label.contains("EESMR"), "{label}");
+        assert!(label.contains("n=6"), "{label}");
+        assert!(label.contains("|b|=128B"), "{label}");
+        assert!(!label.contains("faults"), "{label}");
+        let faulty = s.faults(FaultPlan::silent_leader()).label();
+        assert!(faulty.contains("faults=1"), "{faulty}");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | `eesmr-core` | [`core_protocol`] | the EESMR protocol itself |
 //! | `eesmr-baselines` | [`baselines`] | Sync HotStuff, OptSync, trusted-node baseline |
 //! | `eesmr-sim` | [`sim`] | scenario harness and run reports |
+//! | `eesmr-driver` | [`driver`] | parallel multi-scenario driver: grids, worker pool, suite reports |
 //! | `eesmr-bench` | [`bench`] | CSV/table plumbing behind the figure binaries |
 //!
 //! # Quick example
@@ -41,6 +42,7 @@ pub use eesmr_baselines as baselines;
 pub use eesmr_bench as bench;
 pub use eesmr_core as core_protocol;
 pub use eesmr_crypto as crypto;
+pub use eesmr_driver as driver;
 pub use eesmr_energy as energy;
 pub use eesmr_hypergraph as hypergraph;
 pub use eesmr_net as net;
@@ -52,6 +54,7 @@ pub mod prelude {
 
     pub use eesmr_core::{build_replicas, Config, FaultMode, LeaderPolicy, Pacing, Replica};
     pub use eesmr_crypto::{Digest, Hashable, KeyStore, SigScheme};
+    pub use eesmr_driver::{Driver, DriverConfig, ScenarioGrid, SuiteReport};
     pub use eesmr_energy::psi::{PsiParams, PsiProtocol};
     pub use eesmr_energy::{BleKcastModel, EnergyCategory, EnergyMeter, FeasibleRegion, Medium};
     pub use eesmr_hypergraph::topology::{
@@ -60,6 +63,6 @@ pub mod prelude {
     pub use eesmr_hypergraph::Hypergraph;
     pub use eesmr_net::{NetConfig, SimDuration, SimNet, SimTime, ThreadNet, ThreadNetConfig};
     pub use eesmr_sim::{
-        FaultPlan, NodeEnergy, NodeReport, Protocol, RunReport, Scenario, StopWhen,
+        CellKey, FaultPlan, NodeEnergy, NodeReport, Protocol, RunReport, Scenario, StopWhen,
     };
 }

@@ -4,6 +4,7 @@
 //! energy figure, commit, view change, and network counter — across all
 //! protocols, with and without faults.
 
+use eesmr_driver::{Driver, DriverConfig, ScenarioGrid};
 use eesmr_sim::{FaultPlan, Protocol, RunReport, Scenario, StopWhen};
 
 fn run(protocol: Protocol, seed: u64, faults: FaultPlan) -> RunReport {
@@ -30,6 +31,82 @@ fn same_seed_same_report_under_faults() {
         let b = run(Protocol::Eesmr, 7, faults);
         assert_eq!(a, b, "faulty runs must still be deterministic");
     }
+}
+
+/// A mixed grid: three protocols × two system sizes × two seeds, plus
+/// explicit faulty scenarios (a stalled leader forcing a view change and
+/// an equivocator).
+fn mixed_grid() -> ScenarioGrid {
+    ScenarioGrid::named("determinism")
+        .protocols([Protocol::Eesmr, Protocol::SyncHotStuff, Protocol::OptSync])
+        .nodes([5, 6])
+        .degrees([2])
+        .seeds([7, 42])
+        .stop(StopWhen::Blocks(3))
+        .scenario(
+            "vc-under-silent-leader",
+            Scenario::new(Protocol::Eesmr, 5, 2)
+                .faults(FaultPlan::silent_leader())
+                .stop(StopWhen::ViewReached(2)),
+        )
+        .scenario(
+            "equivocating-replica",
+            Scenario::new(Protocol::Eesmr, 6, 2)
+                .faults(FaultPlan::none().with_equivocator(1, 1))
+                .stop(StopWhen::Blocks(3)),
+        )
+}
+
+#[test]
+fn parallel_driver_is_bit_identical_to_sequential() {
+    // The driver extends the determinism contract across threads: a grid
+    // fanned out over 8 workers must produce the same ordered suite —
+    // every RunReport, energy figure, and summary statistic — as the
+    // same grid run inline on 1 worker, twice (repeats included).
+    let sequential =
+        Driver::new(DriverConfig::default().workers(1).repeats(2)).run_grid(&mixed_grid());
+    let parallel =
+        Driver::new(DriverConfig::default().workers(8).repeats(2)).run_grid(&mixed_grid());
+    assert_eq!(sequential.cells.len(), 14, "12 cartesian cells + 2 explicit scenarios");
+    assert_eq!(sequential, parallel, "worker count leaked into the results");
+    // And the parallel run is itself reproducible.
+    let parallel_again =
+        Driver::new(DriverConfig::default().workers(8).repeats(2)).run_grid(&mixed_grid());
+    assert_eq!(parallel, parallel_again);
+}
+
+#[test]
+fn driver_repeats_vary_the_seed_but_quick_mode_only_shrinks_targets() {
+    let suite = Driver::new(DriverConfig::default().workers(4).repeats(3)).run_grid(
+        &ScenarioGrid::named("repeats").nodes([6]).degrees([3]).stop(StopWhen::Blocks(3)),
+    );
+    let runs = &suite.cells[0].runs;
+    assert_eq!(runs.len(), 3);
+    assert!(
+        runs.windows(2).any(|w| w[0] != w[1]),
+        "repeats reseed the scenario, so some pair should differ"
+    );
+    // Repeat seeds stride into a disjoint range: with adjacent values on
+    // the seed axis, cell(seed=1) repeat 1 must NOT replay cell(seed=2)
+    // repeat 0 bit-for-bit.
+    let adjacent = Driver::new(DriverConfig::default().workers(2).repeats(2)).run_grid(
+        &ScenarioGrid::named("adjacent")
+            .nodes([6])
+            .degrees([3])
+            .seeds([1, 2])
+            .stop(StopWhen::Blocks(3)),
+    );
+    assert_ne!(
+        adjacent.cells[0].runs[1], adjacent.cells[1].runs[0],
+        "repeat reseeding collided with the next seed-axis value"
+    );
+    // Quick mode only clamps stop targets; with an already-small target
+    // the run is unchanged.
+    let full = Driver::new(DriverConfig::default().workers(2))
+        .run_grid(&ScenarioGrid::named("quick").nodes([6]).degrees([3]).stop(StopWhen::Blocks(3)));
+    let quick = Driver::new(DriverConfig::default().workers(2).quick(true))
+        .run_grid(&ScenarioGrid::named("quick").nodes([6]).degrees([3]).stop(StopWhen::Blocks(3)));
+    assert_eq!(full, quick);
 }
 
 #[test]

@@ -1,21 +1,230 @@
-//! Offline stand-in for the `crossbeam::channel` API surface this
-//! workspace uses (`unbounded`, `Sender`, `Receiver`, `RecvTimeoutError`),
-//! backed by `std::sync::mpsc`. The std channel provides the same
-//! unbounded MPSC semantics the threaded transport needs; only
-//! multi-consumer `select!` support would require the real crate, and
-//! nothing here uses it.
+//! Offline stand-in for the `crossbeam` API surface this workspace uses:
+//!
+//! * [`channel`] — unbounded **multi-producer multi-consumer** channels
+//!   (`unbounded`, clonable `Sender` *and* `Receiver`, timeout-capable
+//!   receive), mirroring `crossbeam-channel`. The real crate's lock-free
+//!   queues are replaced by a `Mutex<VecDeque>` + `Condvar`, which keeps
+//!   the exact same semantics (FIFO per producer, disconnection on last
+//!   drop) at simulator-friendly throughput.
+//! * [`thread`] — scoped threads (`thread::scope`, `Scope::spawn`)
+//!   mirroring `crossbeam-utils`, backed by `std::thread::scope` so no
+//!   unsafe code is needed.
+//!
+//! The threaded transport in `eesmr-net` uses the channels; the parallel
+//! experiment driver in `eesmr-driver` uses both (a clonable `Receiver` is
+//! the work queue its worker pool pulls scenarios from).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel {
-    //! Unbounded MPSC channels with timeout-capable receive.
+    //! Unbounded MPMC channels with timeout-capable receive.
 
-    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
 
     /// Creates a channel of unbounded capacity.
+    ///
+    /// Both halves are clonable: clone the [`Sender`] for multiple
+    /// producers, clone the [`Receiver`] for multiple consumers (each
+    /// message is delivered to exactly one consumer).
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().expect("channel lock").senders += 1;
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            inner.senders -= 1;
+            let disconnected = inner.senders == 0;
+            drop(inner);
+            if disconnected {
+                // Wake every blocked receiver so it can observe the
+                // disconnection.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.ready.wait(inner).expect("channel lock");
+            }
+        }
+
+        /// Blocks for at most `timeout` waiting for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, wait) =
+                    self.shared.ready.wait_timeout(inner, deadline - now).expect("channel lock");
+                inner = guard;
+                if wait.timed_out() && inner.queue.is_empty() {
+                    return if inner.senders == 0 {
+                        Err(RecvTimeoutError::Disconnected)
+                    } else {
+                        Err(RecvTimeoutError::Timeout)
+                    };
+                }
+            }
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            if let Some(value) = inner.queue.pop_front() {
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// A blocking iterator over received messages; ends when every
+        /// sender is gone and the queue is drained.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().expect("channel lock").receivers += 1;
+            Receiver { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.inner.lock().expect("channel lock").receivers -= 1;
+        }
+    }
+
+    /// Blocking message iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    /// The channel is disconnected: every receiver was dropped. Returns
+    /// the unsent message.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// The channel is disconnected: every sender was dropped and the
+    /// queue is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Why a [`Receiver::recv_timeout`] returned without a message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message available.
+        Timeout,
+        /// Every sender was dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Why a [`Receiver::try_recv`] returned without a message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is currently empty.
+        Empty,
+        /// Every sender was dropped and the queue is drained.
+        Disconnected,
     }
 
     #[cfg(test)]
@@ -45,6 +254,144 @@ pub mod channel {
             let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
             got.sort_unstable();
             assert_eq!(got, vec![1, 2]);
+        }
+
+        #[test]
+        fn receivers_clone_and_share_the_queue() {
+            let (tx, rx1) = unbounded();
+            let rx2 = rx1.clone();
+            for i in 0..4u32 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            // Each message is delivered to exactly one consumer.
+            let mut got = Vec::new();
+            let h = std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                while let Ok(v) = rx2.recv() {
+                    mine.push(v);
+                }
+                mine
+            });
+            while let Ok(v) = rx1.recv() {
+                got.push(v);
+            }
+            got.extend(h.join().unwrap());
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+
+        #[test]
+        fn send_fails_once_all_receivers_drop() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(9u8), Err(SendError(9)));
+        }
+
+        #[test]
+        fn try_recv_and_iter() {
+            let (tx, rx) = unbounded();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(1u8).unwrap();
+            tx.send(2).unwrap();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.iter().collect::<Vec<_>>(), vec![2]);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads mirroring `crossbeam::thread`, backed by
+    //! `std::thread::scope` (stable since Rust 1.63) so the stand-in
+    //! stays `#![forbid(unsafe_code)]`.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as stdthread;
+
+    /// The result of joining a (possibly panicked) thread.
+    pub type Result<T> = stdthread::Result<T>;
+
+    /// A scope handle for spawning threads that may borrow from the
+    /// enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread; joining is optional (the scope joins
+    /// any remaining threads on exit).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result (`Err` if
+        /// it panicked).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in the real crossbeam API, the
+        /// closure receives the scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Creates a scope, runs `f` in it, and joins every spawned thread
+    /// before returning. Returns `Err` if the body or an unjoined spawned
+    /// thread panicked (the real crossbeam propagates body panics; the
+    /// driver treats both as fatal, so collapsing them into `Err` is
+    /// equivalent here).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| stdthread::scope(|s| f(&Scope { inner: s }))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scoped_threads_borrow_locals() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = scope(|s| {
+                let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn nested_spawn_via_scope_arg() {
+            let v = scope(|s| {
+                let h = s.spawn(|s2| {
+                    let inner = s2.spawn(|_| 21u32);
+                    inner.join().unwrap() * 2
+                });
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(v, 42);
+        }
+
+        #[test]
+        fn panics_surface_as_err() {
+            let r = scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
         }
     }
 }
