@@ -23,7 +23,8 @@ use std::sync::Arc;
 
 use eesmr_core::message::signing_bytes;
 use eesmr_core::{
-    Block, BlockStore, CertifiedBlock, Command, Metrics, MsgKind, QuorumCert, TxPool,
+    AdaptiveBatcher, BatchPolicy, Block, BlockStore, CertifiedBlock, Command, Metrics, MsgKind,
+    QuorumCert, TxPool,
 };
 use eesmr_crypto::{Digest, Hashable, KeyPair, KeyStore, Signature};
 use eesmr_net::{Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
@@ -58,8 +59,12 @@ pub struct HsConfig {
     pub delta: SimDuration,
     /// Synthetic payload bytes per block.
     pub payload_bytes: usize,
-    /// Max commands per batch.
-    pub max_batch: usize,
+    /// How the leader sizes each batch (mirrors
+    /// `eesmr_core::BatchPolicy`).
+    pub batch_policy: BatchPolicy,
+    /// Synthetic offered load: commands fabricated per proposal when the
+    /// pool is empty.
+    pub offered_load: usize,
     /// Commit rule.
     pub variant: HsVariant,
     /// Pacing.
@@ -75,7 +80,8 @@ impl HsConfig {
             f: n.div_ceil(2) - 1,
             delta,
             payload_bytes: 16,
-            max_batch: 64,
+            batch_policy: BatchPolicy::DEFAULT,
+            offered_load: 1,
             variant,
             pacing: HsPacing::Blocking,
         }
@@ -326,6 +332,7 @@ pub struct HsReplica {
     b_com: Digest,
     b_com_height: u64,
     txpool: TxPool,
+    batcher: AdaptiveBatcher,
 
     proposals_seen: HashMap<(u64, u64), (Digest, HsMsg)>,
     voted: HashSet<(u64, u64)>,
@@ -370,6 +377,7 @@ impl HsReplica {
         let store = BlockStore::new();
         let genesis = store.genesis_id();
         let payload = config.payload_bytes;
+        let offered = config.offered_load;
         HsReplica {
             id,
             config,
@@ -382,7 +390,8 @@ impl HsReplica {
             highest_cert: None,
             b_com: genesis,
             b_com_height: 0,
-            txpool: TxPool::synthetic(payload),
+            txpool: TxPool::synthetic(payload).with_offered_load(offered),
+            batcher: AdaptiveBatcher::new(),
             proposals_seen: HashMap::new(),
             voted: HashSet::new(),
             votes: HashMap::new(),
@@ -504,7 +513,8 @@ impl HsReplica {
                 _ => return, // parent not certified yet — wait for votes
             }
         };
-        let batch = self.txpool.next_batch(self.config.max_batch);
+        let want = self.batcher.next_size(self.txpool.backlog(), self.config.batch_policy);
+        let batch = self.txpool.next_batch(want);
         let block = Block::extending(&parent, self.v_cur, parent.height + 1, batch);
         ctx.meter().charge_hash(block.wire_size());
         self.store.insert(block.clone());

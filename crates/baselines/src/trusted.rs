@@ -15,7 +15,9 @@
 use std::sync::Arc;
 
 use eesmr_core::message::signing_bytes;
-use eesmr_core::{Block, BlockStore, Command, Metrics, MsgKind, TxPool};
+use eesmr_core::{
+    AdaptiveBatcher, BatchPolicy, Block, BlockStore, Command, Metrics, MsgKind, TxPool,
+};
 use eesmr_crypto::{Digest, KeyPair, KeyStore, Signature};
 use eesmr_net::{Actor, Context, Message, NodeId, SimDuration, SimTime};
 
@@ -116,6 +118,25 @@ pub struct TbConfig {
     pub payload_bytes: usize,
     /// Hub ordering period.
     pub order_period: SimDuration,
+    /// How a spoke sizes each upload batch.
+    pub batch_policy: BatchPolicy,
+    /// Synthetic offered load: commands fabricated per upload when the
+    /// pool is empty.
+    pub offered_load: usize,
+}
+
+impl TbConfig {
+    /// A configuration with the historical defaults: 16-command upload
+    /// batches fed by a unit synthetic load.
+    pub fn new(n: usize, payload_bytes: usize, order_period: SimDuration) -> Self {
+        TbConfig {
+            n,
+            payload_bytes,
+            order_period,
+            batch_policy: BatchPolicy::Fixed(16),
+            offered_load: 1,
+        }
+    }
 }
 
 /// The hub's id in the star topology.
@@ -129,6 +150,7 @@ pub struct TbNode {
     store: BlockStore,
     tip: Digest,
     txpool: TxPool,
+    batcher: AdaptiveBatcher,
     upload_seq: u64,
     pending: Vec<Command>,
     committed_log: Vec<Digest>,
@@ -154,13 +176,15 @@ impl TbNode {
         let store = BlockStore::new();
         let tip = store.genesis_id();
         let payload = config.payload_bytes;
+        let offered = config.offered_load;
         TbNode {
             id,
             config,
             pki,
             store,
             tip,
-            txpool: TxPool::synthetic(payload),
+            txpool: TxPool::synthetic(payload).with_offered_load(offered),
+            batcher: AdaptiveBatcher::new(),
             upload_seq: 0,
             pending: Vec::new(),
             committed_log: Vec::new(),
@@ -190,7 +214,8 @@ impl TbNode {
     }
 
     fn upload(&mut self, ctx: &mut Ctx<'_>) {
-        let batch = self.txpool.next_batch(16);
+        let want = self.batcher.next_size(self.txpool.backlog(), self.config.batch_policy);
+        let batch = self.txpool.next_batch(want);
         let seq = self.upload_seq;
         self.upload_seq += 1;
         let msg = TbMsg::new(TbPayload::Request { batch, seq }, self.pki.keypair(self.id));

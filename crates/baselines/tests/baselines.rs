@@ -138,7 +138,7 @@ fn run_tb(n: usize, millis: u64) -> SimNet<TbNode> {
     // Star topology over the expensive medium (4G), as in §5.1.
     let mut cfg = NetConfig::ble(star(n, HUB), 9);
     cfg.channel = ChannelCost::PerByte { medium: Medium::FourG };
-    let config = TbConfig { n, payload_bytes: 64, order_period: SimDuration::from_millis(5) };
+    let config = TbConfig::new(n, 64, SimDuration::from_millis(5));
     let pki = Arc::new(KeyStore::generate(n, SigScheme::Rsa1024, 9));
     let nodes = build_tb_nodes(&config, &pki);
     let mut net = SimNet::new(cfg, nodes);

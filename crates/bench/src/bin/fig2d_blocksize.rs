@@ -1,22 +1,37 @@
 //! Regenerates **Fig. 2d**: EESMR leader energy per SMR for block payloads
-//! of 16, 128 and 256 B, as a function of the k-cast degree k (n = 10).
+//! of 16, 128 and 256 B, as a function of the k-cast degree k (n = 10) —
+//! plus a batch-policy ablation the paper's fixed-`|b_i|` setup could not
+//! run: fixed caps vs adaptive batching under offered load.
+//!
+//! Both sweeps run through the `eesmr-driver` grid, so `EESMR_WORKERS`
+//! parallelises them and `EESMR_QUICK=1` shrinks them to smoke size.
 
-use eesmr_bench::{print_table, Csv};
-use eesmr_sim::{Protocol, Scenario, StopWhen};
+use eesmr_bench::{print_table, Csv, Emit};
+use eesmr_driver::{Driver, ScenarioGrid};
+use eesmr_sim::{BatchPolicy, StopWhen};
 
 fn main() {
     let n = 10;
     let payloads = [16usize, 128, 256];
+    let ks = 2..=7usize;
+
+    // The paper's sweep: payload × k at the default batch policy.
+    let grid = ScenarioGrid::named("fig2d_blocksize")
+        .nodes([n])
+        .degrees(ks.clone())
+        .payloads(payloads)
+        .stop(StopWhen::Blocks(30));
+    let suite = Driver::from_env().run_grid(&grid);
+
     let mut csv = Csv::create("fig2d_blocksize", &["k", "payload_bytes", "leader_mj_per_smr"]);
     let mut rows = Vec::new();
-    for k in 2..=7usize {
+    for k in ks {
         let mut row = vec![k.to_string()];
         for &payload in &payloads {
-            let report = Scenario::new(Protocol::Eesmr, n, k)
-                .payload(payload)
-                .stop(StopWhen::Blocks(30))
-                .run();
-            let leader = report.node_energy_per_block_mj(0);
+            let cell = suite
+                .find(|c| c.k == k && c.payload_bytes == payload)
+                .expect("every (k, payload) cell ran");
+            let leader = cell.report().node_energy_per_block_mj(0);
             csv.rowd(&[&k, &payload, &leader]);
             row.push(format!("{leader:.1}"));
         }
@@ -28,4 +43,40 @@ fn main() {
         &rows,
     );
     println!("wrote {}", csv.path().display());
+    suite.write();
+
+    // Batch-policy ablation: under a 64-command offered load, how does
+    // the proposer's sizing policy move the leader's cost per block?
+    let policies = [
+        BatchPolicy::Fixed(1),
+        BatchPolicy::Fixed(16),
+        BatchPolicy::Fixed(64),
+        BatchPolicy::Adaptive { min: 1, max: 64, target_fill_pct: 50 },
+        BatchPolicy::Adaptive { min: 1, max: 64, target_fill_pct: 100 },
+    ];
+    let grid = ScenarioGrid::named("fig2d_batch_policy")
+        .nodes([n])
+        .degrees([3])
+        .batch_policies(policies)
+        .configure(|s| s.offered_load(64))
+        .stop(StopWhen::Blocks(30));
+    let suite = Driver::from_env().run_grid(&grid);
+
+    let mut emit = Emit::new(
+        "Fig. 2d ablation: batch policy under 64-command offered load, n=10 k=3",
+        "fig2d_batch_policy",
+        &["policy", "leader mJ/SMR", "total mJ/SMR", "bytes on air"],
+        &["policy", "leader_mj_per_smr", "total_mj_per_smr", "bytes_on_air"],
+    );
+    for cell in &suite.cells {
+        let report = cell.report();
+        emit.row_uniform(vec![
+            cell.key.batch.label(),
+            format!("{:.1}", report.node_energy_per_block_mj(0)),
+            format!("{:.1}", report.energy_per_block_mj()),
+            report.net.bytes_on_air.to_string(),
+        ]);
+    }
+    emit.finish();
+    suite.write();
 }

@@ -4,65 +4,85 @@
 //!   correct leader, and EESMR's view change costs ≈2.05× Sync HotStuff's.
 //! * Conclusion: 33–64 % steady-state energy reduction vs Sync HotStuff
 //!   (the 64 % figure is the n = 10 BLE setting from the abstract).
+//!
+//! All scenarios run through the `eesmr-driver` grid: the ratio pairs as
+//! explicit scenarios, the savings range as a cartesian sweep — so
+//! `EESMR_WORKERS` parallelises the whole binary and `EESMR_QUICK=1`
+//! shrinks it to smoke size. Measured-vs-paper context lives in the
+//! README's "Known deviations" subsection.
 
 use eesmr_bench::Csv;
+use eesmr_driver::{Driver, ScenarioGrid};
 use eesmr_sim::{FaultPlan, Protocol, Scenario, StopWhen};
 
 fn main() {
     let mut csv = Csv::create("headline", &["metric", "paper", "measured"]);
+    let driver = Driver::from_env();
 
     // Steady state, n = 13, k = f+1 = 7 (the Fig. 3 midpoint the §5.7
-    // prose quotes).
+    // prose quotes), plus the view-change pair — four explicit scenarios
+    // on one grid.
     let f = 6usize;
     let silent: Vec<u32> = (2u32..2 + f as u32).collect();
-    let eesmr = Scenario::new(Protocol::Eesmr, 13, f + 1)
-        .fault_bound(f)
-        .faults(FaultPlan::silent_nodes(silent.clone()))
-        .stop(StopWhen::Blocks(15))
-        .run();
-    let synchs = Scenario::new(Protocol::SyncHotStuff, 13, f + 1)
-        .fault_bound(f)
-        .faults(FaultPlan::silent_nodes(silent))
-        .stop(StopWhen::Blocks(15))
-        .run();
-    let steady_ratio = synchs.node_energy_per_block_mj(0) / eesmr.node_energy_per_block_mj(0);
+    let steady = |protocol| {
+        Scenario::new(protocol, 13, f + 1)
+            .fault_bound(f)
+            .faults(FaultPlan::silent_nodes(silent.clone()))
+            .stop(StopWhen::Blocks(15))
+    };
+    let vc = |protocol| {
+        Scenario::new(protocol, 13, 7)
+            .fault_bound(6)
+            .faults(FaultPlan::silent_leader())
+            .stop(StopWhen::ViewReached(2))
+    };
+    let grid = ScenarioGrid::named("headline")
+        .scenario("steady-eesmr", steady(Protocol::Eesmr))
+        .scenario("steady-synchs", steady(Protocol::SyncHotStuff))
+        .scenario("vc-eesmr", vc(Protocol::Eesmr).with_paper_optimizations())
+        .scenario("vc-synchs", vc(Protocol::SyncHotStuff));
+    let suite = driver.run_grid(&grid);
+    let leader_per_block = |label: &str| {
+        suite.by_label(label).expect("explicit cell ran").report().node_energy_per_block_mj(0)
+    };
+
+    let steady_ratio = leader_per_block("steady-synchs") / leader_per_block("steady-eesmr");
     println!(
         "steady state (leader, n=13, f=6): SyncHS / EESMR = {steady_ratio:.2}x (paper: 2.85x)"
     );
     csv.rowd(&[&"steady_state_leader_ratio", &"2.85", &format!("{steady_ratio:.3}")]);
 
-    // View change ratio (EESMR / SyncHS — EESMR is the more expensive one).
-    let e_vc = Scenario::new(Protocol::Eesmr, 13, 7)
-        .fault_bound(6)
-        .faults(FaultPlan::silent_leader())
-        .with_paper_optimizations()
-        .stop(StopWhen::ViewReached(2))
-        .run()
-        .node_energy_mj(1);
-    let s_vc = Scenario::new(Protocol::SyncHotStuff, 13, 7)
-        .fault_bound(6)
-        .faults(FaultPlan::silent_leader())
-        .stop(StopWhen::ViewReached(2))
-        .run()
-        .node_energy_mj(1);
-    let vc_ratio = e_vc / s_vc;
+    // View change ratio (EESMR / SyncHS — EESMR is the more expensive
+    // one). Node 1 is the new leader after the silent leader is blamed.
+    let vc_energy =
+        |label: &str| suite.by_label(label).expect("explicit cell ran").report().node_energy_mj(1);
+    let vc_ratio = vc_energy("vc-eesmr") / vc_energy("vc-synchs");
     println!("view change (new leader):         EESMR / SyncHS = {vc_ratio:.2}x (paper: 2.05x)");
     csv.rowd(&[&"view_change_leader_ratio", &"2.05", &format!("{vc_ratio:.3}")]);
 
-    // Savings across the Fig. 2f range (total correct-node energy/SMR).
+    // Savings across the Fig. 2f range (total correct-node energy/SMR):
+    // a plain cartesian sweep, invalid (n, k) cells skipped by the grid.
+    let sweep = ScenarioGrid::named("headline_savings")
+        .protocols([Protocol::Eesmr, Protocol::SyncHotStuff])
+        .nodes(4..=10)
+        .degrees([3, 5])
+        .stop(StopWhen::Blocks(15));
+    let sweep_suite = driver.run_grid(&sweep);
     let mut min_saving = f64::MAX;
     let mut max_saving: f64 = 0.0;
-    for n in 4..=10usize {
-        for k in [3usize, 5] {
-            if k >= n {
-                continue;
-            }
-            let e = Scenario::new(Protocol::Eesmr, n, k).stop(StopWhen::Blocks(15)).run();
-            let s = Scenario::new(Protocol::SyncHotStuff, n, k).stop(StopWhen::Blocks(15)).run();
-            let saving = 1.0 - e.energy_per_block_mj() / s.energy_per_block_mj();
-            min_saving = min_saving.min(saving);
-            max_saving = max_saving.max(saving);
+    for cell in &sweep_suite.cells {
+        if cell.key.protocol != Protocol::Eesmr {
+            continue;
         }
+        let synchs = sweep_suite
+            .find(|c| {
+                c.protocol == Protocol::SyncHotStuff && c.n == cell.key.n && c.k == cell.key.k
+            })
+            .expect("matching Sync HotStuff cell");
+        let saving =
+            1.0 - cell.stats.energy_per_block_mj.mean / synchs.stats.energy_per_block_mj.mean;
+        min_saving = min_saving.min(saving);
+        max_saving = max_saving.max(saving);
     }
     println!(
         "steady-state savings vs SyncHS over n=4..10: {:.0}%..{:.0}% (paper: 33-64%)",

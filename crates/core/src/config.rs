@@ -12,6 +12,52 @@ pub enum LeaderPolicy {
     Seeded(u64),
 }
 
+/// How the proposer sizes each block's command batch.
+///
+/// `Fixed` reproduces the paper's evaluation (a constant `max_batch`
+/// cap); `Adaptive` grows or shrinks the batch from the observed txpool
+/// backlog, closing half the gap to `target_fill_pct` percent of the
+/// backlog per proposal (clamped to `[min, max]`). All-integer state, so
+/// runs stay bit-deterministic. See
+/// [`AdaptiveBatcher`](crate::txpool::AdaptiveBatcher) for the
+/// controller itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchPolicy {
+    /// Every proposal takes up to this many commands.
+    Fixed(usize),
+    /// Batch size tracks the observed pool backlog.
+    Adaptive {
+        /// Smallest batch the controller will propose.
+        min: usize,
+        /// Largest batch the controller will propose.
+        max: usize,
+        /// Percent of the observed backlog to aim for per proposal.
+        target_fill_pct: u32,
+    },
+}
+
+impl BatchPolicy {
+    /// The paper's default: a fixed 64-command cap.
+    pub const DEFAULT: BatchPolicy = BatchPolicy::Fixed(64);
+
+    /// A short label for scenario names and report rows, e.g. `fixed64`
+    /// or `adaptive4..256@80%`.
+    pub fn label(&self) -> String {
+        match self {
+            BatchPolicy::Fixed(max) => format!("fixed{max}"),
+            BatchPolicy::Adaptive { min, max, target_fill_pct } => {
+                format!("adaptive{min}..{max}@{target_fill_pct}%")
+            }
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy::DEFAULT
+    }
+}
+
 /// Proposal pacing for the leader.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Pacing {
@@ -68,8 +114,12 @@ pub struct Config {
     pub delta: SimDuration,
     /// Target payload bytes per block (`|b_i|` in §5.6).
     pub payload_bytes: usize,
-    /// Maximum commands per batch.
-    pub max_batch: usize,
+    /// How the proposer sizes each batch.
+    pub batch_policy: BatchPolicy,
+    /// Synthetic-workload offered load: how many commands the txpool
+    /// fabricates per proposal when no client commands are queued (the
+    /// paper's fixed `|b_i|` workloads use 1).
+    pub offered_load: usize,
     /// Leader assignment.
     pub leader_policy: LeaderPolicy,
     /// Leader pacing (the paper's evaluation uses the blocking variant).
@@ -107,7 +157,8 @@ impl Config {
             f: n.div_ceil(2) - 1,
             delta,
             payload_bytes: 16,
-            max_batch: 64,
+            batch_policy: BatchPolicy::DEFAULT,
+            offered_load: 1,
             leader_policy: LeaderPolicy::RoundRobin,
             pacing: Pacing::Blocking,
             crash_only: false,

@@ -44,9 +44,9 @@ mod view_change;
 
 pub use block::{Block, BlockStore, ChainRelation, Command, Lineage};
 pub use broadcast::{build_bb_nodes, BbNode, BbOutput};
-pub use config::{Config, FaultMode, LeaderPolicy, Pacing};
+pub use config::{BatchPolicy, Config, FaultMode, LeaderPolicy, Pacing};
 pub use message::{CertifiedBlock, MsgKind, Payload, QuorumCert, SignedBlock, SignedMsg, Status};
 pub use metrics::Metrics;
 pub use replica::{Replica, TimerToken};
-pub use txpool::TxPool;
+pub use txpool::{AdaptiveBatcher, TxPool};
 pub use view_change::build_replicas;

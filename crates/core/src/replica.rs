@@ -1,7 +1,7 @@
 //! The EESMR replica — the event-driven form of Algorithm 2.
 //!
 //! Steady state (rounds ≥ 3) lives here; the blame and view-change
-//! machinery is in [`crate::view_change`]. The replica implements
+//! machinery is in the private `view_change` module. The replica implements
 //! [`eesmr_net::Actor`], so the same code runs under the discrete-event
 //! simulator regardless of topology or channel pricing.
 //!
@@ -9,8 +9,8 @@
 //!
 //! | Paper | Here |
 //! |---|---|
-//! | lines 203–208 (leader proposes)      | [`Replica::try_propose`] |
-//! | lines 209–215 (relay, lock, commit timer, next round) | [`Replica::accept_proposal`] |
+//! | lines 203–208 (leader proposes)      | `Replica::try_propose` |
+//! | lines 209–215 (relay, lock, commit timer, next round) | `Replica::accept_proposal` |
 //! | line 216 (blame on timeout)          | `TimerToken::Blame` handling |
 //! | lines 220–226 (equivocation)         | `view_change::on_equivocation` |
 //! | lines 227–234 (blame QC, quit view)  | `view_change::on_blame` / `on_blame_qc` |
@@ -28,7 +28,7 @@ use crate::block::{Block, BlockStore, Command};
 use crate::config::{Config, FaultMode, Pacing};
 use crate::message::{CertifiedBlock, Payload, QuorumCert, SignedMsg};
 use crate::metrics::Metrics;
-use crate::txpool::TxPool;
+use crate::txpool::{AdaptiveBatcher, TxPool};
 
 /// Timer tokens (all carry the view they were armed in; stale timers are
 /// ignored).
@@ -117,6 +117,7 @@ pub struct Replica {
     pub(crate) b_com: Digest,
     pub(crate) b_com_height: u64,
     pub(crate) txpool: TxPool,
+    pub(crate) batcher: AdaptiveBatcher,
 
     // Steady state.
     pub(crate) proposals_seen: HashMap<(u64, u64), (Digest, SignedMsg)>,
@@ -168,6 +169,7 @@ impl Replica {
         let store = BlockStore::new();
         let genesis = store.genesis_id();
         let payload = config.payload_bytes;
+        let offered = config.offered_load;
         Replica {
             id,
             config,
@@ -180,7 +182,8 @@ impl Replica {
             b_lock_height: 0,
             b_com: genesis,
             b_com_height: 0,
-            txpool: TxPool::synthetic(payload),
+            txpool: TxPool::synthetic(payload).with_offered_load(offered),
+            batcher: AdaptiveBatcher::new(),
             proposals_seen: HashMap::new(),
             relayed: HashSet::new(),
             commit_timers: Vec::new(),
@@ -369,7 +372,8 @@ impl Replica {
         let round = self.r_cur;
         let parent =
             self.store.get(&self.b_lock).expect("locked block is always present locally").clone();
-        let batch = self.txpool.next_batch(self.config.max_batch);
+        let want = self.batcher.next_size(self.txpool.backlog(), self.config.batch_policy);
+        let batch = self.txpool.next_batch(want);
         let block = Block::extending(&parent, self.v_cur, round, batch);
         ctx.meter().charge_hash(block.wire_size());
         self.store.insert(block.clone());

@@ -8,6 +8,7 @@
 use std::collections::VecDeque;
 
 use crate::block::{Block, Command};
+use crate::config::BatchPolicy;
 
 /// Pool of pending client commands.
 ///
@@ -15,24 +16,38 @@ use crate::block::{Block, Command};
 /// * **Client-fed** — commands arrive via [`TxPool::submit`].
 /// * **Synthetic** — when the pool is empty and a synthetic payload size is
 ///   configured, batches are generated on demand (the paper's fixed-size
-///   `|b_i|` workloads, §5.6).
+///   `|b_i|` workloads, §5.6). The synthetic *depth* models offered load:
+///   how many commands are available per proposal (default 1).
 #[derive(Debug, Clone)]
 pub struct TxPool {
     pending: VecDeque<Command>,
     synthetic_len: Option<usize>,
+    synthetic_depth: usize,
     next_seq: u64,
 }
 
 impl TxPool {
     /// An empty, client-fed pool.
     pub fn new() -> Self {
-        TxPool { pending: VecDeque::new(), synthetic_len: None, next_seq: 0 }
+        TxPool { pending: VecDeque::new(), synthetic_len: None, synthetic_depth: 1, next_seq: 0 }
     }
 
     /// A pool that synthesizes one `len`-byte command per batch whenever it
     /// has no real commands queued.
     pub fn synthetic(len: usize) -> Self {
-        TxPool { pending: VecDeque::new(), synthetic_len: Some(len), next_seq: 0 }
+        TxPool {
+            pending: VecDeque::new(),
+            synthetic_len: Some(len),
+            synthetic_depth: 1,
+            next_seq: 0,
+        }
+    }
+
+    /// Sets the synthetic offered load: up to `depth` commands fabricated
+    /// per batch when the pool has no real commands (clamped to ≥ 1).
+    pub fn with_offered_load(mut self, depth: usize) -> Self {
+        self.synthetic_depth = depth.max(1);
+        self
     }
 
     /// Queues a client command.
@@ -50,15 +65,34 @@ impl TxPool {
         self.pending.is_empty()
     }
 
+    /// The backlog an adaptive proposer observes: real queued commands,
+    /// or the synthetic offered load when the pool would fabricate a
+    /// batch.
+    pub fn backlog(&self) -> usize {
+        if !self.pending.is_empty() {
+            self.pending.len()
+        } else if self.synthetic_len.is_some() {
+            self.synthetic_depth
+        } else {
+            0
+        }
+    }
+
     /// Takes the next batch of at most `max` commands for a proposal.
-    /// Falls back to one synthetic command when configured and empty.
+    /// Falls back to synthetic commands (up to the configured offered
+    /// load) when configured and empty.
     pub fn next_batch(&mut self, max: usize) -> Vec<Command> {
         if self.pending.is_empty() {
             return match self.synthetic_len {
                 Some(len) => {
-                    let seq = self.next_seq;
-                    self.next_seq += 1;
-                    vec![Command::synthetic(seq, len)]
+                    let count = self.synthetic_depth.min(max.max(1));
+                    (0..count)
+                        .map(|_| {
+                            let seq = self.next_seq;
+                            self.next_seq += 1;
+                            Command::synthetic(seq, len)
+                        })
+                        .collect()
                 }
                 None => Vec::new(),
             };
@@ -80,6 +114,59 @@ impl TxPool {
 impl Default for TxPool {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// The proposer-side batch-size controller behind
+/// [`BatchPolicy::Adaptive`].
+///
+/// Pure integer state: each call moves the current batch size halfway
+/// toward `target_fill_pct` percent of the observed backlog (clamped to
+/// the policy's `[min, max]`), so under steady load it converges
+/// geometrically to the target and under bursts it reacts within a few
+/// proposals without oscillating. [`BatchPolicy::Fixed`] passes through
+/// unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveBatcher {
+    current: usize,
+}
+
+impl AdaptiveBatcher {
+    /// A controller with no history (the first adaptive call starts from
+    /// the policy's `min`).
+    pub fn new() -> Self {
+        AdaptiveBatcher { current: 0 }
+    }
+
+    /// The batch size to use for the next proposal, given the observed
+    /// pool backlog.
+    pub fn next_size(&mut self, backlog: usize, policy: BatchPolicy) -> usize {
+        match policy {
+            BatchPolicy::Fixed(max) => max.max(1),
+            BatchPolicy::Adaptive { min, max, target_fill_pct } => {
+                let min = min.max(1);
+                let max = max.max(min);
+                let desired =
+                    (backlog.saturating_mul(target_fill_pct as usize) / 100).clamp(min, max);
+                if self.current == 0 {
+                    self.current = min;
+                }
+                // Close half the gap (at least one step) toward the
+                // target, then clamp.
+                if desired > self.current {
+                    self.current += ((desired - self.current) / 2).max(1);
+                } else if desired < self.current {
+                    self.current -= ((self.current - desired) / 2).max(1);
+                }
+                self.current = self.current.clamp(min, max);
+                self.current
+            }
+        }
+    }
+
+    /// The last size returned (0 before the first adaptive call).
+    pub fn current(&self) -> usize {
+        self.current
     }
 }
 
@@ -122,6 +209,71 @@ mod tests {
         pool.submit(Command::new(vec![9; 4]));
         let batch = pool.next_batch(10);
         assert_eq!(batch[0].bytes(), &[9; 4]);
+    }
+
+    #[test]
+    fn synthetic_offered_load_fabricates_a_full_batch() {
+        let mut pool = TxPool::synthetic(8).with_offered_load(5);
+        assert_eq!(pool.backlog(), 5);
+        let batch = pool.next_batch(10);
+        assert_eq!(batch.len(), 5, "offered load bounds the synthetic batch");
+        let batch = pool.next_batch(3);
+        assert_eq!(batch.len(), 3, "the proposer's cap still applies");
+        // Real commands still take priority and drive the backlog.
+        pool.submit(Command::new(vec![1]));
+        assert_eq!(pool.backlog(), 1);
+        assert_eq!(pool.next_batch(10).len(), 1);
+    }
+
+    #[test]
+    fn client_fed_pool_has_zero_backlog_when_empty() {
+        assert_eq!(TxPool::new().backlog(), 0);
+    }
+
+    #[test]
+    fn adaptive_batcher_converges_under_steady_load() {
+        let policy = BatchPolicy::Adaptive { min: 1, max: 256, target_fill_pct: 50 };
+        let mut batcher = AdaptiveBatcher::new();
+        // Steady backlog of 120 commands → target 60 per proposal.
+        let mut last = 0;
+        for _ in 0..32 {
+            last = batcher.next_size(120, policy);
+        }
+        assert_eq!(last, 60, "converged to target_fill_pct of the backlog");
+        assert_eq!(batcher.next_size(120, policy), 60, "and stays there");
+        // Load drops: the batch shrinks back toward the new target.
+        for _ in 0..32 {
+            last = batcher.next_size(10, policy);
+        }
+        assert_eq!(last, 5);
+    }
+
+    #[test]
+    fn adaptive_batcher_respects_min_max_and_grows_gradually() {
+        let policy = BatchPolicy::Adaptive { min: 4, max: 32, target_fill_pct: 100 };
+        let mut batcher = AdaptiveBatcher::new();
+        let first = batcher.next_size(1_000_000, policy);
+        assert!(first < 32, "ramps up instead of jumping to max (got {first})");
+        assert!(first >= 4);
+        let mut prev = first;
+        for _ in 0..16 {
+            let next = batcher.next_size(1_000_000, policy);
+            assert!(next >= prev, "monotone ramp under constant overload");
+            prev = next;
+        }
+        assert_eq!(prev, 32, "saturates at the policy max");
+        // An idle pool shrinks it back down to min.
+        for _ in 0..16 {
+            prev = batcher.next_size(0, policy);
+        }
+        assert_eq!(prev, 4);
+    }
+
+    #[test]
+    fn fixed_policy_passes_through() {
+        let mut batcher = AdaptiveBatcher::new();
+        assert_eq!(batcher.next_size(7, BatchPolicy::Fixed(64)), 64);
+        assert_eq!(batcher.next_size(0, BatchPolicy::Fixed(0)), 1, "zero cap clamps to one");
     }
 
     #[test]

@@ -1,8 +1,33 @@
 //! [`ScenarioGrid`]: declarative sweeps over the paper's experiment axes.
+//!
+//! A grid is the cartesian product of the axes every figure in the
+//! paper's evaluation varies — protocol, system size `n`, k-cast degree,
+//! payload, batch policy, signature scheme, seed — plus any explicitly
+//! built scenarios appended after the cartesian cells. Building a grid
+//! is pure (no scenarios run until a
+//! [`Driver`](crate::Driver) executes it), so construction is cheap to
+//! test:
+//!
+//! ```
+//! use eesmr_driver::ScenarioGrid;
+//! use eesmr_sim::{BatchPolicy, Protocol, StopWhen};
+//!
+//! let grid = ScenarioGrid::named("policies")
+//!     .nodes([6])
+//!     .degrees([3])
+//!     .batch_policies([
+//!         BatchPolicy::Fixed(64),
+//!         BatchPolicy::Adaptive { min: 4, max: 256, target_fill_pct: 80 },
+//!     ])
+//!     .stop(StopWhen::Blocks(5));
+//! assert_eq!(grid.len(), 2);
+//! let cells = grid.build();
+//! assert!(cells[1].label.contains("batch=adaptive4..256@80%"), "{}", cells[1].label);
+//! ```
 
 use eesmr_crypto::SigScheme;
 use eesmr_net::SimDuration;
-use eesmr_sim::{Protocol, Scenario, StopWhen};
+use eesmr_sim::{BatchPolicy, Protocol, Scenario, StopWhen};
 
 /// One runnable cell of a grid: its position, display label, and the
 /// fully-configured scenario.
@@ -18,10 +43,12 @@ pub struct GridCell {
 }
 
 /// A declarative sweep: the cartesian product of protocol × n × k ×
-/// payload × scheme × seed axes, plus any explicitly-listed scenarios.
+/// payload × batch-policy × scheme × seed axes, plus any
+/// explicitly-listed scenarios.
 ///
 /// Axis defaults match [`Scenario::new`]: protocol `[Eesmr]`, payload
-/// `[16]` bytes, scheme `[Rsa1024]`, seed `[42]` — so a grid that only
+/// `[16]` bytes, batch policy `[Fixed(64)]`, scheme `[Rsa1024]`, seed
+/// `[42]` — so a grid that only
 /// sets `nodes` and `degrees` sweeps exactly what the hand-rolled figure
 /// loops used to. Cells whose ring degree is invalid (`k < 1` or
 /// `k ≥ n`) are skipped, mirroring the `if k >= n { continue }` guards
@@ -47,6 +74,7 @@ pub struct ScenarioGrid {
     ns: Vec<usize>,
     ks: Vec<usize>,
     payloads: Vec<usize>,
+    batch_policies: Vec<BatchPolicy>,
     schemes: Vec<SigScheme>,
     seeds: Vec<u64>,
     stop: Option<StopWhen>,
@@ -63,6 +91,7 @@ impl std::fmt::Debug for ScenarioGrid {
             .field("ns", &self.ns)
             .field("ks", &self.ks)
             .field("payloads", &self.payloads)
+            .field("batch_policies", &self.batch_policies)
             .field("schemes", &self.schemes)
             .field("seeds", &self.seeds)
             .field("stop", &self.stop)
@@ -111,6 +140,13 @@ impl ScenarioGrid {
     /// Sets the payload-bytes axis.
     pub fn payloads(mut self, payloads: impl IntoIterator<Item = usize>) -> Self {
         self.payloads = payloads.into_iter().collect();
+        self
+    }
+
+    /// Sets the batch-policy axis. When unset, every cell keeps its
+    /// protocol's default policy (and its label stays unchanged).
+    pub fn batch_policies(mut self, policies: impl IntoIterator<Item = BatchPolicy>) -> Self {
+        self.batch_policies = policies.into_iter().collect();
         self
     }
 
@@ -166,14 +202,23 @@ impl ScenarioGrid {
         valid_nk
             * self.protocols.len()
             * self.payloads.len()
+            * self.batch_policies.len().max(1)
             * self.schemes.len()
             * self.seeds.len()
     }
 
     /// Materializes the grid into its deterministic cell ordering:
-    /// protocol-major cartesian cells (n, then k, then payload, scheme,
-    /// seed innermost), then the explicit scenarios in push order.
+    /// protocol-major cartesian cells (n, then k, then payload, batch
+    /// policy, scheme, seed innermost), then the explicit scenarios in
+    /// push order.
     pub fn build(&self) -> Vec<GridCell> {
+        // An unset batch axis means "each protocol's default policy",
+        // without marking the policy as explicitly chosen.
+        let batches: Vec<Option<BatchPolicy>> = if self.batch_policies.is_empty() {
+            vec![None]
+        } else {
+            self.batch_policies.iter().copied().map(Some).collect()
+        };
         let mut cells = Vec::with_capacity(self.len());
         for &protocol in &self.protocols {
             for &n in &self.ns {
@@ -182,23 +227,28 @@ impl ScenarioGrid {
                         continue;
                     }
                     for &payload in &self.payloads {
-                        for &scheme in &self.schemes {
-                            for &seed in &self.seeds {
-                                let mut s = Scenario::new(protocol, n, k)
-                                    .payload(payload)
-                                    .scheme(scheme)
-                                    .seed(seed);
-                                if let Some(stop) = self.stop {
-                                    s = s.stop(stop);
+                        for &batch in &batches {
+                            for &scheme in &self.schemes {
+                                for &seed in &self.seeds {
+                                    let mut s = Scenario::new(protocol, n, k)
+                                        .payload(payload)
+                                        .scheme(scheme)
+                                        .seed(seed);
+                                    if let Some(policy) = batch {
+                                        s = s.batch_policy(policy);
+                                    }
+                                    if let Some(stop) = self.stop {
+                                        s = s.stop(stop);
+                                    }
+                                    if let Some(hook) = &self.configure {
+                                        s = hook(s);
+                                    }
+                                    cells.push(GridCell {
+                                        index: cells.len(),
+                                        label: s.label(),
+                                        scenario: s,
+                                    });
                                 }
-                                if let Some(hook) = &self.configure {
-                                    s = hook(s);
-                                }
-                                cells.push(GridCell {
-                                    index: cells.len(),
-                                    label: s.label(),
-                                    scenario: s,
-                                });
                             }
                         }
                     }

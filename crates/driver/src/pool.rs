@@ -5,6 +5,18 @@
 //! index and are re-sorted, so the suite is **bit-identical** no matter
 //! how the OS schedules workers — `tests/determinism.rs` at the
 //! workspace root enforces parallel ≡ sequential.
+//!
+//! Beyond scenario grids, [`Driver::map`] exposes the same ordered pool
+//! for any embarrassingly parallel work:
+//!
+//! ```
+//! use eesmr_driver::{Driver, DriverConfig};
+//!
+//! let driver = Driver::new(DriverConfig::default().workers(4));
+//! let items: Vec<u64> = (0..32).collect();
+//! let cubes = driver.map(&items, |&v| v * v * v);
+//! assert_eq!(cubes[3], 27, "results come back in item order");
+//! ```
 
 use std::time::Instant;
 

@@ -148,6 +148,8 @@ impl SuiteReport {
                 "n",
                 "k",
                 "payload_bytes",
+                "batch_policy",
+                "offered_load",
                 "scheme",
                 "seed",
                 "repeats",
@@ -168,6 +170,8 @@ impl SuiteReport {
                 &cell.key.n,
                 &cell.key.k,
                 &cell.key.payload_bytes,
+                &cell.key.batch.label(),
+                &cell.key.offered_load,
                 &cell.key.scheme.name(),
                 &cell.key.seed,
                 &cell.runs.len(),
@@ -210,7 +214,9 @@ impl SuiteReport {
                 cell.key.payload_bytes
             ));
             out.push_str(&format!(
-                "\"scheme\": {}, \"seed\": {}, \"repeats\": {}, ",
+                "\"batch_policy\": {}, \"offered_load\": {}, \"scheme\": {}, \"seed\": {}, \"repeats\": {}, ",
+                json_string(&cell.key.batch.label()),
+                cell.key.offered_load,
                 json_string(cell.key.scheme.name()),
                 cell.key.seed,
                 cell.runs.len()

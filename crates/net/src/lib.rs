@@ -50,6 +50,7 @@ pub mod channel;
 pub mod harness;
 pub mod message;
 pub mod runtime;
+pub mod sched;
 pub mod threads;
 pub mod time;
 
@@ -57,5 +58,6 @@ pub use actor::{Actor, Context, NodeId, TimerId};
 pub use channel::ChannelCost;
 pub use message::Message;
 pub use runtime::{Delivery, Fate, Interceptor, NetConfig, NetStats, SimNet};
+pub use sched::{CalendarQueue, EventQueue, SchedulerKind};
 pub use threads::{ThreadNet, ThreadNetConfig};
 pub use time::{SimDuration, SimTime};

@@ -10,10 +10,50 @@
 //! Determinism: all randomness flows from one seeded RNG and ties in the
 //! event queue break by sequence number, so a run is a pure function of
 //! `(config, actors, seed)` — re-running with the same seed reproduces the
-//! trace bit-for-bit.
+//! trace bit-for-bit. The pending-event queue itself is pluggable (see
+//! [`crate::sched`]): the default calendar queue and the reference binary
+//! heap pop in the same `(time, seq)` total order, so the choice never
+//! changes a trace, only how fast it is produced.
+//!
+//! # Example: drive a simulation step by step
+//!
+//! ```
+//! use eesmr_net::{Actor, Context, Message, NetConfig, NodeId, SimDuration, SimNet};
+//! use eesmr_hypergraph::topology::ring_kcast;
+//!
+//! #[derive(Debug, Clone)]
+//! struct Tick;
+//! impl Message for Tick {
+//!     fn wire_size(&self) -> usize { 16 }
+//!     fn flood_key(&self) -> u64 { 0 }
+//! }
+//!
+//! #[derive(Default)]
+//! struct Node { heard: usize }
+//! impl Actor for Node {
+//!     type Msg = Tick;
+//!     type Timer = ();
+//!     fn on_start(&mut self, ctx: &mut Context<'_, Tick, ()>) {
+//!         if ctx.id() == 0 { ctx.multicast(Tick); }
+//!     }
+//!     fn on_message(&mut self, _: NodeId, _: Tick, _: &mut Context<'_, Tick, ()>) {
+//!         self.heard += 1;
+//!     }
+//!     fn on_timer(&mut self, _: (), _: &mut Context<'_, Tick, ()>) {}
+//! }
+//!
+//! let mut net = SimNet::new(
+//!     NetConfig::ble(ring_kcast(4, 2), 7),
+//!     (0..4).map(|_| Node::default()).collect::<Vec<_>>(),
+//! );
+//! net.run_for(SimDuration::from_millis(5));
+//! // Node 0 multicast once: its two ring successors (and its own
+//! // loopback) heard it, and the meters were charged for the k-cast.
+//! assert_eq!(net.actors().iter().filter(|n| n.heard > 0).count(), 3);
+//! assert!(net.stats().kcasts >= 1);
+//! ```
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 
 use eesmr_energy::{EnergyCategory, EnergyMeter};
 use eesmr_hypergraph::Hypergraph;
@@ -23,6 +63,7 @@ use rand::{Rng, SeedableRng};
 use crate::actor::{Actor, Context, Effect, NodeId, TimerId};
 use crate::channel::ChannelCost;
 use crate::message::Message;
+use crate::sched::{EventQueue, SchedulerKind};
 use crate::time::{SimDuration, SimTime};
 
 /// Network configuration.
@@ -38,6 +79,10 @@ pub struct NetConfig {
     pub hop_delay_max: SimDuration,
     /// Seed for all delay sampling.
     pub seed: u64,
+    /// Pending-event queue implementation. Traces are bit-identical under
+    /// either kind; the calendar queue is simply faster (see
+    /// [`crate::sched`]).
+    pub scheduler: SchedulerKind,
 }
 
 impl NetConfig {
@@ -55,6 +100,7 @@ impl NetConfig {
             hop_delay_min: SimDuration::from_micros(500),
             hop_delay_max: SimDuration::from_micros(1_000),
             seed,
+            scheduler: SchedulerKind::from_env(),
         }
     }
 
@@ -132,36 +178,16 @@ struct FloodMeta {
     target: Option<NodeId>,
 }
 
-struct Event<M, T> {
-    time: SimTime,
-    seq: u64,
-    node: NodeId,
-    kind: EventKind<M, T>,
-}
-
-impl<M, T> PartialEq for Event<M, T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M, T> Eq for Event<M, T> {}
-impl<M, T> PartialOrd for Event<M, T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M, T> Ord for Event<M, T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
+/// The pending-event payload: which node the event targets and what it
+/// carries.
+type NodeEvent<M, T> = (NodeId, EventKind<M, T>);
 
 /// The simulation: actors + topology + event queue + meters.
 pub struct SimNet<A: Actor> {
     cfg: NetConfig,
     actors: Vec<A>,
     meters: Vec<EnergyMeter>,
-    queue: BinaryHeap<Reverse<Event<A::Msg, A::Timer>>>,
+    queue: EventQueue<NodeEvent<A::Msg, A::Timer>>,
     seq: u64,
     now: SimTime,
     next_timer_id: u64,
@@ -181,11 +207,12 @@ impl<A: Actor> SimNet<A> {
     pub fn new(cfg: NetConfig, actors: Vec<A>) -> Self {
         assert_eq!(actors.len(), cfg.topology.n(), "one actor per topology node");
         let n = actors.len();
+        let queue = EventQueue::new(cfg.scheduler);
         let mut net = SimNet {
             cfg,
             actors,
             meters: vec![EnergyMeter::new(); n],
-            queue: BinaryHeap::new(),
+            queue,
             seq: 0,
             now: SimTime::ZERO,
             next_timer_id: 0,
@@ -253,9 +280,8 @@ impl<A: Actor> SimNet<A> {
 
     /// Processes the next event, if any, returning its timestamp.
     pub fn step(&mut self) -> Option<SimTime> {
-        let Reverse(event) = self.queue.pop()?;
-        self.now = event.time;
-        let Event { time: _, seq: _, node, kind } = event;
+        let (time, _seq, (node, kind)) = self.queue.pop()?;
+        self.now = SimTime::from_micros(time);
         match kind {
             EventKind::Start => self.invoke(node, |actor, ctx| actor.on_start(ctx)),
             EventKind::Timer { id, token } => {
@@ -301,8 +327,8 @@ impl<A: Actor> SimNet<A> {
 
     /// Runs until the queue is exhausted or virtual time would pass `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.time > t {
+        while let Some(head) = self.queue.peek_time() {
+            if head > t.as_micros() {
                 break;
             }
             self.step();
@@ -327,8 +353,8 @@ impl<A: Actor> SimNet<A> {
             if pred(&self.actors) {
                 return true;
             }
-            match self.queue.peek() {
-                Some(Reverse(head)) if head.time <= deadline => {
+            match self.queue.peek_time() {
+                Some(head) if head <= deadline.as_micros() => {
                     self.step();
                 }
                 _ => {
@@ -342,7 +368,7 @@ impl<A: Actor> SimNet<A> {
     fn push(&mut self, time: SimTime, node: NodeId, kind: EventKind<A::Msg, A::Timer>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { time, seq, node, kind }));
+        self.queue.push(time.as_micros(), seq, (node, kind));
     }
 
     fn hop_delay(&mut self) -> SimDuration {

@@ -8,7 +8,7 @@
 //! run over a real BLE stack. Energy is still accounted per operation with
 //! the same [`ChannelCost`] pricing.
 
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -19,6 +19,7 @@ use eesmr_hypergraph::Hypergraph;
 use crate::actor::{Actor, Context, Effect, NodeId, TimerId};
 use crate::channel::ChannelCost;
 use crate::message::Message;
+use crate::sched::CalendarQueue;
 use crate::time::SimTime;
 
 /// Configuration for the threaded transport.
@@ -41,31 +42,6 @@ enum TEvent<M> {
     Stop,
 }
 
-struct PendingTimer<T> {
-    due: Instant,
-    id: TimerId,
-    token: T,
-    seq: u64,
-}
-
-impl<T> PartialEq for PendingTimer<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
-    }
-}
-impl<T> Eq for PendingTimer<T> {}
-impl<T> PartialOrd for PendingTimer<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<T> Ord for PendingTimer<T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest due.
-        (other.due, other.seq).cmp(&(self.due, self.seq))
-    }
-}
-
 /// A running threaded network.
 pub struct ThreadNet<A: Actor> {
     handles: Vec<JoinHandle<(A, EnergyMeter)>>,
@@ -83,7 +59,10 @@ struct NodeRuntime<A: Actor> {
     start: Instant,
     next_timer_id: u64,
     timer_seq: u64,
-    timers: BinaryHeap<PendingTimer<A::Timer>>,
+    /// Pending timers, keyed by due time in microseconds since `start`.
+    /// The same calendar queue the simulator uses; wall time is monotone,
+    /// so its "never push into the past" contract holds here too.
+    timers: CalendarQueue<(TimerId, A::Timer)>,
     cancelled: HashSet<u64>,
     seen_floods: HashSet<u64>,
     local: VecDeque<TEvent<A::Msg>>,
@@ -159,10 +138,10 @@ where
                 });
             }
             Effect::SetTimer { id, delay, token } => {
-                let due = Instant::now() + Duration::from_micros(delay.as_micros());
+                let due = self.start.elapsed().as_micros() as u64 + delay.as_micros();
                 let seq = self.timer_seq;
                 self.timer_seq += 1;
-                self.timers.push(PendingTimer { due, id, token, seq });
+                self.timers.push(due, seq, (id, token));
             }
             Effect::CancelTimer(id) => {
                 self.cancelled.insert(id.0);
@@ -199,13 +178,13 @@ where
         self.invoke(|a, ctx| a.on_start(ctx));
         loop {
             // Fire due timers.
-            let now = Instant::now();
-            while self.timers.peek().is_some_and(|t| t.due <= now) {
-                let t = self.timers.pop().expect("peeked");
-                if self.cancelled.remove(&t.id.0) {
+            let now_us = self.start.elapsed().as_micros() as u64;
+            while self.timers.peek_time().is_some_and(|due| due <= now_us) {
+                let (_, _, (id, token)) = self.timers.pop().expect("peeked");
+                if self.cancelled.remove(&id.0) {
                     continue;
                 }
-                self.invoke(|a, ctx| a.on_timer(t.token.clone(), ctx));
+                self.invoke(|a, ctx| a.on_timer(token.clone(), ctx));
             }
             // Drain locally queued (loopback) deliveries.
             while let Some(ev) = self.local.pop_front() {
@@ -214,10 +193,11 @@ where
                 }
             }
             // Wait for the next external event or timer deadline.
+            let now_us = self.start.elapsed().as_micros() as u64;
             let wait = self
                 .timers
-                .peek()
-                .map(|t| t.due.saturating_duration_since(Instant::now()))
+                .peek_time()
+                .map(|due| Duration::from_micros(due.saturating_sub(now_us)))
                 .unwrap_or(Duration::from_millis(20))
                 .min(Duration::from_millis(20));
             match self.receiver.recv_timeout(wait) {
@@ -268,7 +248,7 @@ where
                 start,
                 next_timer_id: 0,
                 timer_seq: 0,
-                timers: BinaryHeap::new(),
+                timers: CalendarQueue::new(),
                 cancelled: HashSet::new(),
                 seen_floods: HashSet::new(),
                 local: VecDeque::new(),

@@ -26,3 +26,8 @@ pub mod scenario;
 pub use faults::FaultPlan;
 pub use report::{NodeEnergy, NodeReport, RunReport};
 pub use scenario::{CellKey, Protocol, Scenario, StopWhen};
+
+// Re-exported so sweep authors can set batch policies and schedulers
+// without depending on the protocol crates directly.
+pub use eesmr_core::BatchPolicy;
+pub use eesmr_net::SchedulerKind;

@@ -4,7 +4,7 @@
 //! degree, payload, faults, signature scheme) and *when to stop* (a block
 //! target, a view target for view-change measurements, or a time budget).
 //! [`Scenario::run`] executes it on the discrete-event simulator and
-//! returns a [`RunReport`](crate::RunReport) with per-node energy and
+//! returns a [`RunReport`] with per-node energy and
 //! protocol metrics — the raw material for every figure in the paper's
 //! evaluation.
 
@@ -12,11 +12,11 @@ use std::sync::Arc;
 
 use eesmr_baselines::sync_hotstuff::{build_hs_replicas, HsConfig, HsPacing, HsVariant};
 use eesmr_baselines::trusted::{build_tb_nodes, TbConfig, HUB};
-use eesmr_core::{build_replicas, Config, Pacing};
+use eesmr_core::{build_replicas, BatchPolicy, Config, Pacing};
 use eesmr_crypto::{KeyStore, SigScheme};
 use eesmr_energy::Medium;
 use eesmr_hypergraph::topology::{ring_kcast, star};
-use eesmr_net::{Actor, ChannelCost, NetConfig, SimDuration, SimNet, SimTime};
+use eesmr_net::{Actor, ChannelCost, NetConfig, SchedulerKind, SimDuration, SimNet, SimTime};
 
 use crate::faults::FaultPlan;
 use crate::report::{NodeEnergy, NodeReport, RunReport};
@@ -92,6 +92,16 @@ pub struct Scenario {
     pub fault_bound: Option<usize>,
     /// EESMR: §3.5 checkpoint interval (optimistic pre-commit).
     pub checkpoint_interval: Option<u64>,
+    /// How the proposer sizes each batch, if explicitly set. `None`
+    /// keeps each protocol's historical default (`Fixed(64)`; the
+    /// trusted baseline's spokes upload `Fixed(16)` batches).
+    pub batch_policy: Option<BatchPolicy>,
+    /// Synthetic offered load: commands available per proposal when no
+    /// client commands are queued (the paper's workloads use 1).
+    pub offered_load: usize,
+    /// Which pending-event queue the simulator uses. Results are
+    /// bit-identical under either kind; this only changes run speed.
+    pub scheduler: SchedulerKind,
 }
 
 /// The sweep coordinates identifying one cell of an experiment grid: the
@@ -116,6 +126,10 @@ pub struct CellKey {
     pub payload_bytes: usize,
     /// Signature scheme.
     pub scheme: SigScheme,
+    /// Batch policy.
+    pub batch: BatchPolicy,
+    /// Synthetic offered load (commands available per proposal).
+    pub offered_load: usize,
     /// Run seed.
     pub seed: u64,
 }
@@ -145,7 +159,38 @@ impl Scenario {
             opt_lock_only_status: false,
             fault_bound: None,
             checkpoint_interval: None,
+            batch_policy: None,
+            offered_load: 1,
+            scheduler: SchedulerKind::from_env(),
         }
+    }
+
+    /// Sets the batch policy (how proposers size each block's batch).
+    pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.batch_policy = Some(policy);
+        self
+    }
+
+    /// The batch policy this scenario actually runs with: the explicit
+    /// setting if any, else the protocol's historical default.
+    pub fn effective_batch_policy(&self) -> BatchPolicy {
+        self.batch_policy.unwrap_or(match self.protocol {
+            Protocol::TrustedBaseline => BatchPolicy::Fixed(16),
+            _ => BatchPolicy::DEFAULT,
+        })
+    }
+
+    /// Sets the synthetic offered load (commands available per proposal).
+    pub fn offered_load(mut self, commands: usize) -> Self {
+        self.offered_load = commands.max(1);
+        self
+    }
+
+    /// Selects the simulator's event scheduler (results are identical
+    /// under either; see `eesmr_net::sched`).
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
     }
 
     /// Enables the §3.5 checkpoint optimization with the given interval.
@@ -212,6 +257,8 @@ impl Scenario {
             k: self.k,
             payload_bytes: self.payload_bytes,
             scheme: self.scheme,
+            batch: self.effective_batch_policy(),
+            offered_load: self.offered_load,
             seed: self.seed,
         }
     }
@@ -228,6 +275,12 @@ impl Scenario {
             self.scheme.name(),
             self.seed
         );
+        if let Some(policy) = self.batch_policy {
+            label.push_str(&format!(" batch={}", policy.label()));
+        }
+        if self.offered_load != 1 {
+            label.push_str(&format!(" load={}", self.offered_load));
+        }
         if self.faults.count() > 0 {
             label.push_str(&format!(" faults={}", self.faults.count()));
         }
@@ -249,9 +302,12 @@ impl Scenario {
     }
 
     fn run_eesmr(&self) -> RunReport {
-        let net_cfg = NetConfig::ble(ring_kcast(self.n, self.k), self.seed);
+        let mut net_cfg = NetConfig::ble(ring_kcast(self.n, self.k), self.seed);
+        net_cfg.scheduler = self.scheduler;
         let delta = net_cfg.delta();
         let mut config = Config::new(self.n, delta);
+        config.batch_policy = self.effective_batch_policy();
+        config.offered_load = self.offered_load;
         if let Some(f) = self.fault_bound {
             config.f = f;
         }
@@ -309,9 +365,12 @@ impl Scenario {
     }
 
     fn run_hs(&self, variant: HsVariant) -> RunReport {
-        let net_cfg = NetConfig::ble(ring_kcast(self.n, self.k), self.seed);
+        let mut net_cfg = NetConfig::ble(ring_kcast(self.n, self.k), self.seed);
+        net_cfg.scheduler = self.scheduler;
         let delta = net_cfg.delta();
         let mut config = HsConfig::new(self.n, delta, variant);
+        config.batch_policy = self.effective_batch_policy();
+        config.offered_load = self.offered_load;
         if let Some(f) = self.fault_bound {
             config.f = f;
         }
@@ -370,9 +429,11 @@ impl Scenario {
         // Star over the expensive medium; Δ is one hop to/from the hub.
         let mut net_cfg = NetConfig::ble(star(self.n, HUB), self.seed);
         net_cfg.channel = ChannelCost::PerByte { medium: Medium::FourG };
+        net_cfg.scheduler = self.scheduler;
         let delta = net_cfg.delta();
-        let config =
-            TbConfig { n: self.n, payload_bytes: self.payload_bytes, order_period: delta * 2 };
+        let mut config = TbConfig::new(self.n, self.payload_bytes, delta * 2);
+        config.batch_policy = self.effective_batch_policy();
+        config.offered_load = self.offered_load;
         let pki = Arc::new(KeyStore::generate(self.n, self.scheme, self.seed));
         let nodes_v = build_tb_nodes(&config, &pki);
         let mut net = SimNet::new(net_cfg, nodes_v);
@@ -520,6 +581,40 @@ mod tests {
         assert!(!label.contains("faults"), "{label}");
         let faulty = s.faults(FaultPlan::silent_leader()).label();
         assert!(faulty.contains("faults=1"), "{faulty}");
+    }
+
+    #[test]
+    fn adaptive_batching_under_load_fills_bigger_blocks() {
+        let adaptive = BatchPolicy::Adaptive { min: 1, max: 64, target_fill_pct: 100 };
+        let loaded = Scenario::new(Protocol::Eesmr, 5, 2)
+            .offered_load(32)
+            .batch_policy(adaptive)
+            .stop(StopWhen::Blocks(5))
+            .run();
+        assert!(loaded.committed_height() >= 5);
+        let unit = Scenario::new(Protocol::Eesmr, 5, 2).stop(StopWhen::Blocks(5)).run();
+        // Same block target, but the adaptive proposer drains the offered
+        // load into each block: far more bytes cross the air per block.
+        assert!(
+            loaded.net.bytes_on_air > 2 * unit.net.bytes_on_air,
+            "adaptive batches should carry the backlog ({} vs {} bytes)",
+            loaded.net.bytes_on_air,
+            unit.net.bytes_on_air
+        );
+        let label =
+            Scenario::new(Protocol::Eesmr, 5, 2).offered_load(32).batch_policy(adaptive).label();
+        assert!(label.contains("batch=adaptive1..64@100%"), "{label}");
+        assert!(label.contains("load=32"), "{label}");
+    }
+
+    #[test]
+    fn batch_policy_is_a_cell_axis() {
+        let a = Scenario::new(Protocol::Eesmr, 5, 2);
+        let b = a.clone().batch_policy(BatchPolicy::Fixed(8));
+        assert_ne!(a.cell(), b.cell(), "batch policy distinguishes grid cells");
+        assert_eq!(a.cell().batch, BatchPolicy::DEFAULT);
+        let c = a.clone().offered_load(32);
+        assert_ne!(a.cell(), c.cell(), "offered load distinguishes grid cells");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! | `eesmr-baselines` | [`baselines`] | Sync HotStuff, OptSync, trusted-node baseline |
 //! | `eesmr-sim` | [`sim`] | scenario harness and run reports |
 //! | `eesmr-driver` | [`driver`] | parallel multi-scenario driver: grids, worker pool, suite reports |
-//! | `eesmr-bench` | [`bench`] | CSV/table plumbing behind the figure binaries |
+//! | `eesmr-bench` | [`mod@bench`] | CSV/table plumbing behind the figure binaries |
 //!
 //! # Quick example
 //!
@@ -61,8 +61,11 @@ pub mod prelude {
         complete, complete_unicast, random_kcast, random_resilient_kcast, ring_kcast, star,
     };
     pub use eesmr_hypergraph::Hypergraph;
-    pub use eesmr_net::{NetConfig, SimDuration, SimNet, SimTime, ThreadNet, ThreadNetConfig};
+    pub use eesmr_net::{
+        NetConfig, SchedulerKind, SimDuration, SimNet, SimTime, ThreadNet, ThreadNetConfig,
+    };
     pub use eesmr_sim::{
-        CellKey, FaultPlan, NodeEnergy, NodeReport, Protocol, RunReport, Scenario, StopWhen,
+        BatchPolicy, CellKey, FaultPlan, NodeEnergy, NodeReport, Protocol, RunReport, Scenario,
+        StopWhen,
     };
 }

@@ -5,7 +5,7 @@
 //! protocols, with and without faults.
 
 use eesmr_driver::{Driver, DriverConfig, ScenarioGrid};
-use eesmr_sim::{FaultPlan, Protocol, RunReport, Scenario, StopWhen};
+use eesmr_sim::{FaultPlan, Protocol, RunReport, Scenario, SchedulerKind, StopWhen};
 
 fn run(protocol: Protocol, seed: u64, faults: FaultPlan) -> RunReport {
     Scenario::new(protocol, 6, 3).seed(seed).faults(faults).stop(StopWhen::Blocks(4)).run()
@@ -107,6 +107,31 @@ fn driver_repeats_vary_the_seed_but_quick_mode_only_shrinks_targets() {
     let quick = Driver::new(DriverConfig::default().workers(2).quick(true))
         .run_grid(&ScenarioGrid::named("quick").nodes([6]).degrees([3]).stop(StopWhen::Blocks(3)));
     assert_eq!(full, quick);
+}
+
+#[test]
+fn calendar_and_heap_schedulers_are_bit_identical() {
+    // The event scheduler is a pure performance choice: swapping the
+    // calendar queue for the reference binary heap must never change a
+    // single byte of any report — across protocols, faults, and the
+    // view-change path whose long timers exercise the spill heap.
+    let scenarios = [
+        Scenario::new(Protocol::Eesmr, 6, 3).stop(StopWhen::Blocks(4)),
+        Scenario::new(Protocol::SyncHotStuff, 6, 3).stop(StopWhen::Blocks(4)),
+        Scenario::new(Protocol::OptSync, 5, 2).stop(StopWhen::Blocks(4)),
+        Scenario::new(Protocol::TrustedBaseline, 6, 2).stop(StopWhen::Blocks(4)),
+        Scenario::new(Protocol::Eesmr, 5, 2)
+            .faults(FaultPlan::silent_leader())
+            .stop(StopWhen::ViewReached(2)),
+        Scenario::new(Protocol::Eesmr, 6, 2)
+            .faults(FaultPlan::none().with_equivocator(1, 1))
+            .stop(StopWhen::Blocks(3)),
+    ];
+    for scenario in scenarios {
+        let heap = scenario.clone().scheduler(SchedulerKind::Heap).run();
+        let calendar = scenario.clone().scheduler(SchedulerKind::Calendar).run();
+        assert_eq!(heap, calendar, "scheduler leaked into results: {}", scenario.label());
+    }
 }
 
 #[test]
