@@ -24,7 +24,7 @@ use std::sync::Arc;
 use eesmr_core::message::signing_bytes;
 use eesmr_core::{
     AdaptiveBatcher, BatchPolicy, Block, BlockStore, CertifiedBlock, Command, Metrics, MsgKind,
-    QuorumCert, TxPool,
+    QuorumCert, TxPool, WorkloadSource,
 };
 use eesmr_crypto::{Digest, Hashable, KeyPair, KeyStore, Signature};
 use eesmr_net::{Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
@@ -287,6 +287,9 @@ pub enum HsTimer {
         /// The new view.
         view: u64,
     },
+    /// The next client-transaction arrival from the attached
+    /// `WorkloadSource`.
+    Arrival,
 }
 
 /// Injected fault behaviour (mirrors `eesmr_core::FaultMode`).
@@ -333,6 +336,7 @@ pub struct HsReplica {
     b_com_height: u64,
     txpool: TxPool,
     batcher: AdaptiveBatcher,
+    workload: Option<Box<dyn WorkloadSource>>,
 
     proposals_seen: HashMap<(u64, u64), (Digest, HsMsg)>,
     voted: HashSet<(u64, u64)>,
@@ -392,6 +396,7 @@ impl HsReplica {
             b_com_height: 0,
             txpool: TxPool::synthetic(payload).with_offered_load(offered),
             batcher: AdaptiveBatcher::new(),
+            workload: None,
             proposals_seen: HashMap::new(),
             voted: HashSet::new(),
             votes: HashMap::new(),
@@ -443,6 +448,31 @@ impl HsReplica {
     /// Looks up a block.
     pub fn block(&self, id: &Digest) -> Option<&Block> {
         self.store.get(id)
+    }
+
+    /// Attaches a client-workload stream (mirrors
+    /// `eesmr_core::Replica::attach_workload`): arrival timers inject
+    /// timestamped transactions and the synthetic fallback is disabled.
+    pub fn attach_workload(&mut self, source: Box<dyn WorkloadSource>) {
+        self.txpool.client_only();
+        self.workload = Some(source);
+    }
+
+    /// End-to-end (birth → local commit) latencies of workload
+    /// transactions injected at this node.
+    pub fn tx_latencies(&self) -> &[SimDuration] {
+        self.txpool.tx_latencies()
+    }
+
+    /// One arrival event: inject, re-arm, and let the leader pick up the
+    /// fresh backlog.
+    fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(source) = &mut self.workload else { return };
+        let now_us = ctx.now().as_micros();
+        if let Some(delay) = self.txpool.drive_arrival(source.as_mut(), &mut self.metrics, now_us) {
+            ctx.set_timer(SimDuration::from_micros(delay), HsTimer::Arrival);
+        }
+        self.try_propose(ctx);
     }
 
     fn active(&self) -> bool {
@@ -734,7 +764,7 @@ impl HsReplica {
                 self.metrics.commit_latencies.push(now.since(seen));
             }
             let b = self.store.get(&id).expect("segment stored").clone();
-            self.txpool.remove_committed(&b);
+            self.txpool.remove_committed(&b, now);
         }
         self.b_com = block_id;
         self.b_com_height = self.store.get(&block_id).expect("stored").height;
@@ -862,6 +892,9 @@ impl HsReplica {
         self.statuses.clear();
         self.new_view_proposed = false;
         self.metrics.view_changes += 1;
+        // Workload transactions drained into the dead view's discarded
+        // proposals go back in the pool for the new view.
+        self.txpool.requeue_unresolved();
         // The proposing tip must be a *certified* block: votes cast for
         // never-certified blocks of the dead view cannot be justified by
         // the next leader. Fall back to the highest certificate (or
@@ -989,6 +1022,11 @@ impl Actor for HsReplica {
             return;
         }
         self.reset_blame_timer(self.config.steady_blame_multiple(), ctx);
+        if let Some(source) = &mut self.workload {
+            if let Some(delay) = source.next_arrival_in(ctx.now().as_micros()) {
+                ctx.set_timer(SimDuration::from_micros(delay), HsTimer::Arrival);
+            }
+        }
         self.try_propose(ctx);
     }
 
@@ -1016,6 +1054,7 @@ impl Actor for HsReplica {
             HsTimer::Commit { view, block } => self.on_commit_timer(view, block, ctx),
             HsTimer::QuitWait { view } => self.on_quit_wait(view, ctx),
             HsTimer::LeaderStatus { view } => self.on_leader_status(view, ctx),
+            HsTimer::Arrival => self.on_arrival(ctx),
         }
     }
 }

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use eesmr_core::message::signing_bytes;
 use eesmr_core::{
     AdaptiveBatcher, BatchPolicy, Block, BlockStore, Command, Metrics, MsgKind, TxPool,
+    WorkloadSource,
 };
 use eesmr_crypto::{Digest, KeyPair, KeyStore, Signature};
 use eesmr_net::{Actor, Context, Message, NodeId, SimDuration, SimTime};
@@ -107,6 +108,9 @@ pub enum TbTimer {
     Order,
     /// A node's periodic upload.
     Upload,
+    /// The next client-transaction arrival from the attached
+    /// `WorkloadSource` (spokes only).
+    Arrival,
 }
 
 /// Configuration.
@@ -151,6 +155,7 @@ pub struct TbNode {
     tip: Digest,
     txpool: TxPool,
     batcher: AdaptiveBatcher,
+    workload: Option<Box<dyn WorkloadSource>>,
     upload_seq: u64,
     pending: Vec<Command>,
     committed_log: Vec<Digest>,
@@ -185,6 +190,7 @@ impl TbNode {
             tip,
             txpool: TxPool::synthetic(payload).with_offered_load(offered),
             batcher: AdaptiveBatcher::new(),
+            workload: None,
             upload_seq: 0,
             pending: Vec::new(),
             committed_log: Vec::new(),
@@ -213,9 +219,45 @@ impl TbNode {
         self.id == HUB
     }
 
+    /// Attaches a client-workload stream to this spoke (the externally
+    /// powered hub orders, it does not originate): arrivals inject
+    /// timestamped transactions and trigger uploads, replacing the
+    /// synthetic `offered_load` feed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the hub.
+    pub fn attach_workload(&mut self, source: Box<dyn WorkloadSource>) {
+        assert!(!self.is_hub(), "the trusted hub does not originate transactions");
+        self.txpool.client_only();
+        self.workload = Some(source);
+    }
+
+    /// End-to-end (birth → local commit) latencies of workload
+    /// transactions injected at this spoke.
+    pub fn tx_latencies(&self) -> &[SimDuration] {
+        self.txpool.tx_latencies()
+    }
+
+    /// One arrival event: inject, re-arm, and upload the fresh backlog
+    /// to the hub.
+    fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(source) = &mut self.workload else { return };
+        let now_us = ctx.now().as_micros();
+        if let Some(delay) = self.txpool.drive_arrival(source.as_mut(), &mut self.metrics, now_us) {
+            ctx.set_timer(SimDuration::from_micros(delay), TbTimer::Arrival);
+        }
+        self.upload(ctx);
+    }
+
     fn upload(&mut self, ctx: &mut Ctx<'_>) {
         let want = self.batcher.next_size(self.txpool.backlog(), self.config.batch_policy);
         let batch = self.txpool.next_batch(want);
+        // A workload-fed spoke only uploads real transactions; the
+        // synthetic feed keeps its historical empty-batch heartbeat.
+        if batch.is_empty() && self.workload.is_some() {
+            return;
+        }
         let seq = self.upload_seq;
         self.upload_seq += 1;
         let msg = TbMsg::new(TbPayload::Request { batch, seq }, self.pki.keypair(self.id));
@@ -233,6 +275,11 @@ impl Actor for TbNode {
         if self.is_hub() {
             ctx.set_timer(self.config.order_period, TbTimer::Order);
         } else {
+            if let Some(source) = &mut self.workload {
+                if let Some(delay) = source.next_arrival_in(ctx.now().as_micros()) {
+                    ctx.set_timer(SimDuration::from_micros(delay), TbTimer::Arrival);
+                }
+            }
             self.upload(ctx);
         }
     }
@@ -272,6 +319,7 @@ impl Actor for TbNode {
                 if let Some(seen) = self.first_seen.remove(&id) {
                     self.metrics.commit_latencies.push(ctx.now().since(seen));
                 }
+                self.txpool.remove_committed(&block, ctx.now());
                 // Upload the next unit after each ordered block.
                 self.upload(ctx);
             }
@@ -303,6 +351,7 @@ impl Actor for TbNode {
                 ctx.set_timer(self.config.order_period, TbTimer::Order);
             }
             TbTimer::Upload => self.upload(ctx),
+            TbTimer::Arrival => self.on_arrival(ctx),
         }
     }
 }

@@ -24,6 +24,7 @@ const TARGETS: &[&str] = &[
     "fig2e_viewchange",
     "fig2f_total_energy",
     "fig3_eesmr_vs_synchs",
+    "fig_workload",
     "headline",
     "ablation_schemes",
     "ablation_reliability",

@@ -1,32 +1,48 @@
 //! Regenerates **Fig. 2a**: k-cast failure rate (%) against the energy
 //! spent by sender and receiver, for k ∈ {1, 3, 7}, sweeping the
 //! redundancy factor of BLE advertisement transmissions.
+//!
+//! The sweep is closed-form (no scenarios), but it runs through the
+//! `eesmr-driver` pool like every other figure: `EESMR_WORKERS`
+//! parallelises the (k, redundancy) points and `EESMR_QUICK=1` shrinks
+//! the redundancy range to smoke size.
 
 use eesmr_bench::{print_table, Csv};
+use eesmr_driver::Driver;
 use eesmr_energy::BleKcastModel;
 
 fn main() {
+    let driver = Driver::from_env();
+    let max_redundancy = if driver.config().quick_mode { 3 } else { 10 };
+    let points: Vec<(usize, u32)> =
+        [1usize, 3, 7].iter().flat_map(|&k| (1..=max_redundancy).map(move |r| (k, r))).collect();
+
     let model = BleKcastModel::default();
+    let rows_raw = driver.map(&points, |&(k, r)| {
+        (
+            k,
+            r,
+            model.kcast_send_mj(25, r),
+            model.kcast_recv_mj(25, r),
+            model.fragment_failure_prob(k, r) * 100.0,
+        )
+    });
+
     let mut csv = Csv::create(
         "fig2a_kcast_reliability",
         &["k", "redundancy", "sender_mj", "receiver_mj", "failure_pct"],
     );
     let mut rows = Vec::new();
-    for k in [1usize, 3, 7] {
-        for r in 1..=10u32 {
-            let send = model.kcast_send_mj(25, r);
-            let recv = model.kcast_recv_mj(25, r);
-            let fail = model.fragment_failure_prob(k, r) * 100.0;
-            csv.rowd(&[&k, &r, &send, &recv, &fail]);
-            if r <= 8 {
-                rows.push(vec![
-                    k.to_string(),
-                    r.to_string(),
-                    format!("{send:.2}"),
-                    format!("{recv:.2}"),
-                    format!("{fail:.4}"),
-                ]);
-            }
+    for (k, r, send, recv, fail) in rows_raw {
+        csv.rowd(&[&k, &r, &send, &recv, &fail]);
+        if r <= 8 {
+            rows.push(vec![
+                k.to_string(),
+                r.to_string(),
+                format!("{send:.2}"),
+                format!("{recv:.2}"),
+                format!("{fail:.4}"),
+            ]);
         }
     }
     print_table(

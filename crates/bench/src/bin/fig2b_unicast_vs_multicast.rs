@@ -1,27 +1,42 @@
 //! Regenerates **Fig. 2b**: energy to deliver payloads of 25–500 B via
 //! GATT unicasts (d = 1 and d = 7) versus a 99.99 %-reliable k-cast with
 //! k = 7, for sender (S) and receiver (R).
+//!
+//! Closed-form like Fig. 2a, but routed through the `eesmr-driver` pool:
+//! `EESMR_WORKERS` parallelises the payload points and `EESMR_QUICK=1`
+//! coarsens the payload grid to smoke size.
 
 use eesmr_bench::{print_table, Csv};
+use eesmr_driver::Driver;
 use eesmr_energy::{BleGattModel, BleKcastModel};
 
 fn main() {
+    let driver = Driver::from_env();
+    let step = if driver.config().quick_mode { 125 } else { 25 };
+    let payloads: Vec<usize> = (25..=500).step_by(step).collect();
+
     let kcast = BleKcastModel::default();
     let gatt = BleGattModel::default();
+    let series = driver.map(&payloads, |&payload| {
+        (
+            payload,
+            [
+                gatt.unicast_send_mj(payload, 1),
+                gatt.unicast_recv_mj(payload, 1),
+                gatt.unicast_send_mj(payload, 7),
+                gatt.unicast_recv_mj(payload, 7),
+                kcast.reliable_kcast_send_mj(payload, 7, 0.9999),
+                kcast.reliable_kcast_recv_mj(payload, 7, 0.9999),
+            ],
+        )
+    });
+
     let mut csv = Csv::create(
         "fig2b_unicast_vs_multicast",
         &["payload_bytes", "uc_s_d1", "uc_r_d1", "uc_s_d7", "uc_r_d7", "kcast_s_k7", "kcast_r_k7"],
     );
     let mut rows = Vec::new();
-    for payload in (25..=500).step_by(25) {
-        let cells = [
-            gatt.unicast_send_mj(payload, 1),
-            gatt.unicast_recv_mj(payload, 1),
-            gatt.unicast_send_mj(payload, 7),
-            gatt.unicast_recv_mj(payload, 7),
-            kcast.reliable_kcast_send_mj(payload, 7, 0.9999),
-            kcast.reliable_kcast_recv_mj(payload, 7, 0.9999),
-        ];
+    for (payload, cells) in series {
         let mut csv_row = vec![payload.to_string()];
         csv_row.extend(cells.iter().map(|c| c.to_string()));
         csv.row(&csv_row);

@@ -1,18 +1,28 @@
 //! Regenerates **Fig. 2c**: average energy per SMR (committed block)
 //! consumed by a correct EESMR leader and by the other replicas, as a
 //! function of the k-cast degree k (|b_i| = 16 B, n = 10).
+//!
+//! The k sweep runs through the `eesmr-driver` grid, so `EESMR_WORKERS`
+//! parallelises it and `EESMR_QUICK=1` shrinks it to smoke size.
 
 use eesmr_bench::{print_table, Csv};
-use eesmr_sim::{Protocol, Scenario, StopWhen};
+use eesmr_driver::{Driver, ScenarioGrid};
+use eesmr_sim::StopWhen;
 
 fn main() {
     let n = 10;
+    let ks = 2..=7usize;
+    let grid = ScenarioGrid::named("fig2c_leader_replica")
+        .nodes([n])
+        .degrees(ks.clone())
+        .stop(StopWhen::Blocks(30));
+    let suite = Driver::from_env().run_grid(&grid);
+
     let mut csv =
         Csv::create("fig2c_leader_replica", &["k", "leader_mj_per_smr", "replica_mj_per_smr"]);
     let mut rows = Vec::new();
-    for k in 2..=7usize {
-        let report =
-            Scenario::new(Protocol::Eesmr, n, k).payload(16).stop(StopWhen::Blocks(30)).run();
+    for k in ks {
+        let report = suite.find(|c| c.k == k).expect("every k cell ran").report();
         let leader = report.node_energy_per_block_mj(0); // node 0 leads view 1
         let replicas: Vec<f64> =
             (1..n as u32).map(|id| report.node_energy_per_block_mj(id)).collect();
@@ -26,4 +36,5 @@ fn main() {
         &rows,
     );
     println!("wrote {}", csv.path().display());
+    suite.write();
 }

@@ -4,44 +4,59 @@
 //!
 //! Like the paper's measurement, the view-change runs use the §5.6
 //! optimizations of the blocking variant (equivocation speedup +
-//! lock-only status).
+//! lock-only status). The three scenarios per f run as explicit cells of
+//! one `eesmr-driver` grid, so `EESMR_WORKERS` parallelises them and
+//! `EESMR_QUICK=1` shrinks the honest runs' block targets.
 
 use eesmr_bench::{print_table, Csv};
+use eesmr_driver::{Driver, ScenarioGrid};
 use eesmr_sim::{FaultPlan, Protocol, Scenario, StopWhen};
 
 fn main() {
     let n = 15;
+    let fs = 1..=6usize;
+
+    let mut grid = ScenarioGrid::named("fig2e_viewchange");
+    for f in fs.clone() {
+        let k = f + 1;
+        // Equivocation VC: view-1 leader equivocates; measure the NEW
+        // leader's energy for the whole view change.
+        grid = grid.scenario(
+            format!("equivocation f={f}"),
+            Scenario::new(Protocol::Eesmr, n, k)
+                .fault_bound(f)
+                .faults(FaultPlan::equivocating_leader())
+                .with_paper_optimizations()
+                .stop(StopWhen::ViewReached(2)),
+        );
+        // No-progress VC: view-1 leader is silent.
+        grid = grid.scenario(
+            format!("no-progress f={f}"),
+            Scenario::new(Protocol::Eesmr, n, k)
+                .fault_bound(f)
+                .faults(FaultPlan::silent_leader())
+                .with_paper_optimizations()
+                .stop(StopWhen::ViewReached(2)),
+        );
+        // Honest SMR for comparison: leader energy per committed block.
+        grid = grid.scenario(
+            format!("honest f={f}"),
+            Scenario::new(Protocol::Eesmr, n, k).fault_bound(f).stop(StopWhen::Blocks(20)),
+        );
+    }
+    let suite = Driver::from_env().run_grid(&grid);
+
     let mut csv = Csv::create(
         "fig2e_viewchange",
         &["k", "f", "equivocation_vc_mj", "no_progress_vc_mj", "honest_smr_mj"],
     );
     let mut rows = Vec::new();
-    for f in 1..=6usize {
+    for f in fs {
         let k = f + 1;
-        // Equivocation VC: view-1 leader equivocates; measure the NEW
-        // leader's energy for the whole view change.
-        let equiv = Scenario::new(Protocol::Eesmr, n, k)
-            .fault_bound(f)
-            .faults(FaultPlan::equivocating_leader())
-            .with_paper_optimizations()
-            .stop(StopWhen::ViewReached(2))
-            .run();
-        let equiv_mj = equiv.node_energy_mj(1);
-
-        // No-progress VC: view-1 leader is silent.
-        let stall = Scenario::new(Protocol::Eesmr, n, k)
-            .fault_bound(f)
-            .faults(FaultPlan::silent_leader())
-            .with_paper_optimizations()
-            .stop(StopWhen::ViewReached(2))
-            .run();
-        let stall_mj = stall.node_energy_mj(1);
-
-        // Honest SMR for comparison: leader energy per committed block.
-        let honest =
-            Scenario::new(Protocol::Eesmr, n, k).fault_bound(f).stop(StopWhen::Blocks(20)).run();
-        let honest_mj = honest.node_energy_per_block_mj(0);
-
+        let by = |label: String| suite.by_label(&label).expect("cell ran").report();
+        let equiv_mj = by(format!("equivocation f={f}")).node_energy_mj(1);
+        let stall_mj = by(format!("no-progress f={f}")).node_energy_mj(1);
+        let honest_mj = by(format!("honest f={f}")).node_energy_per_block_mj(0);
         csv.rowd(&[&k, &f, &equiv_mj, &stall_mj, &honest_mj]);
         rows.push(vec![
             k.to_string(),
@@ -57,4 +72,5 @@ fn main() {
         &rows,
     );
     println!("wrote {}", csv.path().display());
+    suite.write();
 }

@@ -1,0 +1,79 @@
+//! **Workload sweep** (beyond the paper's fixed-`|b_i|` setup): arrival
+//! process × per-node skew × protocol on the driver grid, reporting
+//! per-transaction end-to-end commit-latency p50/p99 alongside energy
+//! per block — the scenario family where adaptive batching has to track
+//! bursty, skewed client traffic instead of a uniform synthetic feed.
+//!
+//! Runs through `eesmr-driver`, so `EESMR_WORKERS` parallelises the grid
+//! and `EESMR_QUICK=1` shrinks it to smoke size.
+
+use eesmr_bench::Emit;
+use eesmr_driver::{Driver, ScenarioGrid};
+use eesmr_sim::{ArrivalProcess, BatchPolicy, Protocol, Skew, StopWhen, Workload};
+
+fn main() {
+    let arrivals = [
+        ArrivalProcess::Constant { rate: 2_000 },
+        ArrivalProcess::Poisson { rate: 2_000 },
+        ArrivalProcess::Bursty { rate: 6_000, on_ms: 40, off_ms: 80 },
+        ArrivalProcess::Diurnal { base: 2_000, amplitude: 1_500, period_ms: 400 },
+    ];
+    let skews = [Skew::Uniform, Skew::Zipf, Skew::Hotspot { pct: 90 }];
+    let workloads = arrivals
+        .iter()
+        .flat_map(|&arrival| skews.iter().map(move |&skew| Workload::new(arrival).skew(skew)));
+
+    // Adaptive batching so the proposer has to track the offered load.
+    let adaptive = BatchPolicy::Adaptive { min: 1, max: 64, target_fill_pct: 100 };
+    let grid = ScenarioGrid::named("fig_workload")
+        .protocols([Protocol::Eesmr, Protocol::SyncHotStuff])
+        .nodes([6])
+        .degrees([3])
+        .batch_policies([adaptive])
+        .workloads(workloads)
+        .stop(StopWhen::Blocks(30));
+    let suite = Driver::from_env().run_grid(&grid);
+
+    let mut emit = Emit::new(
+        "Workload sweep: commit latency and energy under client traffic, n=6 k=3",
+        "fig_workload",
+        &["protocol", "workload", "tx in", "tx done", "p50 ms", "p99 ms", "mJ/block"],
+        &[
+            "protocol",
+            "workload",
+            "tx_injected",
+            "tx_committed",
+            "tx_latency_p50_us",
+            "tx_latency_p99_us",
+            "energy_per_block_mj",
+        ],
+    );
+    for cell in &suite.cells {
+        let report = cell.report();
+        let stats = report.tx_latency_stats();
+        let workload = cell.key.workload.expect("every cell sweeps a workload").label();
+        emit.row(
+            vec![
+                report.protocol.to_string(),
+                workload.clone(),
+                report.tx_injected().to_string(),
+                report.tx_committed().to_string(),
+                stats.map_or_else(|| "-".into(), |s| format!("{:.1}", s.p50_us as f64 / 1e3)),
+                stats.map_or_else(|| "-".into(), |s| format!("{:.1}", s.p99_us as f64 / 1e3)),
+                format!("{:.1}", report.energy_per_block_mj()),
+            ],
+            vec![
+                report.protocol.to_string(),
+                workload,
+                report.tx_injected().to_string(),
+                report.tx_committed().to_string(),
+                stats.map_or_else(String::new, |s| s.p50_us.to_string()),
+                stats.map_or_else(String::new, |s| s.p99_us.to_string()),
+                report.energy_per_block_mj().to_string(),
+            ],
+        );
+    }
+    emit.finish();
+    let paths = suite.write();
+    println!("wrote {}", paths.json.display());
+}

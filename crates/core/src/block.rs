@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use eesmr_crypto::{Digest, Hashable};
 
 /// A client command (opaque request bytes).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Command(Vec<u8>);
 
 impl Command {

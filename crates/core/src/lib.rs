@@ -48,5 +48,5 @@ pub use config::{BatchPolicy, Config, FaultMode, LeaderPolicy, Pacing};
 pub use message::{CertifiedBlock, MsgKind, Payload, QuorumCert, SignedBlock, SignedMsg, Status};
 pub use metrics::Metrics;
 pub use replica::{Replica, TimerToken};
-pub use txpool::{AdaptiveBatcher, TxPool};
+pub use txpool::{AdaptiveBatcher, TxPool, WorkloadSource};
 pub use view_change::build_replicas;

@@ -23,6 +23,9 @@ pub struct Metrics {
     pub proposals_rejected: u64,
     /// Chain-sync requests issued.
     pub sync_requests: u64,
+    /// Workload transactions injected at this node (arrival events that
+    /// passed the closed-loop bound).
+    pub tx_injected: u64,
     /// Commit latencies (relay → commit) for locally-timed blocks.
     pub commit_latencies: Vec<SimDuration>,
 }

@@ -28,7 +28,7 @@ use crate::block::{Block, BlockStore, Command};
 use crate::config::{Config, FaultMode, Pacing};
 use crate::message::{CertifiedBlock, Payload, QuorumCert, SignedMsg};
 use crate::metrics::Metrics;
-use crate::txpool::{AdaptiveBatcher, TxPool};
+use crate::txpool::{AdaptiveBatcher, TxPool, WorkloadSource};
 
 /// Timer tokens (all carry the view they were armed in; stale timers are
 /// ignored).
@@ -66,6 +66,10 @@ pub enum TimerToken {
         /// The new view.
         view: u64,
     },
+    /// The next client-transaction arrival from the attached
+    /// [`WorkloadSource`] (view-independent: client traffic doesn't stop
+    /// for view changes).
+    Arrival,
 }
 
 /// Convenience alias for the replica's network context.
@@ -118,6 +122,7 @@ pub struct Replica {
     pub(crate) b_com_height: u64,
     pub(crate) txpool: TxPool,
     pub(crate) batcher: AdaptiveBatcher,
+    pub(crate) workload: Option<Box<dyn WorkloadSource>>,
 
     // Steady state.
     pub(crate) proposals_seen: HashMap<(u64, u64), (Digest, SignedMsg)>,
@@ -184,6 +189,7 @@ impl Replica {
             b_com_height: 0,
             txpool: TxPool::synthetic(payload).with_offered_load(offered),
             batcher: AdaptiveBatcher::new(),
+            workload: None,
             proposals_seen: HashMap::new(),
             relayed: HashSet::new(),
             commit_timers: Vec::new(),
@@ -245,6 +251,21 @@ impl Replica {
     /// Queues a client command for inclusion in a future block.
     pub fn submit(&mut self, cmd: Command) {
         self.txpool.submit(cmd);
+    }
+
+    /// Attaches a client-workload stream: the replica schedules its
+    /// arrival events as first-class timers, injects each transaction
+    /// with a birth timestamp, and disables the pool's synthetic
+    /// fallback (the workload *replaces* the `offered_load` knob).
+    pub fn attach_workload(&mut self, source: Box<dyn WorkloadSource>) {
+        self.txpool.client_only();
+        self.workload = Some(source);
+    }
+
+    /// End-to-end (birth → local commit) latencies of workload
+    /// transactions injected at this node.
+    pub fn tx_latencies(&self) -> &[eesmr_net::SimDuration] {
+        self.txpool.tx_latencies()
     }
 
     /// The configuration.
@@ -348,6 +369,32 @@ impl Replica {
         self.metrics.sync_requests += 1;
         let msg = self.sign(Payload::SyncRequest { want }, ctx);
         ctx.send_to(from, msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Client workload arrivals.
+    // ------------------------------------------------------------------
+
+    /// Arms the first arrival timer if a workload stream is attached
+    /// (called from `on_start`).
+    pub(crate) fn schedule_first_arrival(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(source) = &mut self.workload {
+            if let Some(delay) = source.next_arrival_in(ctx.now().as_micros()) {
+                ctx.set_timer(eesmr_net::SimDuration::from_micros(delay), TimerToken::Arrival);
+            }
+        }
+    }
+
+    /// One arrival event: inject the transaction (unless the closed-loop
+    /// bound suppresses it), re-arm the next arrival, and give the
+    /// leader a chance to propose the fresh backlog.
+    pub(crate) fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(source) = &mut self.workload else { return };
+        let now_us = ctx.now().as_micros();
+        if let Some(delay) = self.txpool.drive_arrival(source.as_mut(), &mut self.metrics, now_us) {
+            ctx.set_timer(eesmr_net::SimDuration::from_micros(delay), TimerToken::Arrival);
+        }
+        self.try_propose(ctx);
     }
 
     // ------------------------------------------------------------------
@@ -552,7 +599,7 @@ impl Replica {
                 self.metrics.commit_latencies.push(now.since(seen));
             }
             let block = self.store.get(&id).expect("segment blocks are stored").clone();
-            self.txpool.remove_committed(&block);
+            self.txpool.remove_committed(&block, now);
         }
         self.b_com = block_id;
         self.b_com_height = self.store.get(&block_id).expect("committed block stored").height;
@@ -604,6 +651,7 @@ impl Actor for Replica {
         }
         let m = self.steady_blame_multiple();
         self.reset_blame_timer(m, ctx);
+        self.schedule_first_arrival(ctx);
         self.try_propose(ctx);
     }
 
@@ -637,6 +685,7 @@ impl Actor for Replica {
             TimerToken::ShareQc { view } => self.on_share_qc(view, ctx),
             TimerToken::EnterNew { view } => self.on_enter_new(view, ctx),
             TimerToken::LeaderStatus { view } => self.on_leader_status(view, ctx),
+            TimerToken::Arrival => self.on_arrival(ctx),
         }
     }
 }

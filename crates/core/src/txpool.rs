@@ -5,10 +5,36 @@
 //! nodes on committing a block, remove the commands in the block from the
 //! txpool." (§3)
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
+
+use eesmr_net::{SimDuration, SimTime};
 
 use crate::block::{Block, Command};
 use crate::config::BatchPolicy;
+use crate::metrics::Metrics;
+
+/// A deterministic per-node stream of client transactions, driven by the
+/// protocol's arrival timer events (see `eesmr-workload` for the
+/// implementations: arrival processes × per-node skew × payload
+/// distributions × open/closed-loop injection).
+///
+/// The replica's contract: on start it asks for the first delay via
+/// [`next_arrival_in`](WorkloadSource::next_arrival_in) and arms an
+/// arrival timer; when the timer fires it calls
+/// [`arrival`](WorkloadSource::arrival) with its current in-flight count
+/// (the source may suppress the injection — the closed-loop bound), then
+/// asks for the next delay and re-arms. `Send` is required so replicas
+/// stay movable across the experiment driver's worker threads.
+pub trait WorkloadSource: Send {
+    /// Microseconds from `now_us` until the next arrival event, or
+    /// `None` if the stream is silent (ends the timer chain).
+    fn next_arrival_in(&mut self, now_us: u64) -> Option<u64>;
+
+    /// The transaction for the arrival firing at `now_us`, given the
+    /// node's current in-flight (injected-but-uncommitted) count; `None`
+    /// when the source declines to inject (closed-loop bound reached).
+    fn arrival(&mut self, now_us: u64, in_flight: usize) -> Option<Command>;
+}
 
 /// Pool of pending client commands.
 ///
@@ -24,23 +50,40 @@ pub struct TxPool {
     synthetic_len: Option<usize>,
     synthetic_depth: usize,
     next_seq: u64,
+    /// Live workload transactions born at this node: `(command, birth µs)`.
+    /// Entries persist after batching (the leader drains `pending` into a
+    /// proposal long before the commit) and are settled by
+    /// [`remove_committed`](TxPool::remove_committed).
+    births: Vec<(Command, u64)>,
+    /// End-to-end (birth → local commit) latencies of settled workload
+    /// transactions.
+    tx_latencies: Vec<SimDuration>,
 }
 
 impl TxPool {
     /// An empty, client-fed pool.
     pub fn new() -> Self {
-        TxPool { pending: VecDeque::new(), synthetic_len: None, synthetic_depth: 1, next_seq: 0 }
+        TxPool {
+            pending: VecDeque::new(),
+            synthetic_len: None,
+            synthetic_depth: 1,
+            next_seq: 0,
+            births: Vec::new(),
+            tx_latencies: Vec::new(),
+        }
     }
 
     /// A pool that synthesizes one `len`-byte command per batch whenever it
     /// has no real commands queued.
     pub fn synthetic(len: usize) -> Self {
-        TxPool {
-            pending: VecDeque::new(),
-            synthetic_len: Some(len),
-            synthetic_depth: 1,
-            next_seq: 0,
-        }
+        TxPool { synthetic_len: Some(len), ..TxPool::new() }
+    }
+
+    /// Disables the synthetic fallback: the pool only serves real
+    /// (client- or workload-fed) commands, and an empty pool yields empty
+    /// batches. Attaching a [`WorkloadSource`] implies this.
+    pub fn client_only(&mut self) {
+        self.synthetic_len = None;
     }
 
     /// Sets the synthetic offered load: up to `depth` commands fabricated
@@ -53,6 +96,64 @@ impl TxPool {
     /// Queues a client command.
     pub fn submit(&mut self, cmd: Command) {
         self.pending.push_back(cmd);
+    }
+
+    /// Queues a workload transaction born at `now_us`, tracking it until
+    /// commit so its end-to-end latency can be measured.
+    pub fn submit_at(&mut self, cmd: Command, now_us: u64) {
+        self.births.push((cmd.clone(), now_us));
+        self.pending.push_back(cmd);
+    }
+
+    /// Workload transactions born here and not yet committed (the
+    /// closed-loop in-flight count).
+    pub fn in_flight(&self) -> usize {
+        self.births.len()
+    }
+
+    /// Runs one arrival event from `source` against this pool: injects
+    /// the transaction it yields (unless the closed-loop bound
+    /// suppresses it), counts it in `metrics`, and returns the delay
+    /// until the source's next arrival event, if any. Every protocol's
+    /// arrival handler funnels through this, so the
+    /// inject/count/re-arm sequence cannot drift between them — the
+    /// caller only arms its own timer token with the returned delay.
+    pub fn drive_arrival(
+        &mut self,
+        source: &mut dyn WorkloadSource,
+        metrics: &mut Metrics,
+        now_us: u64,
+    ) -> Option<u64> {
+        if let Some(cmd) = source.arrival(now_us, self.in_flight()) {
+            metrics.tx_injected += 1;
+            self.submit_at(cmd, now_us);
+        }
+        source.next_arrival_in(now_us)
+    }
+
+    /// End-to-end (birth → local commit) latencies of this node's
+    /// committed workload transactions, in commit order.
+    pub fn tx_latencies(&self) -> &[SimDuration] {
+        &self.tx_latencies
+    }
+
+    /// Re-queues birth-tracked workload transactions that are tracked
+    /// but no longer pending: commands the proposer drained into blocks
+    /// of a view that was abandoned would otherwise be lost forever
+    /// (their `births` entries can only settle through a commit).
+    /// Protocols call this on new-view entry. A command whose old-view
+    /// block *does* still commit (as an ancestor of the certified
+    /// chain) may then ride a second block too; latency settles once,
+    /// at its first commit.
+    pub fn requeue_unresolved(&mut self) {
+        let pending: HashSet<&Command> = self.pending.iter().collect();
+        let lost: Vec<Command> = self
+            .births
+            .iter()
+            .filter(|(cmd, _)| !pending.contains(cmd))
+            .map(|(cmd, _)| cmd.clone())
+            .collect();
+        self.pending.extend(lost);
     }
 
     /// Number of queued commands (synthetic generation not counted).
@@ -102,12 +203,26 @@ impl TxPool {
     }
 
     /// Removes commands that were committed in `block` (nodes clear their
-    /// pools when a block commits).
-    pub fn remove_committed(&mut self, block: &Block) {
+    /// pools when a block commits) and settles any of this node's tracked
+    /// workload transactions the block carried, recording their
+    /// birth-to-commit latency against `now`.
+    pub fn remove_committed(&mut self, block: &Block, now: SimTime) {
         if block.payload.is_empty() {
             return;
         }
-        self.pending.retain(|c| !block.payload.contains(c));
+        // One set per block keeps commit processing linear instead of
+        // O(|payload| × pool) byte-vector comparisons.
+        let committed: HashSet<&Command> = block.payload.iter().collect();
+        self.pending.retain(|c| !committed.contains(c));
+        let latencies = &mut self.tx_latencies;
+        self.births.retain(|(cmd, birth_us)| {
+            if committed.contains(cmd) {
+                latencies.push(now.since(SimTime::from_micros(*birth_us)));
+                false
+            } else {
+                true
+            }
+        });
     }
 }
 
@@ -284,8 +399,63 @@ mod tests {
         pool.submit(keep.clone());
         pool.submit(gone.clone());
         let block = Block::extending(&Block::genesis(), 1, 3, vec![gone]);
-        pool.remove_committed(&block);
+        pool.remove_committed(&block, SimTime::ZERO);
         assert_eq!(pool.len(), 1);
         assert_eq!(pool.next_batch(1)[0], keep);
+    }
+
+    #[test]
+    fn requeue_unresolved_recovers_commands_from_discarded_proposals() {
+        let mut pool = TxPool::new();
+        let a = Command::new(vec![1; 16]);
+        let b = Command::new(vec![2; 16]);
+        pool.submit_at(a.clone(), 100);
+        pool.submit_at(b.clone(), 200);
+        // The proposer drains both into a block the view change discards.
+        assert_eq!(pool.next_batch(10).len(), 2);
+        assert_eq!(pool.len(), 0);
+        pool.requeue_unresolved();
+        assert_eq!(pool.len(), 2, "discarded commands are proposable again");
+        assert_eq!(pool.in_flight(), 2, "births are untouched by requeue");
+        // Still-pending commands are not duplicated by a second call.
+        pool.requeue_unresolved();
+        assert_eq!(pool.len(), 2);
+        // Committing the re-proposed block settles each latency once.
+        let block = Block::extending(&Block::genesis(), 2, 3, vec![a, b]);
+        pool.remove_committed(&block, SimTime::from_micros(1_000));
+        assert_eq!(pool.in_flight(), 0);
+        assert_eq!(pool.len(), 0);
+        assert_eq!(pool.tx_latencies().len(), 2);
+    }
+
+    #[test]
+    fn client_only_disables_the_synthetic_fallback() {
+        let mut pool = TxPool::synthetic(16).with_offered_load(8);
+        pool.client_only();
+        assert!(pool.next_batch(10).is_empty(), "no fabricated batch");
+        assert_eq!(pool.backlog(), 0);
+    }
+
+    #[test]
+    fn workload_births_survive_batching_and_settle_at_commit() {
+        let mut pool = TxPool::new();
+        let a = Command::new(vec![1; 16]);
+        let b = Command::new(vec![2; 16]);
+        pool.submit_at(a.clone(), 1_000);
+        pool.submit_at(b.clone(), 2_000);
+        assert_eq!(pool.in_flight(), 2);
+        // The proposer drains pending into a block; births persist.
+        let batch = pool.next_batch(10);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(pool.in_flight(), 2, "in-flight counts until commit, not until batching");
+        let block = Block::extending(&Block::genesis(), 1, 3, vec![a]);
+        pool.remove_committed(&block, SimTime::from_micros(5_000));
+        assert_eq!(pool.in_flight(), 1, "only the committed command settles");
+        assert_eq!(pool.tx_latencies(), &[SimDuration::from_micros(4_000)]);
+        let block2 = Block::extending(&block, 1, 4, vec![b]);
+        pool.remove_committed(&block2, SimTime::from_micros(9_000));
+        assert_eq!(pool.in_flight(), 0);
+        assert_eq!(pool.tx_latencies().len(), 2);
+        assert_eq!(pool.tx_latencies()[1], SimDuration::from_micros(7_000));
     }
 }

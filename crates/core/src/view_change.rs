@@ -318,6 +318,9 @@ impl Replica {
         self.nv = Default::default();
         self.want_propose = false;
         self.metrics.view_changes += 1;
+        // Workload transactions drained into the dead view's discarded
+        // proposals go back in the pool for the new view.
+        self.txpool.requeue_unresolved();
         if !self.active() {
             // The node goes silent starting this view (fault injection).
             return;

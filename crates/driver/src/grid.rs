@@ -27,7 +27,7 @@
 
 use eesmr_crypto::SigScheme;
 use eesmr_net::SimDuration;
-use eesmr_sim::{BatchPolicy, Protocol, Scenario, StopWhen};
+use eesmr_sim::{BatchPolicy, Protocol, Scenario, StopWhen, Workload};
 
 /// One runnable cell of a grid: its position, display label, and the
 /// fully-configured scenario.
@@ -75,6 +75,7 @@ pub struct ScenarioGrid {
     ks: Vec<usize>,
     payloads: Vec<usize>,
     batch_policies: Vec<BatchPolicy>,
+    workloads: Vec<Workload>,
     schemes: Vec<SigScheme>,
     seeds: Vec<u64>,
     stop: Option<StopWhen>,
@@ -92,6 +93,7 @@ impl std::fmt::Debug for ScenarioGrid {
             .field("ks", &self.ks)
             .field("payloads", &self.payloads)
             .field("batch_policies", &self.batch_policies)
+            .field("workloads", &self.workloads)
             .field("schemes", &self.schemes)
             .field("seeds", &self.seeds)
             .field("stop", &self.stop)
@@ -150,6 +152,14 @@ impl ScenarioGrid {
         self
     }
 
+    /// Sets the client-workload axis (arrival process × skew × payload ×
+    /// injection; see `eesmr-workload`). When unset, every cell keeps the
+    /// synthetic `offered_load` feed.
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
+        self.workloads = workloads.into_iter().collect();
+        self
+    }
+
     /// Sets the signature-scheme axis.
     pub fn schemes(mut self, schemes: impl IntoIterator<Item = SigScheme>) -> Self {
         self.schemes = schemes.into_iter().collect();
@@ -203,21 +213,28 @@ impl ScenarioGrid {
             * self.protocols.len()
             * self.payloads.len()
             * self.batch_policies.len().max(1)
+            * self.workloads.len().max(1)
             * self.schemes.len()
             * self.seeds.len()
     }
 
     /// Materializes the grid into its deterministic cell ordering:
     /// protocol-major cartesian cells (n, then k, then payload, batch
-    /// policy, scheme, seed innermost), then the explicit scenarios in
-    /// push order.
+    /// policy, workload, scheme, seed innermost), then the explicit
+    /// scenarios in push order.
     pub fn build(&self) -> Vec<GridCell> {
         // An unset batch axis means "each protocol's default policy",
-        // without marking the policy as explicitly chosen.
+        // without marking the policy as explicitly chosen; an unset
+        // workload axis keeps the synthetic feed.
         let batches: Vec<Option<BatchPolicy>> = if self.batch_policies.is_empty() {
             vec![None]
         } else {
             self.batch_policies.iter().copied().map(Some).collect()
+        };
+        let workloads: Vec<Option<Workload>> = if self.workloads.is_empty() {
+            vec![None]
+        } else {
+            self.workloads.iter().copied().map(Some).collect()
         };
         let mut cells = Vec::with_capacity(self.len());
         for &protocol in &self.protocols {
@@ -228,26 +245,31 @@ impl ScenarioGrid {
                     }
                     for &payload in &self.payloads {
                         for &batch in &batches {
-                            for &scheme in &self.schemes {
-                                for &seed in &self.seeds {
-                                    let mut s = Scenario::new(protocol, n, k)
-                                        .payload(payload)
-                                        .scheme(scheme)
-                                        .seed(seed);
-                                    if let Some(policy) = batch {
-                                        s = s.batch_policy(policy);
+                            for &workload in &workloads {
+                                for &scheme in &self.schemes {
+                                    for &seed in &self.seeds {
+                                        let mut s = Scenario::new(protocol, n, k)
+                                            .payload(payload)
+                                            .scheme(scheme)
+                                            .seed(seed);
+                                        if let Some(policy) = batch {
+                                            s = s.batch_policy(policy);
+                                        }
+                                        if let Some(w) = workload {
+                                            s = s.workload(w);
+                                        }
+                                        if let Some(stop) = self.stop {
+                                            s = s.stop(stop);
+                                        }
+                                        if let Some(hook) = &self.configure {
+                                            s = hook(s);
+                                        }
+                                        cells.push(GridCell {
+                                            index: cells.len(),
+                                            label: s.label(),
+                                            scenario: s,
+                                        });
                                     }
-                                    if let Some(stop) = self.stop {
-                                        s = s.stop(stop);
-                                    }
-                                    if let Some(hook) = &self.configure {
-                                        s = hook(s);
-                                    }
-                                    cells.push(GridCell {
-                                        index: cells.len(),
-                                        label: s.label(),
-                                        scenario: s,
-                                    });
                                 }
                             }
                         }

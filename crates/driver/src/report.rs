@@ -45,6 +45,11 @@ pub struct CellStats {
     pub total_correct_energy_mj: Summary,
     /// Mean commit latency in µs (`None` if no repeat measured one).
     pub commit_latency_us: Option<Summary>,
+    /// Per-transaction end-to-end commit-latency p50, µs (`None` if no
+    /// repeat measured workload transactions).
+    pub tx_latency_p50_us: Option<Summary>,
+    /// Per-transaction end-to-end commit-latency p99, µs.
+    pub tx_latency_p99_us: Option<Summary>,
     /// View changes completed (max over correct nodes, per repeat).
     pub view_changes: Summary,
     /// Committed height (min over correct nodes, per repeat).
@@ -61,11 +66,16 @@ impl CellStats {
             .iter()
             .filter_map(|r| r.mean_commit_latency().map(|d| d.as_micros() as f64))
             .collect();
+        let tx_stats: Vec<_> = runs.iter().filter_map(|r| r.tx_latency_stats()).collect();
+        let tx_p50: Vec<f64> = tx_stats.iter().map(|s| s.p50_us as f64).collect();
+        let tx_p99: Vec<f64> = tx_stats.iter().map(|s| s.p99_us as f64).collect();
         CellStats {
             energy_per_block_mj: Summary::of(&collect(&|r| r.energy_per_block_mj())).unwrap(),
             total_correct_energy_mj: Summary::of(&collect(&|r| r.total_correct_energy_mj()))
                 .unwrap(),
             commit_latency_us: Summary::of(&latencies),
+            tx_latency_p50_us: Summary::of(&tx_p50),
+            tx_latency_p99_us: Summary::of(&tx_p99),
             view_changes: Summary::of(&collect(&|r| r.view_changes() as f64)).unwrap(),
             committed_height: Summary::of(&collect(&|r| r.committed_height() as f64)).unwrap(),
         }
@@ -150,6 +160,7 @@ impl SuiteReport {
                 "payload_bytes",
                 "batch_policy",
                 "offered_load",
+                "workload",
                 "scheme",
                 "seed",
                 "repeats",
@@ -160,6 +171,8 @@ impl SuiteReport {
                 "energy_per_block_mj_max",
                 "total_energy_mj_mean",
                 "commit_latency_us_mean",
+                "tx_latency_p50_us_mean",
+                "tx_latency_p99_us_mean",
             ],
         );
         for cell in &self.cells {
@@ -172,6 +185,7 @@ impl SuiteReport {
                 &cell.key.payload_bytes,
                 &cell.key.batch.label(),
                 &cell.key.offered_load,
+                &cell.key.workload.map_or_else(|| "none".into(), |w| w.label()),
                 &cell.key.scheme.name(),
                 &cell.key.seed,
                 &cell.runs.len(),
@@ -182,6 +196,8 @@ impl SuiteReport {
                 &s.energy_per_block_mj.max,
                 &s.total_correct_energy_mj.mean,
                 &s.commit_latency_us.map_or_else(|| "".into(), |l| l.mean.to_string()),
+                &s.tx_latency_p50_us.map_or_else(|| "".into(), |l| l.mean.to_string()),
+                &s.tx_latency_p99_us.map_or_else(|| "".into(), |l| l.mean.to_string()),
             ]);
         }
         csv.path().clone()
@@ -214,9 +230,10 @@ impl SuiteReport {
                 cell.key.payload_bytes
             ));
             out.push_str(&format!(
-                "\"batch_policy\": {}, \"offered_load\": {}, \"scheme\": {}, \"seed\": {}, \"repeats\": {}, ",
+                "\"batch_policy\": {}, \"offered_load\": {}, \"workload\": {}, \"scheme\": {}, \"seed\": {}, \"repeats\": {}, ",
                 json_string(&cell.key.batch.label()),
                 cell.key.offered_load,
+                cell.key.workload.map_or_else(|| "null".into(), |w| json_string(&w.label())),
                 json_string(cell.key.scheme.name()),
                 cell.key.seed,
                 cell.runs.len()
@@ -235,8 +252,13 @@ impl SuiteReport {
                 json_summary(&s.total_correct_energy_mj)
             ));
             out.push_str(&format!(
-                "\"commit_latency_us\": {}",
+                "\"commit_latency_us\": {}, ",
                 s.commit_latency_us.as_ref().map_or_else(|| "null".into(), json_summary)
+            ));
+            out.push_str(&format!(
+                "\"tx_latency_p50_us\": {}, \"tx_latency_p99_us\": {}",
+                s.tx_latency_p50_us.as_ref().map_or_else(|| "null".into(), json_summary),
+                s.tx_latency_p99_us.as_ref().map_or_else(|| "null".into(), json_summary)
             ));
             out.push_str(if i + 1 < self.cells.len() { "},\n" } else { "}\n" });
         }

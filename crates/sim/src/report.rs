@@ -60,6 +60,36 @@ pub struct NodeReport {
     pub verifies: u64,
     /// Mean commit latency, if measured.
     pub mean_commit_latency: Option<SimDuration>,
+    /// Workload transactions injected at this node.
+    pub tx_injected: u64,
+    /// End-to-end (birth → local commit) latency of each workload
+    /// transaction injected at this node, µs, in commit order. Empty when
+    /// the scenario has no workload attached.
+    pub tx_latencies_us: Vec<u64>,
+}
+
+/// End-to-end commit-latency statistics over a run's workload
+/// transactions (all correct nodes pooled). Percentiles use the
+/// nearest-rank definition on the sorted sample: the p-th percentile is
+/// the value at (1-based) index `⌈p·count/100⌉` — see README's "Known
+/// deviations" for how this relates to the paper's block-level numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxLatencyStats {
+    /// Committed workload transactions measured.
+    pub count: usize,
+    /// Arithmetic mean, µs.
+    pub mean_us: u64,
+    /// Median (50th percentile, nearest rank), µs.
+    pub p50_us: u64,
+    /// 99th percentile (nearest rank), µs.
+    pub p99_us: u64,
+}
+
+/// Nearest-rank percentile of a sorted, non-empty sample.
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    debug_assert!(!sorted.is_empty() && (1..=100).contains(&p));
+    let rank = (p as usize * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
 }
 
 /// The outcome of one scenario run.
@@ -125,6 +155,36 @@ impl RunReport {
         self.correct_nodes().map(|n| n.view_changes).max().unwrap_or(0)
     }
 
+    /// Workload transactions injected across correct nodes.
+    pub fn tx_injected(&self) -> u64 {
+        self.correct_nodes().map(|n| n.tx_injected).sum()
+    }
+
+    /// Workload transactions committed (with a measured end-to-end
+    /// latency) across correct nodes.
+    pub fn tx_committed(&self) -> u64 {
+        self.correct_nodes().map(|n| n.tx_latencies_us.len() as u64).sum()
+    }
+
+    /// End-to-end commit-latency statistics over all correct nodes'
+    /// workload transactions; `None` when nothing was measured (no
+    /// workload attached, or nothing committed yet).
+    pub fn tx_latency_stats(&self) -> Option<TxLatencyStats> {
+        let mut all: Vec<u64> =
+            self.correct_nodes().flat_map(|n| n.tx_latencies_us.iter().copied()).collect();
+        if all.is_empty() {
+            return None;
+        }
+        all.sort_unstable();
+        let sum: u128 = all.iter().map(|&v| v as u128).sum();
+        Some(TxLatencyStats {
+            count: all.len(),
+            mean_us: (sum / all.len() as u128) as u64,
+            p50_us: percentile(&all, 50),
+            p99_us: percentile(&all, 99),
+        })
+    }
+
     /// Mean commit latency over correct nodes.
     pub fn mean_commit_latency(&self) -> Option<SimDuration> {
         let latencies: Vec<u64> = self
@@ -169,6 +229,8 @@ mod tests {
             signs: 0,
             verifies: 0,
             mean_commit_latency: None,
+            tx_injected: 0,
+            tx_latencies_us: Vec::new(),
         }
     }
 
@@ -210,6 +272,31 @@ mod tests {
         // Zero blocks guard:
         let r0 = report(vec![node(0, 40.0, 0, false)]);
         assert_eq!(r0.node_energy_per_block_mj(0), 40.0);
+    }
+
+    #[test]
+    fn tx_latency_percentiles_use_nearest_rank() {
+        let mut nodes = vec![node(0, 1.0, 4, false), node(1, 1.0, 4, true)];
+        nodes[0].tx_injected = 120;
+        nodes[0].tx_latencies_us = (1..=100).rev().collect(); // unsorted on purpose
+        nodes[1].tx_injected = 50; // faulty: excluded
+        nodes[1].tx_latencies_us = vec![1_000_000];
+        let r = report(nodes);
+        assert_eq!(r.tx_injected(), 120);
+        assert_eq!(r.tx_committed(), 100);
+        let stats = r.tx_latency_stats().unwrap();
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.mean_us, 50); // (1+…+100)/100 = 50.5 truncated
+        assert_eq!(stats.p50_us, 50, "nearest rank: ⌈50·100/100⌉ = 50th value");
+        assert_eq!(stats.p99_us, 99, "nearest rank: ⌈99·100/100⌉ = 99th value");
+        // Singleton sample: every percentile is the value itself.
+        let mut one = vec![node(0, 1.0, 1, false)];
+        one[0].tx_latencies_us = vec![7];
+        let r1 = report(one);
+        let s1 = r1.tx_latency_stats().unwrap();
+        assert_eq!((s1.p50_us, s1.p99_us), (7, 7));
+        // No measurements → None.
+        assert_eq!(report(vec![node(0, 1.0, 1, false)]).tx_latency_stats(), None);
     }
 
     #[test]

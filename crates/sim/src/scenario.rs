@@ -17,6 +17,7 @@ use eesmr_crypto::{KeyStore, SigScheme};
 use eesmr_energy::Medium;
 use eesmr_hypergraph::topology::{ring_kcast, star};
 use eesmr_net::{Actor, ChannelCost, NetConfig, SchedulerKind, SimDuration, SimNet, SimTime};
+use eesmr_workload::Workload;
 
 use crate::faults::FaultPlan;
 use crate::report::{NodeEnergy, NodeReport, RunReport};
@@ -97,8 +98,14 @@ pub struct Scenario {
     /// trusted baseline's spokes upload `Fixed(16)` batches).
     pub batch_policy: Option<BatchPolicy>,
     /// Synthetic offered load: commands available per proposal when no
-    /// client commands are queued (the paper's workloads use 1).
+    /// client commands are queued (the paper's workloads use 1). Ignored
+    /// when a [`workload`](Self::workload) is attached.
     pub offered_load: usize,
+    /// Client workload model: arrival process × per-node skew × payload
+    /// distribution × injection discipline. When set, it replaces the
+    /// synthetic `offered_load` feed and the run measures per-transaction
+    /// end-to-end commit latency.
+    pub workload: Option<Workload>,
     /// Which pending-event queue the simulator uses. Results are
     /// bit-identical under either kind; this only changes run speed.
     pub scheduler: SchedulerKind,
@@ -130,6 +137,8 @@ pub struct CellKey {
     pub batch: BatchPolicy,
     /// Synthetic offered load (commands available per proposal).
     pub offered_load: usize,
+    /// Client workload model, if any.
+    pub workload: Option<Workload>,
     /// Run seed.
     pub seed: u64,
 }
@@ -161,6 +170,7 @@ impl Scenario {
             checkpoint_interval: None,
             batch_policy: None,
             offered_load: 1,
+            workload: None,
             scheduler: SchedulerKind::from_env(),
         }
     }
@@ -183,6 +193,13 @@ impl Scenario {
     /// Sets the synthetic offered load (commands available per proposal).
     pub fn offered_load(mut self, commands: usize) -> Self {
         self.offered_load = commands.max(1);
+        self
+    }
+
+    /// Attaches a client workload model (replaces the synthetic
+    /// `offered_load` feed; see `eesmr-workload`).
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
         self
     }
 
@@ -259,12 +276,35 @@ impl Scenario {
             scheme: self.scheme,
             batch: self.effective_batch_policy(),
             offered_load: self.offered_load,
+            workload: self.workload,
             seed: self.seed,
         }
     }
 
+    /// The non-default settings rendered as `key=value` label suffixes,
+    /// in a fixed order (batch, load, workload, faults). One place builds
+    /// them so every axis renders consistently.
+    fn label_suffixes(&self) -> Vec<(&'static str, String)> {
+        let mut parts = Vec::new();
+        if let Some(policy) = self.batch_policy {
+            parts.push(("batch", policy.label()));
+        }
+        if self.offered_load != 1 {
+            parts.push(("load", self.offered_load.to_string()));
+        }
+        if let Some(workload) = &self.workload {
+            parts.push(("wl", workload.label()));
+        }
+        if self.faults.count() > 0 {
+            parts.push(("faults", self.faults.count().to_string()));
+        }
+        parts
+    }
+
     /// A human-readable label for status lines and report rows, e.g.
-    /// `EESMR n=6 k=3 |b|=16B RSA-1024 seed=42`.
+    /// `EESMR n=6 k=3 |b|=16B RSA-1024 seed=42`, with a ` key=value`
+    /// suffix per non-default axis (batch policy, offered load, workload,
+    /// faults).
     pub fn label(&self) -> String {
         let mut label = format!(
             "{} n={} k={} |b|={}B {} seed={}",
@@ -275,14 +315,8 @@ impl Scenario {
             self.scheme.name(),
             self.seed
         );
-        if let Some(policy) = self.batch_policy {
-            label.push_str(&format!(" batch={}", policy.label()));
-        }
-        if self.offered_load != 1 {
-            label.push_str(&format!(" load={}", self.offered_load));
-        }
-        if self.faults.count() > 0 {
-            label.push_str(&format!(" faults={}", self.faults.count()));
+        for (key, value) in self.label_suffixes() {
+            label.push_str(&format!(" {key}={value}"));
         }
         label
     }
@@ -322,7 +356,13 @@ impl Scenario {
         let f = config.f;
         let pki = Arc::new(KeyStore::generate(self.n, self.scheme, self.seed));
         let faults = self.faults.clone();
-        let replicas = build_replicas(&config, &pki, |id| faults.eesmr_mode(id));
+        let mut replicas = build_replicas(&config, &pki, |id| faults.eesmr_mode(id));
+        if let Some(workload) = &self.workload {
+            for (i, replica) in replicas.iter_mut().enumerate() {
+                let source = workload.node_source(i as u32, i, self.n, self.seed);
+                replica.attach_workload(Box::new(source));
+            }
+        }
         let mut net = SimNet::new(net_cfg, replicas);
 
         let stop = self.stop;
@@ -358,6 +398,8 @@ impl Scenario {
                     signs: meter.count(eesmr_energy::EnergyCategory::Sign),
                     verifies: meter.count(eesmr_energy::EnergyCategory::Verify),
                     mean_commit_latency: r.metrics().mean_commit_latency(),
+                    tx_injected: r.metrics().tx_injected,
+                    tx_latencies_us: r.tx_latencies().iter().map(|d| d.as_micros()).collect(),
                 }
             })
             .collect();
@@ -381,7 +423,13 @@ impl Scenario {
         let f = config.f;
         let pki = Arc::new(KeyStore::generate(self.n, self.scheme, self.seed));
         let faults = self.faults.clone();
-        let replicas = build_hs_replicas(&config, &pki, |id| faults.hs_mode(id));
+        let mut replicas = build_hs_replicas(&config, &pki, |id| faults.hs_mode(id));
+        if let Some(workload) = &self.workload {
+            for (i, replica) in replicas.iter_mut().enumerate() {
+                let source = workload.node_source(i as u32, i, self.n, self.seed);
+                replica.attach_workload(Box::new(source));
+            }
+        }
         let mut net = SimNet::new(net_cfg, replicas);
 
         let stop = self.stop;
@@ -419,6 +467,8 @@ impl Scenario {
                     signs: meter.count(eesmr_energy::EnergyCategory::Sign),
                     verifies: meter.count(eesmr_energy::EnergyCategory::Verify),
                     mean_commit_latency: r.metrics().mean_commit_latency(),
+                    tx_injected: r.metrics().tx_injected,
+                    tx_latencies_us: r.tx_latencies().iter().map(|d| d.as_micros()).collect(),
                 }
             })
             .collect();
@@ -435,7 +485,15 @@ impl Scenario {
         config.batch_policy = self.effective_batch_policy();
         config.offered_load = self.offered_load;
         let pki = Arc::new(KeyStore::generate(self.n, self.scheme, self.seed));
-        let nodes_v = build_tb_nodes(&config, &pki);
+        let mut nodes_v = build_tb_nodes(&config, &pki);
+        if let Some(workload) = &self.workload {
+            // The externally powered hub (node 0) orders but never
+            // originates: spokes 1..n map onto skew slots 0..n-1.
+            for (i, node) in nodes_v.iter_mut().enumerate().skip(1) {
+                let source = workload.node_source(i as u32, i - 1, self.n - 1, self.seed);
+                node.attach_workload(Box::new(source));
+            }
+        }
         let mut net = SimNet::new(net_cfg, nodes_v);
 
         let stop = self.stop;
@@ -464,6 +522,8 @@ impl Scenario {
                     signs: meter.count(eesmr_energy::EnergyCategory::Sign),
                     verifies: meter.count(eesmr_energy::EnergyCategory::Verify),
                     mean_commit_latency: r.metrics().mean_commit_latency(),
+                    tx_injected: r.metrics().tx_injected,
+                    tx_latencies_us: r.tx_latencies().iter().map(|d| d.as_micros()).collect(),
                 }
             })
             .collect();
@@ -615,6 +675,89 @@ mod tests {
         assert_eq!(a.cell().batch, BatchPolicy::DEFAULT);
         let c = a.clone().offered_load(32);
         assert_ne!(a.cell(), c.cell(), "offered load distinguishes grid cells");
+    }
+
+    #[test]
+    fn workload_scenario_measures_end_to_end_latency() {
+        use eesmr_workload::{ArrivalProcess, Skew};
+        // All load on node 0 — the view-1 leader — so arrivals flow
+        // straight into proposals.
+        let w =
+            Workload::new(ArrivalProcess::Poisson { rate: 2_000 }).skew(Skew::Hotspot { pct: 100 });
+        let report =
+            Scenario::new(Protocol::Eesmr, 5, 2).workload(w).stop(StopWhen::Blocks(10)).run();
+        assert!(report.committed_height() >= 10);
+        assert!(report.tx_injected() > 0, "arrival events fired");
+        assert!(report.tx_committed() > 0, "transactions rode committed blocks");
+        let stats = report.tx_latency_stats().expect("latencies measured");
+        assert!(stats.p50_us <= stats.p99_us);
+        assert!(stats.mean_us > 0);
+        let label = Scenario::new(Protocol::Eesmr, 5, 2).workload(w).label();
+        assert!(label.contains("wl=poisson2000/hot100/open"), "{label}");
+    }
+
+    #[test]
+    fn workload_runs_on_every_protocol() {
+        use eesmr_workload::ArrivalProcess;
+        let w = Workload::new(ArrivalProcess::Constant { rate: 3_000 });
+        for protocol in
+            [Protocol::Eesmr, Protocol::SyncHotStuff, Protocol::OptSync, Protocol::TrustedBaseline]
+        {
+            let report = Scenario::new(protocol, 5, 2).workload(w).stop(StopWhen::Blocks(5)).run();
+            assert!(report.committed_height() >= 5, "{protocol:?}");
+            assert!(report.tx_injected() > 0, "{protocol:?} injected nothing");
+            assert!(
+                report.tx_latency_stats().is_some(),
+                "{protocol:?} committed no workload transactions"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_loop_bound_holds_end_to_end() {
+        use eesmr_workload::{ArrivalProcess, Skew};
+        let bound = 8;
+        let w = Workload::new(ArrivalProcess::Poisson { rate: 20_000 })
+            .skew(Skew::Hotspot { pct: 100 })
+            .closed_loop(bound);
+        let report =
+            Scenario::new(Protocol::Eesmr, 5, 2).workload(w).stop(StopWhen::Blocks(8)).run();
+        for node in report.nodes.iter() {
+            let in_flight_at_end = node.tx_injected - node.tx_latencies_us.len() as u64;
+            assert!(
+                in_flight_at_end <= bound as u64,
+                "node {} ended with {in_flight_at_end} in flight",
+                node.id
+            );
+        }
+        assert!(report.tx_committed() > 0);
+    }
+
+    #[test]
+    fn workload_survives_a_view_change() {
+        use eesmr_workload::ArrivalProcess;
+        // A silent view-1 leader forces a view change while client
+        // traffic keeps arriving; the run must still complete, keep
+        // injecting, and commit transactions under the new leader.
+        let w = Workload::new(ArrivalProcess::Poisson { rate: 4_000 }).closed_loop(16);
+        let report = Scenario::new(Protocol::Eesmr, 5, 2)
+            .workload(w)
+            .faults(FaultPlan::silent_leader())
+            .stop(StopWhen::Blocks(5))
+            .run();
+        assert!(report.view_changes() >= 1);
+        assert!(report.committed_height() >= 5);
+        assert!(report.tx_injected() > 0);
+        assert!(report.tx_committed() > 0, "the new leader commits client traffic");
+    }
+
+    #[test]
+    fn workload_is_a_cell_axis() {
+        use eesmr_workload::ArrivalProcess;
+        let a = Scenario::new(Protocol::Eesmr, 5, 2);
+        let b = a.clone().workload(Workload::new(ArrivalProcess::Poisson { rate: 500 }));
+        assert_ne!(a.cell(), b.cell(), "workload distinguishes grid cells");
+        assert_eq!(a.cell().workload, None);
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Property tests for the workload subsystem's determinism contract:
+//! same-seed bit-identity, mean-rate convergence of the stochastic
+//! arrival processes, and the closed-loop in-flight bound.
+
+use eesmr_core::{Block, Command, TxPool, WorkloadSource};
+use eesmr_net::SimTime;
+use eesmr_workload::{ArrivalProcess, ArrivalSampler, Skew, Workload};
+use proptest::prelude::*;
+
+/// The first `count` arrival times of one sampler stream.
+fn trace(process: ArrivalProcess, weight_ppm: u64, seed: u64, count: usize) -> Vec<u64> {
+    let mut sampler = ArrivalSampler::new(process, weight_ppm, seed);
+    let mut t = 0;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        match sampler.next_after(t) {
+            Some(next) => {
+                t = next;
+                out.push(next);
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// A process drawn from one of the four families, parameterized by raw
+/// test inputs.
+fn make_process(kind: u8, rate: u32, a: u32, b: u32) -> ArrivalProcess {
+    match kind % 4 {
+        0 => ArrivalProcess::Constant { rate },
+        1 => ArrivalProcess::Poisson { rate },
+        2 => ArrivalProcess::Bursty { rate, on_ms: 1 + a % 200, off_ms: 1 + b % 200 },
+        _ => ArrivalProcess::Diurnal {
+            base: rate,
+            amplitude: a % (rate / 2 + 1),
+            period_ms: 50 + b % 2_000,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same seed, same parameters → bit-identical arrival traces; a
+    /// different seed moves at least one arrival for the stochastic
+    /// families.
+    #[test]
+    fn same_seed_streams_are_bit_identical(
+        kind in 0u8..4,
+        rate in 200u32..20_000,
+        a in any::<u32>(),
+        b in any::<u32>(),
+        seed in any::<u64>(),
+    ) {
+        let process = make_process(kind, rate, a, b);
+        let first = trace(process, 1_000_000, seed, 300);
+        let second = trace(process, 1_000_000, seed, 300);
+        prop_assert_eq!(&first, &second, "same-seed traces diverged for {:?}", process);
+        if kind % 4 != 0 {
+            let other = trace(process, 1_000_000, seed ^ 0xD1CE, 300);
+            prop_assert_ne!(&first, &other, "seed ignored by {:?}", process);
+        }
+    }
+
+    /// Poisson mean rate converges: over a long horizon the arrival
+    /// count is within 15 % of rate × time.
+    #[test]
+    fn poisson_mean_rate_converges(rate in 500u32..20_000, seed in any::<u64>()) {
+        let process = ArrivalProcess::Poisson { rate };
+        let times = trace(process, 1_000_000, seed, 4_000);
+        let horizon_us = *times.last().unwrap() as f64;
+        let measured = times.len() as f64 / (horizon_us / 1e6);
+        let expect = rate as f64;
+        prop_assert!(
+            (measured - expect).abs() < 0.15 * expect,
+            "Poisson rate {expect} tx/s measured {measured:.1}"
+        );
+    }
+
+    /// Bursty (on/off MMPP) mean rate converges to
+    /// `rate · on/(on + off)`. Duty-cycle averaging needs many on/off
+    /// cycles, so this measures over a fixed horizon of ~80 cycles
+    /// rather than a fixed arrival count.
+    #[test]
+    fn bursty_mean_rate_converges(
+        rate in 2_000u32..8_000,
+        on_ms in 10u32..60,
+        off_ms in 10u32..60,
+        seed in any::<u64>(),
+    ) {
+        let process = ArrivalProcess::Bursty { rate, on_ms, off_ms };
+        let horizon_us = 80 * (on_ms + off_ms) as u64 * 1_000;
+        let mut sampler = ArrivalSampler::new(process, 1_000_000, seed);
+        let mut t = 0;
+        let mut count = 0u64;
+        loop {
+            match sampler.next_after(t) {
+                Some(next) if next <= horizon_us => {
+                    t = next;
+                    count += 1;
+                }
+                _ => break,
+            }
+        }
+        let measured = count as f64 / (horizon_us as f64 / 1e6);
+        let expect = process.mean_rate_milli(1_000_000) as f64 / 1_000.0;
+        prop_assert!(
+            (measured - expect).abs() < 0.3 * expect,
+            "MMPP duty-cycled rate {expect:.1} tx/s measured {measured:.1} \
+             (rate {rate}, on {on_ms} ms, off {off_ms} ms)"
+        );
+    }
+
+    /// Driving a closed-loop source against a TxPool with an arbitrary
+    /// commit pattern never pushes the in-flight count past the bound.
+    #[test]
+    fn closed_loop_in_flight_never_exceeds_bound(
+        bound in 1usize..24,
+        commits in prop::collection::vec(any::<u8>(), 20..200),
+        seed in any::<u64>(),
+    ) {
+        let workload = Workload::new(ArrivalProcess::Poisson { rate: 50_000 })
+            .closed_loop(bound);
+        let mut source = workload.node_source(0, 0, 1, seed);
+        let mut pool = TxPool::new();
+        pool.client_only();
+        let mut now = 0u64;
+        let mut parent = Block::genesis();
+        for (step, commit) in commits.iter().enumerate() {
+            let Some(delay) = source.next_arrival_in(now) else { break };
+            now += delay;
+            if let Some(cmd) = source.arrival(now, pool.in_flight()) {
+                pool.submit_at(cmd, now);
+            }
+            prop_assert!(
+                pool.in_flight() <= bound,
+                "in-flight {} exceeded bound {bound} at step {step}",
+                pool.in_flight()
+            );
+            // Commit a batch of pending commands every few arrivals.
+            if commit % 3 == 0 {
+                let batch: Vec<Command> = pool.next_batch(1 + (*commit as usize) % 8);
+                if !batch.is_empty() {
+                    let block = Block::extending(&parent, 1, 3 + step as u64, batch);
+                    pool.remove_committed(&block, SimTime::from_micros(now));
+                    parent = block;
+                }
+            }
+        }
+        prop_assert_eq!(
+            pool.in_flight() + pool.tx_latencies().len(),
+            source.injected() as usize,
+            "every injected transaction is either in flight or settled"
+        );
+    }
+
+    /// Per-node skew splitting preserves the stream: a node at weight w
+    /// sees ≈ w × the full-rate arrival count over the same horizon.
+    #[test]
+    fn skewed_node_rate_scales_with_weight(seed in any::<u64>(), slot in 0usize..6) {
+        let process = ArrivalProcess::Poisson { rate: 24_000 };
+        let weight = Skew::Zipf.weight_ppm(slot, 6);
+        let times = trace(process, weight, seed, 2_000);
+        prop_assert!(!times.is_empty());
+        let horizon_us = *times.last().unwrap() as f64;
+        let measured = times.len() as f64 / (horizon_us / 1e6);
+        let expect = 24_000.0 * weight as f64 / 1e6;
+        prop_assert!(
+            (measured - expect).abs() < 0.2 * expect,
+            "slot {slot} (weight {weight} ppm): expected {expect:.1} tx/s, measured {measured:.1}"
+        );
+    }
+}
+
+/// Diurnal arrivals actually follow the sinusoid: the peak half-cycle
+/// carries measurably more arrivals than the trough half-cycle.
+#[test]
+fn diurnal_rate_tracks_the_sinusoid() {
+    let period_ms = 1_000u32;
+    let process = ArrivalProcess::Diurnal { base: 10_000, amplitude: 8_000, period_ms };
+    let times = trace(process, 1_000_000, 42, 30_000);
+    let period_us = period_ms as u64 * 1_000;
+    // First half-cycle of each period (sin ≥ 0) vs second (sin ≤ 0).
+    let (mut peak, mut trough) = (0u64, 0u64);
+    for t in &times {
+        if t % period_us < period_us / 2 {
+            peak += 1;
+        } else {
+            trough += 1;
+        }
+    }
+    assert!(peak > trough * 2, "peak half-cycles should dominate: {peak} vs {trough} arrivals");
+}
+
+/// NodeWorkload streams are reproducible end to end (arrival command
+/// bytes included), and independent across nodes.
+#[test]
+fn node_sources_are_reproducible() {
+    let w = Workload::new(ArrivalProcess::Bursty { rate: 9_000, on_ms: 40, off_ms: 80 })
+        .skew(Skew::Hotspot { pct: 70 });
+    let drive = |node: u32, slot: usize| {
+        let mut src = w.node_source(node, slot, 4, 7);
+        let mut now = 0;
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            let Some(delay) = src.next_arrival_in(now) else { break };
+            now += delay;
+            if let Some(cmd) = src.arrival(now, 0) {
+                out.push((now, cmd));
+            }
+        }
+        out
+    };
+    assert_eq!(drive(0, 0), drive(0, 0), "same node replays identically");
+    let a = drive(0, 0);
+    let b = drive(1, 1);
+    assert!(!a.is_empty() && !b.is_empty());
+    assert_ne!(
+        a.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+        b.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+        "per-node streams are decorrelated"
+    );
+}

@@ -13,6 +13,7 @@
 //! | `eesmr-net` | [`net`] | deterministic discrete-event simulator + threaded transport |
 //! | `eesmr-core` | [`core_protocol`] | the EESMR protocol itself |
 //! | `eesmr-baselines` | [`baselines`] | Sync HotStuff, OptSync, trusted-node baseline |
+//! | `eesmr-workload` | [`workload`] | deterministic client workloads: arrival processes, skew, open/closed loop |
 //! | `eesmr-sim` | [`sim`] | scenario harness and run reports |
 //! | `eesmr-driver` | [`driver`] | parallel multi-scenario driver: grids, worker pool, suite reports |
 //! | `eesmr-bench` | [`mod@bench`] | CSV/table plumbing behind the figure binaries |
@@ -47,6 +48,7 @@ pub use eesmr_energy as energy;
 pub use eesmr_hypergraph as hypergraph;
 pub use eesmr_net as net;
 pub use eesmr_sim as sim;
+pub use eesmr_workload as workload;
 
 pub mod prelude {
     //! The one-line import for experiments: scenario harness, protocol
@@ -66,6 +68,7 @@ pub mod prelude {
     };
     pub use eesmr_sim::{
         BatchPolicy, CellKey, FaultPlan, NodeEnergy, NodeReport, Protocol, RunReport, Scenario,
-        StopWhen,
+        StopWhen, TxLatencyStats,
     };
+    pub use eesmr_workload::{ArrivalProcess, Injection, PayloadDist, Skew, Workload};
 }

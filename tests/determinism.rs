@@ -5,7 +5,19 @@
 //! protocols, with and without faults.
 
 use eesmr_driver::{Driver, DriverConfig, ScenarioGrid};
-use eesmr_sim::{FaultPlan, Protocol, RunReport, Scenario, SchedulerKind, StopWhen};
+use eesmr_sim::{
+    ArrivalProcess, FaultPlan, Protocol, RunReport, Scenario, SchedulerKind, Skew, StopWhen,
+    Workload,
+};
+
+/// The bursty, skewed, closed-loop workload the determinism grids use —
+/// deliberately the hardest sampling path (MMPP state walks + per-node
+/// RNG streams + in-flight feedback).
+fn bursty_workload() -> Workload {
+    Workload::new(ArrivalProcess::Bursty { rate: 5_000, on_ms: 30, off_ms: 60 })
+        .skew(Skew::Hotspot { pct: 80 })
+        .closed_loop(16)
+}
 
 fn run(protocol: Protocol, seed: u64, faults: FaultPlan) -> RunReport {
     Scenario::new(protocol, 6, 3).seed(seed).faults(faults).stop(StopWhen::Blocks(4)).run()
@@ -107,6 +119,75 @@ fn driver_repeats_vary_the_seed_but_quick_mode_only_shrinks_targets() {
     let quick = Driver::new(DriverConfig::default().workers(2).quick(true))
         .run_grid(&ScenarioGrid::named("quick").nodes([6]).degrees([3]).stop(StopWhen::Blocks(3)));
     assert_eq!(full, quick);
+}
+
+/// A grid with a workload axis: every protocol under Poisson and bursty
+/// client traffic, plus an explicit closed-loop diurnal scenario.
+fn workload_grid() -> ScenarioGrid {
+    ScenarioGrid::named("workload-determinism")
+        .protocols([Protocol::Eesmr, Protocol::OptSync, Protocol::TrustedBaseline])
+        .nodes([5])
+        .degrees([2])
+        .workloads([
+            Workload::new(ArrivalProcess::Poisson { rate: 2_000 }).skew(Skew::Zipf),
+            bursty_workload(),
+        ])
+        .stop(StopWhen::Blocks(3))
+        .scenario(
+            "diurnal-closed-loop",
+            Scenario::new(Protocol::Eesmr, 6, 3)
+                .workload(
+                    Workload::new(ArrivalProcess::Diurnal {
+                        base: 2_000,
+                        amplitude: 1_500,
+                        period_ms: 100,
+                    })
+                    .closed_loop(8),
+                )
+                .stop(StopWhen::Blocks(3)),
+        )
+}
+
+#[test]
+fn workload_grid_is_bit_identical_across_workers() {
+    // The acceptance bar for the workload subsystem: a sweep over
+    // (arrival × skew × protocol) — per-transaction latencies included —
+    // is a pure function of the grid, not of the worker count.
+    let sequential = Driver::new(DriverConfig::default().workers(1)).run_grid(&workload_grid());
+    let parallel = Driver::new(DriverConfig::default().workers(8)).run_grid(&workload_grid());
+    assert_eq!(sequential.cells.len(), 7, "3 protocols × 2 workloads + 1 explicit");
+    assert_eq!(sequential, parallel, "worker count leaked into workload results");
+    // The sweep actually measured per-transaction latency everywhere.
+    for cell in &sequential.cells {
+        let stats = cell.report().tx_latency_stats();
+        assert!(stats.is_some(), "{} measured no transactions", cell.label);
+        assert!(cell.stats.tx_latency_p50_us.is_some());
+        assert!(cell.stats.tx_latency_p99_us.is_some());
+    }
+    // And the JSON/CSV payloads — what the figures consume — match too.
+    assert_eq!(sequential.to_json(), parallel.to_json());
+}
+
+#[test]
+fn workload_scenarios_are_bit_identical_across_schedulers() {
+    // EESMR_SCHED must stay a pure performance choice with arrival
+    // timers in the event stream: heap and calendar runs of a bursty,
+    // skewed, closed-loop workload produce identical reports.
+    let scenarios = [
+        Scenario::new(Protocol::Eesmr, 6, 3).workload(bursty_workload()).stop(StopWhen::Blocks(4)),
+        Scenario::new(Protocol::SyncHotStuff, 6, 3)
+            .workload(bursty_workload())
+            .stop(StopWhen::Blocks(4)),
+        Scenario::new(Protocol::TrustedBaseline, 5, 2)
+            .workload(Workload::new(ArrivalProcess::Poisson { rate: 3_000 }))
+            .stop(StopWhen::Blocks(4)),
+    ];
+    for scenario in scenarios {
+        let heap = scenario.clone().scheduler(SchedulerKind::Heap).run();
+        let calendar = scenario.clone().scheduler(SchedulerKind::Calendar).run();
+        assert_eq!(heap, calendar, "scheduler leaked into results: {}", scenario.label());
+        assert!(heap.tx_committed() > 0, "{} committed no transactions", scenario.label());
+    }
 }
 
 #[test]
