@@ -155,6 +155,13 @@ pub enum HsPayload {
         /// Blocks, nearest first.
         blocks: Vec<Block>,
     },
+    /// Client commands relayed from a non-leading node to the current
+    /// proposer (command forwarding, mirroring `eesmr_core`'s
+    /// `Payload::Forward`).
+    Forward {
+        /// The forwarded commands, in injection order.
+        commands: Vec<eesmr_core::Command>,
+    },
 }
 
 impl HsPayload {
@@ -167,6 +174,7 @@ impl HsPayload {
             HsPayload::Status { .. } => MsgKind::LockStatus,
             HsPayload::SyncRequest { .. } => MsgKind::SyncRequest,
             HsPayload::SyncResponse { .. } => MsgKind::SyncResponse,
+            HsPayload::Forward { .. } => MsgKind::Forward,
         }
     }
 
@@ -190,6 +198,14 @@ impl HsPayload {
                 }
                 Digest::of(&h)
             }
+            HsPayload::Forward { commands } => {
+                let mut h = Vec::from(&b"hs-fwd"[..]);
+                for c in commands {
+                    h.extend_from_slice(&(c.len() as u64).to_le_bytes());
+                    h.extend_from_slice(c.bytes());
+                }
+                Digest::of(&h)
+            }
         }
     }
 
@@ -208,6 +224,7 @@ impl HsPayload {
             }
             HsPayload::SyncRequest { .. } => 32,
             HsPayload::SyncResponse { blocks } => blocks.iter().map(Block::wire_size).sum(),
+            HsPayload::Forward { commands } => commands.iter().map(|c| c.len() + 4).sum(),
         }
     }
 }
@@ -464,8 +481,8 @@ impl HsReplica {
         self.txpool.tx_latencies()
     }
 
-    /// One arrival event: inject, re-arm, and let the leader pick up the
-    /// fresh backlog.
+    /// One arrival event: inject, re-arm, and either propose the fresh
+    /// backlog (leader) or forward it to the proposer (everyone else).
     fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
         let Some(source) = &mut self.workload else { return };
         let now_us = ctx.now().as_micros();
@@ -473,6 +490,45 @@ impl HsReplica {
             ctx.set_timer(SimDuration::from_micros(delay), HsTimer::Arrival);
         }
         self.try_propose(ctx);
+        self.forward_backlog(ctx);
+    }
+
+    /// Command forwarding (mirrors `eesmr_core::Replica::forward_backlog`):
+    /// a non-leading node relays its queued client commands to the
+    /// current leader so they cannot strand in a pool that never
+    /// proposes. Births stay at the origin (latency settles there on
+    /// commit), and the new-view path re-forwards whatever a dead
+    /// leader dropped.
+    fn forward_backlog(&mut self, ctx: &mut Ctx<'_>) {
+        // No workload gate: commands forwarded to an ex-leader must be
+        // re-routed onward too (synthetic pools never populate
+        // `pending`, so non-workload runs stay forward-free).
+        if self.is_leader() || !self.active() || self.view_aborted || self.txpool.is_empty() {
+            return;
+        }
+        let commands = self.txpool.take_pending();
+        self.metrics.tx_forwarded += commands.len() as u64;
+        let leader = self.config.leader_of(self.v_cur);
+        let msg = self.sign(HsPayload::Forward { commands }, ctx);
+        ctx.send_to(leader, msg);
+    }
+
+    /// Receives forwarded client commands: queue them and, if leading,
+    /// get them into a block; a forward that raced a view change is
+    /// re-routed to the receiver's current leader instead of stranding.
+    fn on_forward(&mut self, msg: HsMsg, ctx: &mut Ctx<'_>) {
+        if !self.verify_envelope(&msg, ctx) {
+            return;
+        }
+        let HsPayload::Forward { commands } = msg.payload else { return };
+        for cmd in commands {
+            self.txpool.submit(cmd);
+        }
+        if self.is_leader() {
+            self.try_propose(ctx);
+        } else {
+            self.forward_backlog(ctx);
+        }
     }
 
     fn active(&self) -> bool {
@@ -921,6 +977,9 @@ impl HsReplica {
             let msg = self.sign(HsPayload::Status { cert: self.highest_cert.clone() }, ctx);
             ctx.send_to(leader, msg);
         }
+        // Commands the dead view's proposer drained and dropped are
+        // pending again (requeued above) — hand them to the new leader.
+        self.forward_backlog(ctx);
         let pending: Vec<(NodeId, HsMsg)> = {
             let (now, later): (Vec<_>, Vec<_>) =
                 self.future_views.drain(..).partition(|(_, m)| m.view <= self.v_cur);
@@ -1042,6 +1101,7 @@ impl Actor for HsReplica {
             HsPayload::Status { .. } => self.on_status(from, msg, ctx),
             HsPayload::SyncRequest { .. } => self.on_sync_request(from, msg, ctx),
             HsPayload::SyncResponse { .. } => self.on_sync_response(from, msg, ctx),
+            HsPayload::Forward { .. } => self.on_forward(msg, ctx),
         }
     }
 

@@ -1,0 +1,114 @@
+//! Criterion benchmarks of the sharded simulation runtime
+//! (`eesmr_net::ShardedNet`): how event throughput on one large scenario
+//! scales when the node set is split across worker threads.
+//!
+//! The acceptance bar: parity or better with 1 shard on a small system
+//! (the window loop must not tax the default path), and — on a machine
+//! with at least 4 physical cores — ≥ 1.5× event throughput on an
+//! n = 128 broadcast-heavy storm with 4 shards. Every shard count
+//! produces a bit-identical trace (asserted below and enforced by
+//! `tests/determinism.rs`), so this is purely a speed comparison; on a
+//! single-core machine the sharded numbers only measure barrier
+//! overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use eesmr_hypergraph::topology::ring_kcast;
+use eesmr_net::{Actor, Context, Message, NetConfig, NodeId, ShardedNet, SimDuration};
+
+/// The scheduler bench's broadcast-heavy protocol: every node floods a
+/// fresh message on every delivery wave and re-floods from a timer, so
+/// all shards stay busy for the whole run.
+#[derive(Debug, Clone)]
+struct Wave(u64);
+
+impl Message for Wave {
+    fn wire_size(&self) -> usize {
+        64
+    }
+    fn flood_key(&self) -> u64 {
+        self.0
+    }
+}
+
+struct Flooder {
+    id: u64,
+    sent: u64,
+    budget: u64,
+    heard: u64,
+}
+
+impl Actor for Flooder {
+    type Msg = Wave;
+    type Timer = ();
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Wave, ()>) {
+        self.sent += 1;
+        ctx.flood(Wave(self.id << 32));
+    }
+
+    fn on_message(&mut self, _from: NodeId, _msg: Wave, ctx: &mut Context<'_, Wave, ()>) {
+        self.heard += 1;
+        if self.sent < self.budget {
+            self.sent += 1;
+            ctx.flood(Wave((self.id << 32) | self.sent));
+        }
+    }
+
+    fn on_timer(&mut self, _t: (), _ctx: &mut Context<'_, Wave, ()>) {}
+}
+
+/// Runs the storm across `shards` shards and returns `(deliveries,
+/// total heard)` — the throughput denominator plus a trace fingerprint.
+fn sharded_storm(n: usize, k: usize, budget: u64, shards: usize) -> (u64, u64) {
+    let cfg = NetConfig::ble(ring_kcast(n, k), 7);
+    let actors =
+        (0..n).map(|id| Flooder { id: id as u64, sent: 0, budget, heard: 0 }).collect::<Vec<_>>();
+    let mut net = ShardedNet::new(cfg, actors, shards);
+    net.run_for(SimDuration::from_millis(10_000));
+    let heard = (0..n as NodeId).map(|id| net.actor(id).heard).sum();
+    (net.stats().deliveries, heard)
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    // Small system: sharding cannot help (too little work per window to
+    // amortize a barrier crossing), so this group quantifies the
+    // overhead floor: the 1-shard window loop should match the
+    // historical per-event loop, and the 2-shard number is the price of
+    // the lockstep machinery when it buys nothing. Shard small systems
+    // only by accident, never on purpose — fan scenarios out across
+    // EESMR_WORKERS instead.
+    {
+        let (deliveries, _) = sharded_storm(8, 2, 16, 1);
+        let mut group = c.benchmark_group("shard_storm_n8");
+        group.throughput(Throughput::Elements(deliveries));
+        group.sample_size(10);
+        for shards in [1usize, 2] {
+            group.bench_function(format!("shards{shards}"), |b| {
+                b.iter(|| black_box(sharded_storm(8, 2, 16, shards)))
+            });
+        }
+        group.finish();
+    }
+    // Large broadcast-heavy system: n = 128 nodes all flooding — enough
+    // per-window work for the shard workers to amortize the barriers.
+    // The determinism contract lets us assert the traces match before
+    // timing them.
+    {
+        let reference = sharded_storm(128, 4, 6, 1);
+        for shards in [2usize, 4] {
+            assert_eq!(reference, sharded_storm(128, 4, 6, shards), "{shards} shards diverged");
+        }
+        let mut group = c.benchmark_group("shard_storm_n128");
+        group.throughput(Throughput::Elements(reference.0));
+        group.sample_size(3);
+        for shards in [1usize, 2, 4] {
+            group.bench_function(format!("shards{shards}"), |b| {
+                b.iter(|| black_box(sharded_storm(128, 4, 6, shards)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

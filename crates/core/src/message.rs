@@ -42,6 +42,10 @@ pub enum MsgKind {
     /// A Sync HotStuff / OptSync vote (used by the baseline protocols,
     /// which share this crate's certificate machinery).
     HsVote = 12,
+    /// Client commands forwarded from a non-leading node to the current
+    /// proposer, so closed-loop workloads cannot strand transactions at
+    /// nodes that never lead.
+    Forward = 13,
 }
 
 /// The canonical byte string covered by a signature: `(kind, view, data)`.
@@ -256,6 +260,13 @@ pub enum Payload {
         /// The blocks, nearest-descendant first.
         blocks: Vec<Block>,
     },
+    /// Client commands relayed from a non-leading node to the current
+    /// proposer (command forwarding — without it, a transaction injected
+    /// at a node that never leads waits in that node's pool forever).
+    Forward {
+        /// The forwarded commands, in injection order.
+        commands: Vec<crate::block::Command>,
+    },
 }
 
 impl Payload {
@@ -273,6 +284,7 @@ impl Payload {
             Payload::LockStatus { .. } => MsgKind::LockStatus,
             Payload::SyncRequest { .. } => MsgKind::SyncRequest,
             Payload::SyncResponse { .. } => MsgKind::SyncResponse,
+            Payload::Forward { .. } => MsgKind::Forward,
         }
     }
 
@@ -302,6 +314,14 @@ impl Payload {
                 }
                 Digest::of(&h)
             }
+            Payload::Forward { commands } => {
+                let mut h = Vec::from(&b"fwd"[..]);
+                for c in commands {
+                    h.extend_from_slice(&(c.len() as u64).to_le_bytes());
+                    h.extend_from_slice(c.bytes());
+                }
+                Digest::of(&h)
+            }
         }
     }
 
@@ -322,6 +342,7 @@ impl Payload {
             Payload::LockStatus { block } => block.wire_size(),
             Payload::SyncRequest { .. } => 32,
             Payload::SyncResponse { blocks } => blocks.iter().map(Block::wire_size).sum(),
+            Payload::Forward { commands } => commands.iter().map(|c| c.len() + 4).sum(),
         }
     }
 }

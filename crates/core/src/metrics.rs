@@ -26,6 +26,9 @@ pub struct Metrics {
     /// Workload transactions injected at this node (arrival events that
     /// passed the closed-loop bound).
     pub tx_injected: u64,
+    /// Client commands this node forwarded to a proposer (it was not
+    /// the leader when they were queued).
+    pub tx_forwarded: u64,
     /// Commit latencies (relay → commit) for locally-timed blocks.
     pub commit_latencies: Vec<SimDuration>,
 }

@@ -386,8 +386,9 @@ impl Replica {
     }
 
     /// One arrival event: inject the transaction (unless the closed-loop
-    /// bound suppresses it), re-arm the next arrival, and give the
-    /// leader a chance to propose the fresh backlog.
+    /// bound suppresses it), re-arm the next arrival, and either propose
+    /// the fresh backlog (leader) or forward it to whoever can
+    /// (everyone else).
     pub(crate) fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
         let Some(source) = &mut self.workload else { return };
         let now_us = ctx.now().as_micros();
@@ -395,6 +396,51 @@ impl Replica {
             ctx.set_timer(eesmr_net::SimDuration::from_micros(delay), TimerToken::Arrival);
         }
         self.try_propose(ctx);
+        self.forward_backlog(ctx);
+    }
+
+    /// Command forwarding: a node that is not the current proposer
+    /// relays its queued client commands to the leader, so closed-loop
+    /// workloads cannot strand a transaction at a node that never leads
+    /// (the `tx_committed` column used to expose exactly that). Births
+    /// stay here — latency settles at the origin when the block commits
+    /// — and a view change re-queues anything the dead leader dropped,
+    /// so the commands are re-forwarded to its successor.
+    pub(crate) fn forward_backlog(&mut self, ctx: &mut Ctx<'_>) {
+        // No workload gate: a node may also hold commands *forwarded to
+        // it* while it led a view that has since ended — those must be
+        // re-routed to the current leader too, or they strand here.
+        // Synthetic pools never populate `pending`, so non-workload
+        // runs stay forward-free.
+        if self.is_leader() || !self.active() || self.view_aborted || self.txpool.is_empty() {
+            return;
+        }
+        let commands = self.txpool.take_pending();
+        self.metrics.tx_forwarded += commands.len() as u64;
+        let leader = self.config.leader_of(self.v_cur);
+        let msg = self.sign(Payload::Forward { commands }, ctx);
+        ctx.send_to(leader, msg);
+    }
+
+    /// Receives forwarded client commands: queue them and, if this node
+    /// is the proposer, get them into a block. A forward that raced a
+    /// view change (addressed to a leader that no longer leads) is
+    /// re-routed straight to the current leader instead of stranding —
+    /// each hop targets the receiver's *current* leader, so the chain
+    /// settles as soon as views converge.
+    pub(crate) fn on_forward(&mut self, msg: SignedMsg, ctx: &mut Ctx<'_>) {
+        if !self.verify_envelope(&msg, ctx) {
+            return;
+        }
+        let Payload::Forward { commands } = msg.payload else { return };
+        for cmd in commands {
+            self.txpool.submit(cmd);
+        }
+        if self.is_leader() {
+            self.try_propose(ctx);
+        } else {
+            self.forward_backlog(ctx);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -671,6 +717,7 @@ impl Actor for Replica {
             Payload::LockStatus { .. } => self.on_lock_status(from, msg, ctx),
             Payload::SyncRequest { .. } => self.on_sync_request(from, msg, ctx),
             Payload::SyncResponse { .. } => self.on_sync_response(from, msg, ctx),
+            Payload::Forward { .. } => self.on_forward(msg, ctx),
         }
     }
 

@@ -156,6 +156,16 @@ impl TxPool {
         self.pending.extend(lost);
     }
 
+    /// Drains every queued command for forwarding to the current
+    /// proposer. Birth tracking is untouched: a forwarded transaction
+    /// still settles (and measures its latency) here at its origin when
+    /// the block carrying it commits — and if the proposer's view dies
+    /// first, [`requeue_unresolved`](TxPool::requeue_unresolved) puts
+    /// the command back for re-forwarding to the next leader.
+    pub fn take_pending(&mut self) -> Vec<Command> {
+        self.pending.drain(..).collect()
+    }
+
     /// Number of queued commands (synthetic generation not counted).
     pub fn len(&self) -> usize {
         self.pending.len()
@@ -426,6 +436,28 @@ mod tests {
         assert_eq!(pool.in_flight(), 0);
         assert_eq!(pool.len(), 0);
         assert_eq!(pool.tx_latencies().len(), 2);
+    }
+
+    #[test]
+    fn take_pending_drains_commands_but_keeps_births() {
+        let mut pool = TxPool::new();
+        let a = Command::new(vec![1; 8]);
+        let b = Command::new(vec![2; 8]);
+        pool.submit_at(a.clone(), 100);
+        pool.submit_at(b.clone(), 200);
+        let forwarded = pool.take_pending();
+        assert_eq!(forwarded, vec![a.clone(), b.clone()]);
+        assert!(pool.is_empty(), "forwarded commands leave the local queue");
+        assert_eq!(pool.in_flight(), 2, "births stay until commit");
+        // A view change restores them for re-forwarding to the new leader.
+        pool.requeue_unresolved();
+        assert_eq!(pool.len(), 2);
+        // Committing the forwarded copy settles the origin's latency.
+        let block = Block::extending(&Block::genesis(), 1, 3, vec![a, b]);
+        pool.remove_committed(&block, SimTime::from_micros(1_000));
+        assert_eq!(pool.in_flight(), 0);
+        assert_eq!(pool.tx_latencies().len(), 2);
+        assert!(pool.is_empty());
     }
 
     #[test]

@@ -357,6 +357,10 @@ impl Replica {
                 }
             }
         }
+        // Commands the dead view's proposer drained and dropped are
+        // pending again (requeued above) — hand them straight to the
+        // new leader instead of letting them strand here.
+        self.forward_backlog(ctx);
         self.drain_future_views(ctx);
     }
 

@@ -43,8 +43,8 @@ pub struct GridCell {
 }
 
 /// A declarative sweep: the cartesian product of protocol × n × k ×
-/// payload × batch-policy × scheme × seed axes, plus any
-/// explicitly-listed scenarios.
+/// payload × batch-policy × workload × shard-count × scheme × seed
+/// axes, plus any explicitly-listed scenarios.
 ///
 /// Axis defaults match [`Scenario::new`]: protocol `[Eesmr]`, payload
 /// `[16]` bytes, batch policy `[Fixed(64)]`, scheme `[Rsa1024]`, seed
@@ -76,6 +76,7 @@ pub struct ScenarioGrid {
     payloads: Vec<usize>,
     batch_policies: Vec<BatchPolicy>,
     workloads: Vec<Workload>,
+    shards: Vec<usize>,
     schemes: Vec<SigScheme>,
     seeds: Vec<u64>,
     stop: Option<StopWhen>,
@@ -94,6 +95,7 @@ impl std::fmt::Debug for ScenarioGrid {
             .field("payloads", &self.payloads)
             .field("batch_policies", &self.batch_policies)
             .field("workloads", &self.workloads)
+            .field("shards", &self.shards)
             .field("schemes", &self.schemes)
             .field("seeds", &self.seeds)
             .field("stop", &self.stop)
@@ -160,6 +162,17 @@ impl ScenarioGrid {
         self
     }
 
+    /// Sets the simulation shard-count axis (`Scenario::shards`; see
+    /// `eesmr_net::shard`). A *performance* axis: cells differing only
+    /// in shard count produce bit-identical reports, so sweeping it
+    /// measures intra-scenario parallel speed, not results. When unset,
+    /// every cell keeps the `EESMR_SHARDS` default (and its label stays
+    /// unchanged).
+    pub fn shards(mut self, shards: impl IntoIterator<Item = usize>) -> Self {
+        self.shards = shards.into_iter().collect();
+        self
+    }
+
     /// Sets the signature-scheme axis.
     pub fn schemes(mut self, schemes: impl IntoIterator<Item = SigScheme>) -> Self {
         self.schemes = schemes.into_iter().collect();
@@ -214,18 +227,20 @@ impl ScenarioGrid {
             * self.payloads.len()
             * self.batch_policies.len().max(1)
             * self.workloads.len().max(1)
+            * self.shards.len().max(1)
             * self.schemes.len()
             * self.seeds.len()
     }
 
     /// Materializes the grid into its deterministic cell ordering:
     /// protocol-major cartesian cells (n, then k, then payload, batch
-    /// policy, workload, scheme, seed innermost), then the explicit
-    /// scenarios in push order.
+    /// policy, workload, shard count, scheme, seed innermost), then the
+    /// explicit scenarios in push order.
     pub fn build(&self) -> Vec<GridCell> {
         // An unset batch axis means "each protocol's default policy",
         // without marking the policy as explicitly chosen; an unset
-        // workload axis keeps the synthetic feed.
+        // workload axis keeps the synthetic feed; an unset shards axis
+        // keeps the EESMR_SHARDS default.
         let batches: Vec<Option<BatchPolicy>> = if self.batch_policies.is_empty() {
             vec![None]
         } else {
@@ -235,6 +250,11 @@ impl ScenarioGrid {
             vec![None]
         } else {
             self.workloads.iter().copied().map(Some).collect()
+        };
+        let shards: Vec<Option<usize>> = if self.shards.is_empty() {
+            vec![None]
+        } else {
+            self.shards.iter().copied().map(Some).collect()
         };
         let mut cells = Vec::with_capacity(self.len());
         for &protocol in &self.protocols {
@@ -246,29 +266,34 @@ impl ScenarioGrid {
                     for &payload in &self.payloads {
                         for &batch in &batches {
                             for &workload in &workloads {
-                                for &scheme in &self.schemes {
-                                    for &seed in &self.seeds {
-                                        let mut s = Scenario::new(protocol, n, k)
-                                            .payload(payload)
-                                            .scheme(scheme)
-                                            .seed(seed);
-                                        if let Some(policy) = batch {
-                                            s = s.batch_policy(policy);
+                                for &shard_count in &shards {
+                                    for &scheme in &self.schemes {
+                                        for &seed in &self.seeds {
+                                            let mut s = Scenario::new(protocol, n, k)
+                                                .payload(payload)
+                                                .scheme(scheme)
+                                                .seed(seed);
+                                            if let Some(policy) = batch {
+                                                s = s.batch_policy(policy);
+                                            }
+                                            if let Some(w) = workload {
+                                                s = s.workload(w);
+                                            }
+                                            if let Some(count) = shard_count {
+                                                s = s.shards(count);
+                                            }
+                                            if let Some(stop) = self.stop {
+                                                s = s.stop(stop);
+                                            }
+                                            if let Some(hook) = &self.configure {
+                                                s = hook(s);
+                                            }
+                                            cells.push(GridCell {
+                                                index: cells.len(),
+                                                label: s.label(),
+                                                scenario: s,
+                                            });
                                         }
-                                        if let Some(w) = workload {
-                                            s = s.workload(w);
-                                        }
-                                        if let Some(stop) = self.stop {
-                                            s = s.stop(stop);
-                                        }
-                                        if let Some(hook) = &self.configure {
-                                            s = hook(s);
-                                        }
-                                        cells.push(GridCell {
-                                            index: cells.len(),
-                                            label: s.label(),
-                                            scenario: s,
-                                        });
                                     }
                                 }
                             }
@@ -325,6 +350,24 @@ mod tests {
         // Protocol is the outermost axis.
         assert_eq!(cells[0].scenario.protocol, Protocol::Eesmr);
         assert_eq!(cells.last().unwrap().scenario.protocol, Protocol::OptSync);
+    }
+
+    #[test]
+    fn shards_axis_multiplies_cells_and_sets_the_knob() {
+        let grid = ScenarioGrid::named("t")
+            .nodes([6])
+            .degrees([2])
+            .shards([1, 2, 4])
+            .stop(StopWhen::Blocks(2));
+        assert_eq!(grid.len(), 3);
+        let cells = grid.build();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[0].scenario.shards, 1);
+        assert_eq!(cells[2].scenario.shards, 4);
+        assert!(cells[2].label.contains("shards=4"), "{}", cells[2].label);
+        // An unset axis leaves the scenario's env-derived default alone.
+        let plain = ScenarioGrid::named("t").nodes([6]).degrees([2]).stop(StopWhen::Blocks(2));
+        assert_eq!(plain.len(), 1);
     }
 
     #[test]

@@ -161,6 +161,7 @@ impl SuiteReport {
                 "batch_policy",
                 "offered_load",
                 "workload",
+                "shards",
                 "scheme",
                 "seed",
                 "repeats",
@@ -186,6 +187,7 @@ impl SuiteReport {
                 &cell.key.batch.label(),
                 &cell.key.offered_load,
                 &cell.key.workload.map_or_else(|| "none".into(), |w| w.label()),
+                &cell.key.shards,
                 &cell.key.scheme.name(),
                 &cell.key.seed,
                 &cell.runs.len(),
@@ -230,10 +232,11 @@ impl SuiteReport {
                 cell.key.payload_bytes
             ));
             out.push_str(&format!(
-                "\"batch_policy\": {}, \"offered_load\": {}, \"workload\": {}, \"scheme\": {}, \"seed\": {}, \"repeats\": {}, ",
+                "\"batch_policy\": {}, \"offered_load\": {}, \"workload\": {}, \"shards\": {}, \"scheme\": {}, \"seed\": {}, \"repeats\": {}, ",
                 json_string(&cell.key.batch.label()),
                 cell.key.offered_load,
                 cell.key.workload.map_or_else(|| "null".into(), |w| json_string(&w.label())),
+                cell.key.shards,
                 json_string(cell.key.scheme.name()),
                 cell.key.seed,
                 cell.runs.len()

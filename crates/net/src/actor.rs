@@ -10,8 +10,16 @@ use crate::time::{SimDuration, SimTime};
 pub type NodeId = eesmr_hypergraph::NodeId;
 
 /// Handle to a pending timer, used for cancellation.
+///
+/// Ids encode `(owning node, per-node counter)`, so they are unique
+/// across the whole simulation yet derived purely from node-local state —
+/// a sharded run (see `crate::shard`) hands out exactly the same ids as a
+/// single-threaded one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TimerId(pub(crate) u64);
+
+/// Bits reserved for the per-node timer counter below the node id.
+pub(crate) const TIMER_NODE_SHIFT: u32 = 40;
 
 /// A protocol replica driven by the simulator.
 ///
@@ -109,10 +117,14 @@ impl<'a, M: Message, T: Clone + core::fmt::Debug> Context<'a, M, T> {
 
     /// Arms a timer that fires after `delay`, passing `token` back to
     /// [`Actor::on_timer`]. Returns an id usable with
-    /// [`Context::cancel_timer`].
+    /// [`Context::cancel_timer`]. Ids are drawn from this node's private
+    /// counter (tagged with the node id), so they depend only on the
+    /// node's own event history — never on global processing order.
     pub fn set_timer(&mut self, delay: SimDuration, token: T) -> TimerId {
-        let id = TimerId(*self.next_timer_id);
+        let counter = *self.next_timer_id;
         *self.next_timer_id += 1;
+        debug_assert!(counter < 1 << TIMER_NODE_SHIFT, "per-node timer counter overflow");
+        let id = TimerId(((self.node as u64) << TIMER_NODE_SHIFT) | counter);
         self.effects.push(Effect::SetTimer { id, delay, token });
         id
     }

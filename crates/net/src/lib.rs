@@ -51,6 +51,7 @@ pub mod harness;
 pub mod message;
 pub mod runtime;
 pub mod sched;
+pub mod shard;
 pub mod threads;
 pub mod time;
 
@@ -59,5 +60,6 @@ pub use channel::ChannelCost;
 pub use message::Message;
 pub use runtime::{Delivery, Fate, Interceptor, NetConfig, NetStats, SimNet};
 pub use sched::{CalendarQueue, EventQueue, SchedulerKind};
+pub use shard::{shards_from_env, ShardedNet};
 pub use threads::{ThreadNet, ThreadNetConfig};
 pub use time::{SimDuration, SimTime};

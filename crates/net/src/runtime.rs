@@ -7,13 +7,18 @@
 //! injectors delay or drop traffic (within the bounded-synchrony envelope
 //! their scenario assumes).
 //!
-//! Determinism: all randomness flows from one seeded RNG and ties in the
-//! event queue break by sequence number, so a run is a pure function of
-//! `(config, actors, seed)` — re-running with the same seed reproduces the
-//! trace bit-for-bit. The pending-event queue itself is pluggable (see
-//! [`crate::sched`]): the default calendar queue and the reference binary
-//! heap pop in the same `(time, seq)` total order, so the choice never
-//! changes a trace, only how fast it is produced.
+//! Determinism: every source of nondeterminism is keyed by *node-local*
+//! state rather than global processing order. Hop delays are counter-based
+//! draws keyed by `(seed, sender, per-sender draw index)`; event-queue
+//! ties break by a sequence key derived from `(origin node, per-origin
+//! push counter)`; timer ids encode `(node, per-node timer counter)`. A
+//! run is therefore a pure function of `(config, actors, seed)` — and,
+//! because no counter is shared between nodes, the very same trace falls
+//! out whether the nodes run in one event loop or sharded across worker
+//! threads (see [`crate::shard`]). The pending-event queue itself is
+//! pluggable (see [`crate::sched`]): the default calendar queue and the
+//! reference binary heap pop in the same `(time, seq)` total order, so
+//! the choice never changes a trace, only how fast it is produced.
 //!
 //! # Example: drive a simulation step by step
 //!
@@ -54,11 +59,10 @@
 //! ```
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use eesmr_energy::{EnergyCategory, EnergyMeter};
 use eesmr_hypergraph::Hypergraph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::actor::{Actor, Context, Effect, NodeId, TimerId};
 use crate::channel::ChannelCost;
@@ -135,6 +139,20 @@ pub struct NetStats {
     pub dropped: u64,
 }
 
+impl NetStats {
+    /// Adds another stats block into this one (field-wise). Counter sums
+    /// are order-independent, so merging per-shard stats yields exactly
+    /// the single-threaded totals.
+    pub fn absorb(&mut self, other: &NetStats) {
+        self.kcasts += other.kcasts;
+        self.deliveries += other.deliveries;
+        self.loopbacks += other.loopbacks;
+        self.flood_relays += other.flood_relays;
+        self.bytes_on_air += other.bytes_on_air;
+        self.dropped += other.dropped;
+    }
+}
+
 /// A pending delivery the interceptor may reshape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Delivery {
@@ -161,18 +179,20 @@ pub enum Fate {
     DelayBy(SimDuration),
 }
 
-/// Adversarial scheduling hook.
-pub type Interceptor = Box<dyn FnMut(&Delivery) -> Fate>;
+/// Adversarial scheduling hook. `Send` so sharded runtimes can install a
+/// per-shard instance (see [`crate::shard`] for the shard-safety
+/// contract interceptors must additionally satisfy there).
+pub type Interceptor = Box<dyn FnMut(&Delivery) -> Fate + Send>;
 
 #[derive(Debug)]
-enum EventKind<M, T> {
+pub(crate) enum EventKind<M, T> {
     Start,
     Deliver { from: NodeId, msg: M, flood: Option<FloodMeta>, loopback: bool },
     Timer { id: TimerId, token: T },
 }
 
 #[derive(Debug, Clone, Copy)]
-struct FloodMeta {
+pub(crate) struct FloodMeta {
     key: u64,
     origin: NodeId,
     target: Option<NodeId>,
@@ -180,107 +200,149 @@ struct FloodMeta {
 
 /// The pending-event payload: which node the event targets and what it
 /// carries.
-type NodeEvent<M, T> = (NodeId, EventKind<M, T>);
+pub(crate) type NodeEvent<M, T> = (NodeId, EventKind<M, T>);
 
-/// The simulation: actors + topology + event queue + meters.
-pub struct SimNet<A: Actor> {
-    cfg: NetConfig,
-    actors: Vec<A>,
-    meters: Vec<EnergyMeter>,
-    queue: EventQueue<NodeEvent<A::Msg, A::Timer>>,
-    seq: u64,
-    now: SimTime,
-    next_timer_id: u64,
-    cancelled_timers: HashSet<u64>,
-    seen_floods: Vec<HashSet<u64>>,
-    rng: StdRng,
-    stats: NetStats,
-    interceptor: Option<Interceptor>,
+/// A fully-keyed queued event as exchanged between shards:
+/// `(time µs, seq key, payload)`.
+pub(crate) type QueuedEvent<M, T> = (u64, u64, NodeEvent<M, T>);
+
+/// Bits reserved for the origin node id in the low end of an event's
+/// sequence key (the per-origin push counter occupies the high bits, so
+/// same-time keys order by counter first, then node id). Caps simulated
+/// systems at 2^20 nodes.
+pub(crate) const SEQ_NODE_BITS: u32 = 20;
+
+/// A deterministic 64-bit draw keyed by `(seed, node, counter)` — a
+/// SplitMix64-style finalizer over a per-node stream position. Because
+/// the value depends only on the key (never on how many draws other
+/// nodes made), delay sampling is invariant under sharding.
+pub(crate) fn keyed_draw(seed: u64, node: NodeId, counter: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add((node as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(counter.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
-impl<A: Actor> SimNet<A> {
-    /// Builds a simulation over `cfg.topology` with one actor per node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `actors.len() != cfg.topology.n()`.
-    pub fn new(cfg: NetConfig, actors: Vec<A>) -> Self {
-        assert_eq!(actors.len(), cfg.topology.n(), "one actor per topology node");
-        let n = actors.len();
+/// One shard of a simulation: the actors it owns (a round-robin residue
+/// class of the node ids), their meters and flood-dedup sets, the local
+/// pending-event queue, and an outbox of cross-shard deliveries. A
+/// single-threaded [`SimNet`] is exactly one `ShardState` owning every
+/// node; the parallel runtime (`crate::shard`) drives several in
+/// lockstep windows.
+pub(crate) struct ShardState<A: Actor> {
+    pub(crate) cfg: Arc<NetConfig>,
+    /// Total shard count (1 for `SimNet`).
+    shards: u32,
+    /// This shard's index; it owns every node with `id % shards == index`.
+    index: u32,
+    /// Owned actors; local slot `i` holds global node `index + i·shards`.
+    pub(crate) actors: Vec<A>,
+    meters: Vec<EnergyMeter>,
+    seen_floods: Vec<HashSet<u64>>,
+    /// Per-owned-node event push counters (high bits of the seq key).
+    push_ctr: Vec<u64>,
+    /// Per-owned-node hop-delay draw counters.
+    draw_ctr: Vec<u64>,
+    /// Per-owned-node timer-id counters.
+    timer_ctr: Vec<u64>,
+    cancelled_timers: HashSet<u64>,
+    queue: EventQueue<NodeEvent<A::Msg, A::Timer>>,
+    /// Cross-shard deliveries generated this window, keyed by target
+    /// shard (`outbox[self.index]` stays empty).
+    outbox: Vec<Vec<QueuedEvent<A::Msg, A::Timer>>>,
+    pub(crate) now: SimTime,
+    pub(crate) stats: NetStats,
+    pub(crate) interceptor: Option<Interceptor>,
+}
+
+impl<A: Actor> ShardState<A> {
+    /// Builds shard `index` of `shards` over the shared config, owning
+    /// `actors` (local order: ascending global id within the residue
+    /// class). Seeds each owned node's Start event at t = 0.
+    pub(crate) fn new(cfg: Arc<NetConfig>, index: u32, shards: u32, actors: Vec<A>) -> Self {
+        assert!(shards >= 1 && index < shards);
+        assert!(
+            cfg.topology.n() < (1 << SEQ_NODE_BITS),
+            "the seq key encoding caps systems at 2^20 nodes"
+        );
+        let local_n = actors.len();
         let queue = EventQueue::new(cfg.scheduler);
-        let mut net = SimNet {
+        let mut shard = ShardState {
             cfg,
+            shards,
+            index,
             actors,
-            meters: vec![EnergyMeter::new(); n],
-            queue,
-            seq: 0,
-            now: SimTime::ZERO,
-            next_timer_id: 0,
+            meters: vec![EnergyMeter::new(); local_n],
+            seen_floods: vec![HashSet::new(); local_n],
+            push_ctr: vec![0; local_n],
+            draw_ctr: vec![0; local_n],
+            timer_ctr: vec![0; local_n],
             cancelled_timers: HashSet::new(),
-            seen_floods: vec![HashSet::new(); n],
-            rng: StdRng::seed_from_u64(0),
+            queue,
+            outbox: (0..shards).map(|_| Vec::new()).collect(),
+            now: SimTime::ZERO,
             stats: NetStats::default(),
             interceptor: None,
         };
-        net.rng = StdRng::seed_from_u64(net.cfg.seed);
-        for node in 0..n as NodeId {
-            net.push(SimTime::ZERO, node, EventKind::Start);
+        for local in 0..local_n {
+            let node = shard.global(local);
+            shard.push_from(node, SimTime::ZERO, node, EventKind::Start);
         }
-        net
+        shard
     }
 
-    /// Installs an adversarial scheduling hook (replaces any previous one).
-    pub fn set_interceptor(&mut self, interceptor: Interceptor) {
-        self.interceptor = Some(interceptor);
+    /// Whether this shard owns `node`.
+    pub(crate) fn owns(&self, node: NodeId) -> bool {
+        node % self.shards == self.index
     }
 
-    /// Current virtual time.
-    pub fn now(&self) -> SimTime {
-        self.now
+    /// The local slot of an owned global node id.
+    pub(crate) fn local(&self, node: NodeId) -> usize {
+        debug_assert!(self.owns(node));
+        (node / self.shards) as usize
     }
 
-    /// The network configuration.
-    pub fn config(&self) -> &NetConfig {
-        &self.cfg
+    /// The global node id of a local slot.
+    pub(crate) fn global(&self, local: usize) -> NodeId {
+        self.index + (local as u32) * self.shards
     }
 
-    /// Immutable view of an actor.
-    pub fn actor(&self, id: NodeId) -> &A {
-        &self.actors[id as usize]
+    /// An owned node's meter.
+    pub(crate) fn meter(&self, node: NodeId) -> &EnergyMeter {
+        &self.meters[self.local(node)]
     }
 
-    /// All actors.
-    pub fn actors(&self) -> &[A] {
-        &self.actors
+    /// The earliest pending local event time, µs.
+    pub(crate) fn next_time(&self) -> Option<u64> {
+        self.queue.peek_time()
     }
 
-    /// A node's energy meter.
-    pub fn meter(&self, id: NodeId) -> &EnergyMeter {
-        &self.meters[id as usize]
-    }
-
-    /// All meters.
-    pub fn meters(&self) -> &[EnergyMeter] {
-        &self.meters
-    }
-
-    /// Aggregate energy over a subset of nodes (e.g. the correct ones).
-    pub fn energy_of(&self, nodes: impl IntoIterator<Item = NodeId>) -> EnergyMeter {
-        let mut total = EnergyMeter::new();
-        for id in nodes {
-            total.absorb(&self.meters[id as usize]);
+    /// Accepts cross-shard events (already keyed by their origin).
+    pub(crate) fn ingest(&mut self, events: Vec<QueuedEvent<A::Msg, A::Timer>>) {
+        for (time, seq, payload) in events {
+            self.queue.push(time, seq, payload);
         }
-        total
     }
 
-    /// Network statistics so far.
-    pub fn stats(&self) -> &NetStats {
-        &self.stats
+    /// Drains the outbox destined for shard `dst`.
+    pub(crate) fn take_outbox(&mut self, dst: usize) -> Vec<QueuedEvent<A::Msg, A::Timer>> {
+        std::mem::take(&mut self.outbox[dst])
+    }
+
+    /// Processes every local event with `time < horizon_us` (exclusive —
+    /// events at exactly the horizon belong to the next window).
+    pub(crate) fn run_window(&mut self, horizon_us: u64) {
+        while self.queue.peek_time().is_some_and(|t| t < horizon_us) {
+            self.step();
+        }
     }
 
     /// Processes the next event, if any, returning its timestamp.
-    pub fn step(&mut self) -> Option<SimTime> {
+    pub(crate) fn step(&mut self) -> Option<SimTime> {
         let (time, _seq, (node, kind)) = self.queue.pop()?;
+        debug_assert!(self.owns(node), "a shard only queues events for its own nodes");
         self.now = SimTime::from_micros(time);
         match kind {
             EventKind::Start => self.invoke(node, |actor, ctx| actor.on_start(ctx)),
@@ -294,13 +356,15 @@ impl<A: Actor> SimNet<A> {
                 let size = msg.wire_size();
                 if !loopback {
                     let mj = self.cfg.channel.recv_mj(size);
-                    self.meters[node as usize].charge(EnergyCategory::Recv, mj);
+                    let local = self.local(node);
+                    self.meters[local].charge(EnergyCategory::Recv, mj);
                 } else {
                     self.stats.loopbacks += 1;
                 }
                 match flood {
                     Some(meta) => {
-                        if !self.seen_floods[node as usize].insert(meta.key) {
+                        let local = self.local(node);
+                        if !self.seen_floods[local].insert(meta.key) {
                             return Some(self.now); // duplicate: scanned, not processed
                         }
                         // Relay once on all out-edges (network-layer gossip).
@@ -325,56 +389,41 @@ impl<A: Actor> SimNet<A> {
         Some(self.now)
     }
 
-    /// Runs until the queue is exhausted or virtual time would pass `t`.
-    pub fn run_until(&mut self, t: SimTime) {
-        while let Some(head) = self.queue.peek_time() {
-            if head > t.as_micros() {
-                break;
-            }
-            self.step();
-        }
-        self.now = self.now.max(t);
-    }
-
-    /// Runs for a span of virtual time.
-    pub fn run_for(&mut self, d: SimDuration) {
-        let target = self.now + d;
-        self.run_until(target);
-    }
-
-    /// Runs until `pred` holds over the actors or `deadline` passes.
-    /// Returns `true` if the predicate was met.
-    pub fn run_until_pred(
+    /// Queues an event generated by owned node `origin` for `target`,
+    /// stamping it with the origin's next sequence key. Local targets go
+    /// straight into the queue; foreign ones into the outbox.
+    fn push_from(
         &mut self,
-        deadline: SimTime,
-        mut pred: impl FnMut(&[A]) -> bool,
-    ) -> bool {
-        loop {
-            if pred(&self.actors) {
-                return true;
-            }
-            match self.queue.peek_time() {
-                Some(head) if head <= deadline.as_micros() => {
-                    self.step();
-                }
-                _ => {
-                    self.now = self.now.max(deadline);
-                    return pred(&self.actors);
-                }
-            }
+        origin: NodeId,
+        time: SimTime,
+        target: NodeId,
+        kind: EventKind<A::Msg, A::Timer>,
+    ) {
+        let counter = &mut self.push_ctr[(origin / self.shards) as usize];
+        debug_assert!(*counter < 1 << (64 - SEQ_NODE_BITS), "per-node push counter overflow");
+        let seq = (*counter << SEQ_NODE_BITS) | origin as u64;
+        *counter += 1;
+        if self.owns(target) {
+            self.queue.push(time.as_micros(), seq, (target, kind));
+        } else {
+            self.outbox[(target % self.shards) as usize].push((
+                time.as_micros(),
+                seq,
+                (target, kind),
+            ));
         }
     }
 
-    fn push(&mut self, time: SimTime, node: NodeId, kind: EventKind<A::Msg, A::Timer>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(time.as_micros(), seq, (node, kind));
-    }
-
-    fn hop_delay(&mut self) -> SimDuration {
+    /// The next hop delay for a transmission by `from`: a counter-keyed
+    /// draw in `[hop_delay_min, hop_delay_max]`, advancing only the
+    /// sender's private draw counter.
+    fn hop_delay(&mut self, from: NodeId) -> SimDuration {
         let lo = self.cfg.hop_delay_min.as_micros();
         let hi = self.cfg.hop_delay_max.as_micros().max(lo);
-        SimDuration::from_micros(self.rng.gen_range(lo..=hi))
+        let counter = &mut self.draw_ctr[(from / self.shards) as usize];
+        let draw = keyed_draw(self.cfg.seed, from, *counter);
+        *counter += 1;
+        SimDuration::from_micros(lo + draw % (hi - lo + 1))
     }
 
     /// Puts `msg` on the air from `node` on all its out-edges; charges the
@@ -389,7 +438,8 @@ impl<A: Actor> SimNet<A> {
             .collect();
         for (k, receivers) in edges {
             let mj = self.cfg.channel.send_mj(size, k);
-            self.meters[node as usize].charge(EnergyCategory::Send, mj);
+            let local = self.local(node);
+            self.meters[local].charge(EnergyCategory::Send, mj);
             self.stats.kcasts += 1;
             if relay {
                 self.stats.flood_relays += 1;
@@ -409,9 +459,10 @@ impl<A: Actor> SimNet<A> {
                     Fate::Deliver => SimDuration::ZERO,
                     Fate::DelayBy(d) => d,
                 };
-                let delay = self.hop_delay() + extra;
+                let delay = self.hop_delay(node) + extra;
                 let at = self.now + delay;
-                self.push(
+                self.push_from(
+                    node,
                     at,
                     to,
                     EventKind::Deliver { from: node, msg: msg.clone(), flood, loopback: false },
@@ -421,21 +472,23 @@ impl<A: Actor> SimNet<A> {
     }
 
     fn invoke(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Context<'_, A::Msg, A::Timer>)) {
+        let local = self.local(node);
         let mut ctx = Context {
             node,
             now: self.now,
-            meter: &mut self.meters[node as usize],
-            next_timer_id: &mut self.next_timer_id,
+            meter: &mut self.meters[local],
+            next_timer_id: &mut self.timer_ctr[local],
             effects: Vec::new(),
         };
-        f(&mut self.actors[node as usize], &mut ctx);
+        f(&mut self.actors[local], &mut ctx);
         let effects = ctx.effects;
         for effect in effects {
             match effect {
                 Effect::Multicast(msg) => {
                     // Loopback first so the sender processes its own
                     // message through the uniform path, then the real hops.
-                    self.push(
+                    self.push_from(
+                        node,
                         self.now,
                         node,
                         EventKind::Deliver {
@@ -461,7 +514,8 @@ impl<A: Actor> SimNet<A> {
                     // flood metadata: the origin marks it seen, relays on
                     // its out-edges, and (if targeted elsewhere) skips its
                     // own actor.
-                    self.push(
+                    self.push_from(
+                        node,
                         self.now,
                         node,
                         EventKind::Deliver { from: node, msg, flood: Some(meta), loopback: true },
@@ -469,10 +523,125 @@ impl<A: Actor> SimNet<A> {
                 }
                 Effect::SetTimer { id, delay, token } => {
                     let at = self.now + delay;
-                    self.push(at, node, EventKind::Timer { id, token });
+                    self.push_from(node, at, node, EventKind::Timer { id, token });
                 }
                 Effect::CancelTimer(id) => {
                     self.cancelled_timers.insert(id.0);
+                }
+            }
+        }
+    }
+}
+
+/// The single-threaded simulation: one shard (`ShardState`) owning every node,
+/// behind the historical per-event API. For sharding one simulation
+/// across worker threads, see [`crate::shard::ShardedNet`] — both
+/// runtimes produce bit-identical traces by construction (all
+/// nondeterminism is keyed by node-local counters; see the module docs).
+pub struct SimNet<A: Actor> {
+    shard: ShardState<A>,
+}
+
+impl<A: Actor> SimNet<A> {
+    /// Builds a simulation over `cfg.topology` with one actor per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actors.len() != cfg.topology.n()`.
+    pub fn new(cfg: NetConfig, actors: Vec<A>) -> Self {
+        assert_eq!(actors.len(), cfg.topology.n(), "one actor per topology node");
+        SimNet { shard: ShardState::new(Arc::new(cfg), 0, 1, actors) }
+    }
+
+    /// Installs an adversarial scheduling hook (replaces any previous one).
+    pub fn set_interceptor(&mut self, interceptor: Interceptor) {
+        self.shard.interceptor = Some(interceptor);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shard.now
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.shard.cfg
+    }
+
+    /// Immutable view of an actor.
+    pub fn actor(&self, id: NodeId) -> &A {
+        &self.shard.actors[id as usize]
+    }
+
+    /// All actors.
+    pub fn actors(&self) -> &[A] {
+        &self.shard.actors
+    }
+
+    /// A node's energy meter.
+    pub fn meter(&self, id: NodeId) -> &EnergyMeter {
+        &self.shard.meters[id as usize]
+    }
+
+    /// All meters.
+    pub fn meters(&self) -> &[EnergyMeter] {
+        &self.shard.meters
+    }
+
+    /// Aggregate energy over a subset of nodes (e.g. the correct ones).
+    pub fn energy_of(&self, nodes: impl IntoIterator<Item = NodeId>) -> EnergyMeter {
+        let mut total = EnergyMeter::new();
+        for id in nodes {
+            total.absorb(&self.shard.meters[id as usize]);
+        }
+        total
+    }
+
+    /// Network statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.shard.stats
+    }
+
+    /// Processes the next event, if any, returning its timestamp.
+    pub fn step(&mut self) -> Option<SimTime> {
+        self.shard.step()
+    }
+
+    /// Runs until the queue is exhausted or virtual time would pass `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(head) = self.shard.next_time() {
+            if head > t.as_micros() {
+                break;
+            }
+            self.shard.step();
+        }
+        self.shard.now = self.shard.now.max(t);
+    }
+
+    /// Runs for a span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let target = self.shard.now + d;
+        self.run_until(target);
+    }
+
+    /// Runs until `pred` holds over the actors or `deadline` passes.
+    /// Returns `true` if the predicate was met.
+    pub fn run_until_pred(
+        &mut self,
+        deadline: SimTime,
+        mut pred: impl FnMut(&[A]) -> bool,
+    ) -> bool {
+        loop {
+            if pred(&self.shard.actors) {
+                return true;
+            }
+            match self.shard.next_time() {
+                Some(head) if head <= deadline.as_micros() => {
+                    self.shard.step();
+                }
+                _ => {
+                    self.shard.now = self.shard.now.max(deadline);
+                    return pred(&self.shard.actors);
                 }
             }
         }

@@ -88,8 +88,9 @@ impl SchedulerKind {
 
 /// One queued event: the `(time, seq)` key plus its payload. Ordering —
 /// and therefore the whole determinism contract — is on `(time, seq)`
-/// only; `seq` is the global push counter, so keys are unique and the
-/// order is total.
+/// only; the runtime derives `seq` from the pushing node's id and its
+/// private push counter (see `crate::runtime`), so keys are unique and
+/// the order is total — and independent of how a run is sharded.
 struct Entry<E> {
     time: u64,
     seq: u64,
@@ -131,19 +132,23 @@ pub const MATERIALIZE_AT: usize = 192;
 /// keys.
 ///
 /// Near-future events — `time` within `lanes` ticks of the cursor — are
-/// appended to the FIFO lane of their exact delivery tick: because the
-/// global `seq` counter is monotone, same-tick events arrive in `seq`
-/// order and a plain FIFO preserves the `(time, seq)` total order with no
-/// sorting at all. Far-future events overflow into a sorted spill heap
-/// and migrate back into the ring as the cursor advances.
+/// inserted into the lane of their exact delivery tick, kept sorted by
+/// `seq`. A single-threaded simulation pushes same-tick events in almost
+/// monotone `seq` order, so the ordered insert is an O(1) append in
+/// practice; the general insert exists because sharded simulations merge
+/// per-origin key streams (see `crate::shard`) whose same-tick arrivals
+/// interleave out of push order. Far-future events overflow into a
+/// sorted spill heap and migrate back into the ring as the cursor
+/// advances.
 ///
 /// # Contract
 ///
-/// Callers must push with monotonically increasing `seq` and must never
-/// push an event earlier than the last popped time (both hold trivially
+/// Callers must push unique `(time, seq)` keys and must never push an
+/// event earlier than the last popped time (the latter holds trivially
 /// for discrete-event simulation, where effects of processing an event at
-/// time `t` are scheduled at `t + delay`, `delay ≥ 0`). Violations panic
-/// in debug builds.
+/// time `t` are scheduled at `t + delay`, `delay ≥ 0`; violations panic
+/// in debug builds). Same-tick pushes may arrive in any `seq` order —
+/// pop order is always ascending `(time, seq)`.
 pub struct CalendarQueue<E> {
     /// Ring of per-tick FIFO lanes; lane `i` holds events whose tick
     /// satisfies `tick & mask == i` and `cursor ≤ tick < cursor + lanes`.
@@ -300,19 +305,27 @@ impl<E> CalendarQueue<E> {
         }
     }
 
-    /// Appends `entry` to its lane, keeping the occupancy bitmap and the
-    /// per-lane `(time, seq)` FIFO invariant.
+    /// Inserts `entry` into its lane at its sorted `(time, seq)` position,
+    /// keeping the occupancy bitmap and the per-lane ordering invariant.
+    /// Single-threaded simulations push in near-monotone `seq` order, so
+    /// the backwards scan almost always terminates immediately and the
+    /// insert is an O(1) append; sharded merges pay only for actual
+    /// same-tick inversions.
     fn lane_insert(&mut self, entry: Entry<E>) {
         let idx = (entry.time & self.mask) as usize;
         let lane = &mut self.lanes[idx];
         debug_assert!(
-            lane.back().is_none_or(|b| (b.time, b.seq) < (entry.time, entry.seq)),
-            "same-tick events must arrive in seq order"
+            lane.back().is_none_or(|b| (b.time, b.seq) != (entry.time, entry.seq)),
+            "(time, seq) keys must be unique"
         );
         if lane.is_empty() {
             self.occupancy[idx / 64] |= 1u64 << (idx % 64);
         }
-        lane.push_back(entry);
+        let pos = lane
+            .iter()
+            .rposition(|e| (e.time, e.seq) < (entry.time, entry.seq))
+            .map_or(0, |p| p + 1);
+        lane.insert(pos, entry);
         self.in_lanes += 1;
     }
 
@@ -480,6 +493,35 @@ mod tests {
         // Events scheduled relative to the new cursor land in lanes again.
         q.push(1_000_005, 2, "follow-up");
         assert_eq!(q.pop(), Some((1_000_005, 2, "follow-up")));
+    }
+
+    #[test]
+    fn same_tick_out_of_order_seqs_pop_sorted() {
+        // Sharded merges interleave per-origin key streams, so same-tick
+        // events can arrive with descending seqs; pop order must still be
+        // ascending (time, seq) on both backends.
+        let events: Vec<(u64, u64, &'static str)> = vec![
+            (5, 9, "i"),
+            (5, 3, "c"),
+            (7, 1, "a"),
+            (5, 6, "f"),
+            (5, 1, "b"),
+            (9, 0, "z"),
+            (5, 4, "d"),
+        ];
+        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            let mut q = EventQueue::new(kind);
+            for &(t, s, tag) in &events {
+                q.push(t, s, tag);
+            }
+            let mut got = Vec::new();
+            while let Some(e) = q.pop() {
+                got.push(e);
+            }
+            let mut expect = events.clone();
+            expect.sort_unstable_by_key(|&(t, s, _)| (t, s));
+            assert_eq!(got, expect, "{}", kind.name());
+        }
     }
 
     #[test]

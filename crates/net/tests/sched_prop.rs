@@ -112,4 +112,34 @@ proptest! {
             if a.is_none() { break; }
         }
     }
+
+    /// Sharded-merge mode: sequence keys arrive in arbitrary order
+    /// (per-origin key streams interleave out of push order when shard
+    /// inboxes drain), including same-tick inversions. Keys are made
+    /// unique by construction — `(time, seq)` never repeats — and pop
+    /// order must still equal the heap's on both backends.
+    #[test]
+    fn out_of_order_seq_keys_match_heap(
+        events in prop::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let mut heap = EventQueue::new(SchedulerKind::Heap);
+        let mut cal = CalendarQueue::with_lanes(128);
+        for (i, &v) in events.iter().enumerate() {
+            let t = v % 2_000; // few ticks -> dense same-tick lanes
+            let key_low = (v >> 32) % 64;
+            // A unique but non-monotone seq: the high part walks up for
+            // half the stream and down from a disjoint range for the
+            // rest, with arbitrary low bits mixed in.
+            let high =
+                if key_low % 2 == 0 { i as u64 } else { (2 * events.len() - i) as u64 };
+            let seq = high << 32 | key_low;
+            heap.push(t, seq, i);
+            cal.push(t, seq, i);
+        }
+        loop {
+            let (a, b) = (heap.pop(), cal.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
+    }
 }

@@ -62,6 +62,10 @@ pub struct NodeReport {
     pub mean_commit_latency: Option<SimDuration>,
     /// Workload transactions injected at this node.
     pub tx_injected: u64,
+    /// Client commands this node forwarded to a proposer (command
+    /// forwarding from non-leading nodes; counts re-forwards after
+    /// view changes too).
+    pub tx_forwarded: u64,
     /// End-to-end (birth → local commit) latency of each workload
     /// transaction injected at this node, µs, in commit order. Empty when
     /// the scenario has no workload attached.
@@ -160,6 +164,14 @@ impl RunReport {
         self.correct_nodes().map(|n| n.tx_injected).sum()
     }
 
+    /// Client commands forwarded to proposers across correct nodes —
+    /// the traffic the command-forwarding path added (each forward is
+    /// a targeted flood, so this is the knob to watch when weighing
+    /// forwarding overhead against stranded transactions).
+    pub fn tx_forwarded(&self) -> u64 {
+        self.correct_nodes().map(|n| n.tx_forwarded).sum()
+    }
+
     /// Workload transactions committed (with a measured end-to-end
     /// latency) across correct nodes.
     pub fn tx_committed(&self) -> u64 {
@@ -230,6 +242,7 @@ mod tests {
             verifies: 0,
             mean_commit_latency: None,
             tx_injected: 0,
+            tx_forwarded: 0,
             tx_latencies_us: Vec::new(),
         }
     }

@@ -16,7 +16,7 @@ use eesmr_core::{build_replicas, BatchPolicy, Config, Pacing};
 use eesmr_crypto::{KeyStore, SigScheme};
 use eesmr_energy::Medium;
 use eesmr_hypergraph::topology::{ring_kcast, star};
-use eesmr_net::{Actor, ChannelCost, NetConfig, SchedulerKind, SimDuration, SimNet, SimTime};
+use eesmr_net::{ChannelCost, NetConfig, SchedulerKind, ShardedNet, SimDuration, SimTime};
 use eesmr_workload::Workload;
 
 use crate::faults::FaultPlan;
@@ -109,6 +109,11 @@ pub struct Scenario {
     /// Which pending-event queue the simulator uses. Results are
     /// bit-identical under either kind; this only changes run speed.
     pub scheduler: SchedulerKind,
+    /// How many shards (worker threads) the simulation is split across
+    /// (see `eesmr_net::shard`). Results are bit-identical for any
+    /// value; sharding only changes how fast a large-`n` scenario runs.
+    /// Defaults to `EESMR_SHARDS` (or 1).
+    pub shards: usize,
 }
 
 /// The sweep coordinates identifying one cell of an experiment grid: the
@@ -139,6 +144,11 @@ pub struct CellKey {
     pub offered_load: usize,
     /// Client workload model, if any.
     pub workload: Option<Workload>,
+    /// Simulation shard count. A *performance* axis: cells differing
+    /// only in `shards` produce bit-identical `RunReport`s (the sharded
+    /// determinism suite enforces it), so sweeping it measures speed,
+    /// not results.
+    pub shards: usize,
     /// Run seed.
     pub seed: u64,
 }
@@ -172,6 +182,7 @@ impl Scenario {
             offered_load: 1,
             workload: None,
             scheduler: SchedulerKind::from_env(),
+            shards: eesmr_net::shards_from_env(),
         }
     }
 
@@ -207,6 +218,15 @@ impl Scenario {
     /// under either; see `eesmr_net::sched`).
     pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
         self.scheduler = kind;
+        self
+    }
+
+    /// Splits the simulation across `shards` worker threads (clamped to
+    /// at least 1; see `eesmr_net::shard`). Results are bit-identical
+    /// for any shard count — sharding is purely an intra-scenario
+    /// speed knob for large `n`.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -277,13 +297,14 @@ impl Scenario {
             batch: self.effective_batch_policy(),
             offered_load: self.offered_load,
             workload: self.workload,
+            shards: self.shards,
             seed: self.seed,
         }
     }
 
     /// The non-default settings rendered as `key=value` label suffixes,
-    /// in a fixed order (batch, load, workload, faults). One place builds
-    /// them so every axis renders consistently.
+    /// in a fixed order (batch, load, workload, shards, faults). One
+    /// place builds them so every axis renders consistently.
     fn label_suffixes(&self) -> Vec<(&'static str, String)> {
         let mut parts = Vec::new();
         if let Some(policy) = self.batch_policy {
@@ -294,6 +315,9 @@ impl Scenario {
         }
         if let Some(workload) = &self.workload {
             parts.push(("wl", workload.label()));
+        }
+        if self.shards != 1 {
+            parts.push(("shards", self.shards.to_string()));
         }
         if self.faults.count() > 0 {
             parts.push(("faults", self.faults.count().to_string()));
@@ -363,24 +387,21 @@ impl Scenario {
                 replica.attach_workload(Box::new(source));
             }
         }
-        let mut net = SimNet::new(net_cfg, replicas);
+        let mut net = ShardedNet::new(net_cfg, replicas, self.shards);
 
-        let stop = self.stop;
         let plan = self.faults.clone();
-        if let StopWhen::Elapsed(d) = stop {
-            net.run_until(SimTime::ZERO + d);
-        } else {
-            net.run_until_pred(self.deadline_time(), |actors| match stop {
-                StopWhen::Blocks(b) => actors
-                    .iter()
-                    .filter(|r| !plan.is_faulty(r.id()))
-                    .all(|r| r.committed_height() >= b),
-                StopWhen::ViewReached(v) => actors
-                    .iter()
-                    .filter(|r| !plan.is_faulty(r.id()))
-                    .all(|r| r.current_view() >= v && r.current_round() >= 3),
-                StopWhen::Elapsed(_) => false,
-            });
+        match self.stop {
+            StopWhen::Elapsed(d) => net.run_until(SimTime::ZERO + d),
+            StopWhen::Blocks(b) => {
+                net.run_until_all(self.deadline_time(), |id, r| {
+                    plan.is_faulty(id) || r.committed_height() >= b
+                });
+            }
+            StopWhen::ViewReached(v) => {
+                net.run_until_all(self.deadline_time(), |id, r| {
+                    plan.is_faulty(id) || (r.current_view() >= v && r.current_round() >= 3)
+                });
+            }
         }
 
         let nodes = (0..self.n as u32)
@@ -399,11 +420,12 @@ impl Scenario {
                     verifies: meter.count(eesmr_energy::EnergyCategory::Verify),
                     mean_commit_latency: r.metrics().mean_commit_latency(),
                     tx_injected: r.metrics().tx_injected,
+                    tx_forwarded: r.metrics().tx_forwarded,
                     tx_latencies_us: r.tx_latencies().iter().map(|d| d.as_micros()).collect(),
                 }
             })
             .collect();
-        self.report("EESMR", f, delta, &net_stats(&net), nodes, net.now())
+        self.report("EESMR", f, delta, &net.stats(), nodes, net.now())
     }
 
     fn run_hs(&self, variant: HsVariant) -> RunReport {
@@ -430,26 +452,21 @@ impl Scenario {
                 replica.attach_workload(Box::new(source));
             }
         }
-        let mut net = SimNet::new(net_cfg, replicas);
+        let mut net = ShardedNet::new(net_cfg, replicas, self.shards);
 
-        let stop = self.stop;
         let plan = self.faults.clone();
-        if let StopWhen::Elapsed(d) = stop {
-            net.run_until(SimTime::ZERO + d);
-        } else {
-            net.run_until_pred(self.deadline_time(), |actors| match stop {
-                StopWhen::Blocks(b) => actors
-                    .iter()
-                    .enumerate()
-                    .filter(|(id, _)| !plan.is_faulty(*id as u32))
-                    .all(|(_, r)| r.committed_height() >= b),
-                StopWhen::ViewReached(v) => actors
-                    .iter()
-                    .enumerate()
-                    .filter(|(id, _)| !plan.is_faulty(*id as u32))
-                    .all(|(_, r)| r.current_view() >= v),
-                StopWhen::Elapsed(_) => false,
-            });
+        match self.stop {
+            StopWhen::Elapsed(d) => net.run_until(SimTime::ZERO + d),
+            StopWhen::Blocks(b) => {
+                net.run_until_all(self.deadline_time(), |id, r| {
+                    plan.is_faulty(id) || r.committed_height() >= b
+                });
+            }
+            StopWhen::ViewReached(v) => {
+                net.run_until_all(self.deadline_time(), |id, r| {
+                    plan.is_faulty(id) || r.current_view() >= v
+                });
+            }
         }
 
         let nodes = (0..self.n as u32)
@@ -468,11 +485,12 @@ impl Scenario {
                     verifies: meter.count(eesmr_energy::EnergyCategory::Verify),
                     mean_commit_latency: r.metrics().mean_commit_latency(),
                     tx_injected: r.metrics().tx_injected,
+                    tx_forwarded: r.metrics().tx_forwarded,
                     tx_latencies_us: r.tx_latencies().iter().map(|d| d.as_micros()).collect(),
                 }
             })
             .collect();
-        self.report(variant_name(variant), f, delta, &net_stats(&net), nodes, net.now())
+        self.report(variant_name(variant), f, delta, &net.stats(), nodes, net.now())
     }
 
     fn run_trusted(&self) -> RunReport {
@@ -494,17 +512,14 @@ impl Scenario {
                 node.attach_workload(Box::new(source));
             }
         }
-        let mut net = SimNet::new(net_cfg, nodes_v);
+        let mut net = ShardedNet::new(net_cfg, nodes_v, self.shards);
 
-        let stop = self.stop;
-        if let StopWhen::Elapsed(d) = stop {
-            net.run_until(SimTime::ZERO + d);
-        } else {
-            net.run_until_pred(self.deadline_time(), |actors| match stop {
-                StopWhen::Blocks(b) => actors.iter().all(|n| n.committed_height() >= b),
-                StopWhen::ViewReached(_) => true, // no views in the baseline
-                StopWhen::Elapsed(_) => false,
-            });
+        match self.stop {
+            StopWhen::Elapsed(d) => net.run_until(SimTime::ZERO + d),
+            StopWhen::Blocks(b) => {
+                net.run_until_all(self.deadline_time(), |_, n| n.committed_height() >= b);
+            }
+            StopWhen::ViewReached(_) => {} // no views in the baseline
         }
 
         let nodes = (0..self.n as u32)
@@ -523,11 +538,12 @@ impl Scenario {
                     verifies: meter.count(eesmr_energy::EnergyCategory::Verify),
                     mean_commit_latency: r.metrics().mean_commit_latency(),
                     tx_injected: r.metrics().tx_injected,
+                    tx_forwarded: r.metrics().tx_forwarded,
                     tx_latencies_us: r.tx_latencies().iter().map(|d| d.as_micros()).collect(),
                 }
             })
             .collect();
-        self.report("Trusted baseline", 0, delta, &net_stats(&net), nodes, net.now())
+        self.report("Trusted baseline", 0, delta, &net.stats(), nodes, net.now())
     }
 
     fn report(
@@ -558,10 +574,6 @@ fn variant_name(v: HsVariant) -> &'static str {
         HsVariant::SyncHotStuff => "Sync HotStuff",
         HsVariant::OptSync => "OptSync",
     }
-}
-
-fn net_stats<A: Actor>(net: &SimNet<A>) -> eesmr_net::NetStats {
-    net.stats().clone()
 }
 
 #[cfg(test)]
@@ -734,6 +746,29 @@ mod tests {
     }
 
     #[test]
+    fn forwarding_unstrands_transactions_at_non_leading_nodes() {
+        use eesmr_workload::ArrivalProcess;
+        // Uniform skew: every node injects, but (fault-free) only node 0
+        // ever leads. Command forwarding relays the other nodes' commands
+        // to the proposer, so every node's transactions commit — they
+        // used to strand in the local pools forever.
+        let w = Workload::new(ArrivalProcess::Poisson { rate: 4_000 }).closed_loop(4);
+        for protocol in [Protocol::Eesmr, Protocol::SyncHotStuff, Protocol::OptSync] {
+            let report = Scenario::new(protocol, 5, 2).workload(w).stop(StopWhen::Blocks(12)).run();
+            assert!(report.committed_height() >= 12, "{protocol:?}");
+            assert!(report.tx_forwarded() > 0, "{protocol:?} reported no forwards");
+            for node in &report.nodes {
+                assert!(node.tx_injected > 0, "{protocol:?} node {} injected nothing", node.id);
+                assert!(
+                    !node.tx_latencies_us.is_empty(),
+                    "{protocol:?} node {}: its transactions stranded — forwarding broken",
+                    node.id
+                );
+            }
+        }
+    }
+
+    #[test]
     fn workload_survives_a_view_change() {
         use eesmr_workload::ArrivalProcess;
         // A silent view-1 leader forces a view change while client
@@ -758,6 +793,32 @@ mod tests {
         let b = a.clone().workload(Workload::new(ArrivalProcess::Poisson { rate: 500 }));
         assert_ne!(a.cell(), b.cell(), "workload distinguishes grid cells");
         assert_eq!(a.cell().workload, None);
+    }
+
+    #[test]
+    fn sharded_scenarios_match_single_threaded_bit_for_bit() {
+        for protocol in
+            [Protocol::Eesmr, Protocol::SyncHotStuff, Protocol::OptSync, Protocol::TrustedBaseline]
+        {
+            let base = Scenario::new(protocol, 6, 3).stop(StopWhen::Blocks(4));
+            let reference = base.clone().shards(1).run();
+            assert!(reference.committed_height() >= 4, "{protocol:?}");
+            for shards in [2, 3, 6] {
+                let sharded = base.clone().shards(shards).run();
+                assert_eq!(reference, sharded, "{protocol:?} diverged with {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn shards_are_a_cell_axis_and_label_suffix() {
+        let a = Scenario::new(Protocol::Eesmr, 6, 3).shards(1);
+        let b = a.clone().shards(4);
+        assert_ne!(a.cell(), b.cell(), "shard count distinguishes grid cells");
+        assert_eq!(b.cell().shards, 4);
+        assert!(!a.label().contains("shards"), "{}", a.label());
+        assert!(b.label().contains("shards=4"), "{}", b.label());
+        assert_eq!(a.clone().shards(0).shards, 1, "clamped to at least one");
     }
 
     #[test]

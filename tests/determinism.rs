@@ -5,6 +5,7 @@
 //! protocols, with and without faults.
 
 use eesmr_driver::{Driver, DriverConfig, ScenarioGrid};
+use eesmr_net::SimDuration;
 use eesmr_sim::{
     ArrivalProcess, FaultPlan, Protocol, RunReport, Scenario, SchedulerKind, Skew, StopWhen,
     Workload,
@@ -213,6 +214,102 @@ fn calendar_and_heap_schedulers_are_bit_identical() {
         let calendar = scenario.clone().scheduler(SchedulerKind::Calendar).run();
         assert_eq!(heap, calendar, "scheduler leaked into results: {}", scenario.label());
     }
+}
+
+/// The mixed grid the sharded-equivalence test sweeps: every protocol,
+/// a stalled-leader view change, an equivocator, and the bursty
+/// closed-loop workload — all the event-stream shapes (floods, targeted
+/// floods, timers, arrivals, forwarding) that could conceivably leak a
+/// shard layout.
+fn sharding_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new(Protocol::Eesmr, 6, 3).stop(StopWhen::Blocks(4)),
+        Scenario::new(Protocol::SyncHotStuff, 6, 3).stop(StopWhen::Blocks(4)),
+        Scenario::new(Protocol::OptSync, 5, 2).stop(StopWhen::Blocks(4)),
+        Scenario::new(Protocol::TrustedBaseline, 6, 2).stop(StopWhen::Blocks(4)),
+        Scenario::new(Protocol::Eesmr, 5, 2)
+            .faults(FaultPlan::silent_leader())
+            .stop(StopWhen::ViewReached(2)),
+        Scenario::new(Protocol::Eesmr, 6, 2)
+            .faults(FaultPlan::none().with_equivocator(1, 1))
+            .stop(StopWhen::Blocks(3)),
+        Scenario::new(Protocol::Eesmr, 6, 3).workload(bursty_workload()).stop(StopWhen::Blocks(4)),
+        Scenario::new(Protocol::SyncHotStuff, 6, 3)
+            .workload(bursty_workload())
+            .stop(StopWhen::Blocks(4)),
+        Scenario::new(Protocol::Eesmr, 7, 3).stop(StopWhen::Elapsed(SimDuration::from_millis(40))),
+    ]
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_for_any_shard_count() {
+    // The parallel-simulation acceptance bar: splitting one scenario's
+    // node set across 2 or 4 shard threads (EESMR_SHARDS) must not
+    // change a single byte of the RunReport — energy floats included —
+    // relative to the single-threaded run, across protocols, faults,
+    // view changes, and workloads.
+    for scenario in sharding_scenarios() {
+        let reference = scenario.clone().shards(1).run();
+        for shards in [2, 4] {
+            let sharded = scenario.clone().shards(shards).run();
+            assert_eq!(
+                reference,
+                sharded,
+                "shard count {shards} leaked into results: {}",
+                scenario.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_under_both_schedulers() {
+    // Sharding × scheduler: all four combinations of (heap|calendar) ×
+    // (1|3 shards) must coincide — each shard's local queue goes through
+    // the selected backend, so this pins the full cross product.
+    let scenarios = [
+        Scenario::new(Protocol::Eesmr, 6, 3).workload(bursty_workload()).stop(StopWhen::Blocks(4)),
+        Scenario::new(Protocol::Eesmr, 5, 2)
+            .faults(FaultPlan::silent_leader())
+            .stop(StopWhen::ViewReached(2)),
+        Scenario::new(Protocol::OptSync, 6, 2).stop(StopWhen::Blocks(4)),
+    ];
+    for scenario in scenarios {
+        let reference = scenario.clone().scheduler(SchedulerKind::Heap).shards(1).run();
+        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            for shards in [1, 3] {
+                let run = scenario.clone().scheduler(kind).shards(shards).run();
+                assert_eq!(
+                    reference,
+                    run,
+                    "({}, {shards} shards) diverged: {}",
+                    kind.name(),
+                    scenario.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_axis_suites_agree_cell_for_cell() {
+    // A grid sweeping the shard axis produces one cell per shard count;
+    // all of them must carry identical RunReports (the shard count is a
+    // performance axis, not a results axis), and the suite JSON must
+    // record the axis so sweeps are auditable.
+    let grid = ScenarioGrid::named("shard-axis")
+        .nodes([6])
+        .degrees([3])
+        .shards([1, 2, 4])
+        .stop(StopWhen::Blocks(3));
+    let suite = Driver::new(DriverConfig::default().workers(2)).run_grid(&grid);
+    assert_eq!(suite.cells.len(), 3);
+    for cell in &suite.cells[1..] {
+        assert_eq!(suite.cells[0].runs, cell.runs, "cell {} diverged", cell.label);
+    }
+    assert_eq!(suite.cells[0].key.shards, 1);
+    assert_eq!(suite.cells[2].key.shards, 4);
+    assert!(suite.to_json().contains("\"shards\": 4"), "suite JSON records the shard axis");
 }
 
 #[test]
