@@ -23,8 +23,8 @@ use std::sync::Arc;
 
 use eesmr_core::message::signing_bytes;
 use eesmr_core::{
-    AdaptiveBatcher, BatchPolicy, Block, BlockStore, CertifiedBlock, Command, Metrics, MsgKind,
-    QuorumCert, TxPool, WorkloadSource,
+    AdaptiveBatcher, BatchPolicy, Block, BlockStore, CertifiedBlock, Command, Commands, Metrics,
+    MsgKind, QuorumCert, TxPool, WorkloadSource,
 };
 use eesmr_crypto::{Digest, Hashable, KeyPair, KeyStore, Signature};
 use eesmr_net::{Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
@@ -65,6 +65,11 @@ pub struct HsConfig {
     /// Synthetic offered load: commands fabricated per proposal when the
     /// pool is empty.
     pub offered_load: usize,
+    /// Forward-batching threshold (mirrors
+    /// `eesmr_core::Config::forward_batch`): relay the backlog once it
+    /// holds this many commands or a Δ flush timer fires; `1` forwards
+    /// on every arrival.
+    pub forward_batch: usize,
     /// Commit rule.
     pub variant: HsVariant,
     /// Pacing.
@@ -82,6 +87,7 @@ impl HsConfig {
             payload_bytes: 16,
             batch_policy: BatchPolicy::DEFAULT,
             offered_load: 1,
+            forward_batch: 1,
             variant,
             pacing: HsPacing::Blocking,
         }
@@ -159,8 +165,9 @@ pub enum HsPayload {
     /// proposer (command forwarding, mirroring `eesmr_core`'s
     /// `Payload::Forward`).
     Forward {
-        /// The forwarded commands, in injection order.
-        commands: Vec<eesmr_core::Command>,
+        /// The forwarded commands, in injection order (Arc-backed so
+        /// per-hop clones are refcount bumps).
+        commands: Commands,
     },
 }
 
@@ -307,6 +314,9 @@ pub enum HsTimer {
     /// The next client-transaction arrival from the attached
     /// `WorkloadSource`.
     Arrival,
+    /// Δ flush deadline for a sub-threshold forward batch (armed when
+    /// `forward_batch > 1` and the backlog is below the threshold).
+    ForwardFlush,
 }
 
 /// Injected fault behaviour (mirrors `eesmr_core::FaultMode`).
@@ -365,6 +375,7 @@ pub struct HsReplica {
     blame_timer: Option<TimerId>,
     outstanding: usize,
     first_seen: HashMap<Digest, SimTime>,
+    forward_flush_armed: bool,
 
     blames: BTreeMap<NodeId, Signature>,
     view_aborted: bool,
@@ -424,6 +435,7 @@ impl HsReplica {
             blame_timer: None,
             outstanding: 0,
             first_seen: HashMap::new(),
+            forward_flush_armed: false,
             blames: BTreeMap::new(),
             view_aborted: false,
             quit_scheduled: false,
@@ -490,7 +502,23 @@ impl HsReplica {
             ctx.set_timer(SimDuration::from_micros(delay), HsTimer::Arrival);
         }
         self.try_propose(ctx);
-        self.forward_backlog(ctx);
+        self.maybe_forward_backlog(ctx);
+    }
+
+    /// Forward immediately once the backlog reaches the
+    /// `forward_batch` threshold; below it, arm a single Δ flush timer
+    /// so sub-threshold commands never strand. `forward_batch <= 1`
+    /// preserves the historical forward-per-arrival behaviour.
+    fn maybe_forward_backlog(&mut self, ctx: &mut Ctx<'_>) {
+        if self.is_leader() || !self.active() || self.view_aborted || self.txpool.is_empty() {
+            return;
+        }
+        if self.config.forward_batch <= 1 || self.txpool.backlog() >= self.config.forward_batch {
+            self.forward_backlog(ctx);
+        } else if !self.forward_flush_armed {
+            self.forward_flush_armed = true;
+            ctx.set_timer(self.config.delta, HsTimer::ForwardFlush);
+        }
     }
 
     /// Command forwarding (mirrors `eesmr_core::Replica::forward_backlog`):
@@ -509,7 +537,7 @@ impl HsReplica {
         let commands = self.txpool.take_pending();
         self.metrics.tx_forwarded += commands.len() as u64;
         let leader = self.config.leader_of(self.v_cur);
-        let msg = self.sign(HsPayload::Forward { commands }, ctx);
+        let msg = self.sign(HsPayload::Forward { commands: commands.into() }, ctx);
         ctx.send_to(leader, msg);
     }
 
@@ -520,8 +548,8 @@ impl HsReplica {
         if !self.verify_envelope(&msg, ctx) {
             return;
         }
-        let HsPayload::Forward { commands } = msg.payload else { return };
-        for cmd in commands {
+        let HsPayload::Forward { commands } = &msg.payload else { return };
+        for cmd in commands.iter().cloned() {
             self.txpool.submit(cmd);
         }
         if self.is_leader() {
@@ -1115,6 +1143,10 @@ impl Actor for HsReplica {
             HsTimer::QuitWait { view } => self.on_quit_wait(view, ctx),
             HsTimer::LeaderStatus { view } => self.on_leader_status(view, ctx),
             HsTimer::Arrival => self.on_arrival(ctx),
+            HsTimer::ForwardFlush => {
+                self.forward_flush_armed = false;
+                self.forward_backlog(ctx);
+            }
         }
     }
 }

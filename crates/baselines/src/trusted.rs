@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use eesmr_core::message::signing_bytes;
 use eesmr_core::{
-    AdaptiveBatcher, BatchPolicy, Block, BlockStore, Command, Metrics, MsgKind, TxPool,
+    AdaptiveBatcher, BatchPolicy, Block, BlockStore, Command, Commands, Metrics, MsgKind, TxPool,
     WorkloadSource,
 };
 use eesmr_crypto::{Digest, KeyPair, KeyStore, Signature};
@@ -27,8 +27,9 @@ use eesmr_net::{Actor, Context, Message, NodeId, SimDuration, SimTime};
 pub enum TbPayload {
     /// A node's upload of pending commands.
     Request {
-        /// The commands.
-        batch: Vec<Command>,
+        /// The commands (Arc-backed so per-hop clones are refcount
+        /// bumps).
+        batch: Commands,
         /// Upload sequence number (one per consensus unit).
         seq: u64,
     },
@@ -260,7 +261,8 @@ impl TbNode {
         }
         let seq = self.upload_seq;
         self.upload_seq += 1;
-        let msg = TbMsg::new(TbPayload::Request { batch, seq }, self.pki.keypair(self.id));
+        let msg =
+            TbMsg::new(TbPayload::Request { batch: batch.into(), seq }, self.pki.keypair(self.id));
         ctx.meter().charge_sign(self.pki.scheme());
         ctx.meter().charge_hash(msg.wire_size());
         ctx.multicast(msg); // the spoke's only edge points at the hub

@@ -1,14 +1,31 @@
 //! Ablation: vote-in-the-head vs explicit voting. EESMR's steady state
 //! (implicit votes) against Sync HotStuff (explicit votes + certificates)
 //! on identical topology/payload — isolating the paper's core design
-//! choice.
+//! choice. The protocol axis runs as one grid on the parallel driver
+//! (`EESMR_WORKERS` for threads, `EESMR_QUICK=1` for smoke-test sizing).
 
-use eesmr_bench::{print_table, Csv};
-use eesmr_sim::{Protocol, Scenario, StopWhen};
+use eesmr_bench::Emit;
+use eesmr_driver::{progress, Driver, ScenarioGrid};
+use eesmr_sim::{Protocol, StopWhen};
+
+const PROTOCOLS: [(Protocol, &str); 3] = [
+    (Protocol::Eesmr, "EESMR (implicit votes)"),
+    (Protocol::SyncHotStuff, "Sync HotStuff (explicit votes)"),
+    (Protocol::OptSync, "OptSync (explicit votes, fast path)"),
+];
 
 fn main() {
-    let mut csv = Csv::create(
+    let grid = ScenarioGrid::named("ablation_votes")
+        .protocols(PROTOCOLS.map(|(proto, _)| proto))
+        .nodes([9])
+        .degrees([3])
+        .stop(StopWhen::Blocks(20));
+    let suite = Driver::from_env().run_grid_with_progress(&grid, progress::stderr_status());
+
+    let mut emit = Emit::new(
+        "Ablation: implicit vs explicit voting (per committed block, n=9 k=3)",
         "ablation_votes",
+        &["Protocol", "Signs", "Verifies", "k-casts", "Total mJ"],
         &[
             "protocol",
             "signs_per_block",
@@ -17,31 +34,31 @@ fn main() {
             "total_mj_per_block",
         ],
     );
-    let mut rows = Vec::new();
-    for (proto, label) in [
-        (Protocol::Eesmr, "EESMR (implicit votes)"),
-        (Protocol::SyncHotStuff, "Sync HotStuff (explicit votes)"),
-        (Protocol::OptSync, "OptSync (explicit votes, fast path)"),
-    ] {
-        let report = Scenario::new(proto, 9, 3).stop(StopWhen::Blocks(20)).run();
+    for (proto, label) in PROTOCOLS {
+        let report = suite.find(|c| c.protocol == proto).expect("protocol on the grid").report();
         let blocks = report.committed_height().max(1) as f64;
         let signs: u64 = report.correct_nodes().map(|n| n.signs).sum();
         let verifies: u64 = report.correct_nodes().map(|n| n.verifies).sum();
         let kcasts = report.net.kcasts as f64 / blocks;
         let mj = report.energy_per_block_mj();
-        csv.rowd(&[&label, &(signs as f64 / blocks), &(verifies as f64 / blocks), &kcasts, &mj]);
-        rows.push(vec![
-            label.to_string(),
-            format!("{:.1}", signs as f64 / blocks),
-            format!("{:.1}", verifies as f64 / blocks),
-            format!("{kcasts:.1}"),
-            format!("{mj:.0}"),
-        ]);
+        emit.row(
+            vec![
+                label.to_string(),
+                format!("{:.1}", signs as f64 / blocks),
+                format!("{:.1}", verifies as f64 / blocks),
+                format!("{kcasts:.1}"),
+                format!("{mj:.0}"),
+            ],
+            vec![
+                label.to_string(),
+                (signs as f64 / blocks).to_string(),
+                (verifies as f64 / blocks).to_string(),
+                kcasts.to_string(),
+                mj.to_string(),
+            ],
+        );
     }
-    print_table(
-        "Ablation: implicit vs explicit voting (per committed block, n=9 k=3)",
-        &["Protocol", "Signs", "Verifies", "k-casts", "Total mJ"],
-        &rows,
-    );
-    println!("wrote {}", csv.path().display());
+    emit.finish();
+    let paths = suite.write();
+    println!("wrote {} and {}", paths.csv.display(), paths.json.display());
 }

@@ -1,0 +1,267 @@
+//! The perf-trajectory emitter: measures the zero-copy message-spine
+//! hot path (the `eesmr_bench::hotpath` broadcast storm) and writes a
+//! `BENCH_<short-sha>.json` snapshot so throughput can be tracked
+//! commit over commit.
+//!
+//! Modes:
+//!
+//! * `bench_trajectory` — measure, then write `BENCH_<short-sha>.json`
+//!   in the current directory (the committed baselines live at the repo
+//!   root).
+//! * `bench_trajectory --check [FILE]` — measure, compare against the
+//!   baseline `FILE` (default: the newest `BENCH_*.json` here by its
+//!   `recorded_unix` stamp), and exit non-zero if Arc-spine event
+//!   throughput regressed by more than the tolerance (10%, or
+//!   `EESMR_BENCH_TOLERANCE`) or the Arc-vs-deep speedup fell below
+//!   1.5×.
+//!
+//! `EESMR_QUICK=1` shrinks the storm budget and repetition count for
+//! the CI smoke run. Each cell is measured several times and the best
+//! run kept, damping scheduler noise.
+
+use std::fs;
+use std::process::Command as Shell;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use eesmr_bench::hotpath::{run_storm, StormSpec};
+
+/// The floor the acceptance bar sets for Arc-vs-deep speedup.
+const MIN_SPEEDUP: f64 = 1.5;
+
+fn quick() -> bool {
+    std::env::var("EESMR_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn short_sha() -> String {
+    Shell::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "worktree".to_string())
+}
+
+/// Best-of-`reps` measurement of one cell (max events/sec).
+fn measure(spec: &StormSpec, reps: usize) -> (f64, u64) {
+    let mut best = 0.0f64;
+    let mut deliveries = 0;
+    for _ in 0..reps {
+        let result = run_storm(spec);
+        deliveries = result.deliveries;
+        best = best.max(result.events_per_sec());
+    }
+    (best, deliveries)
+}
+
+struct Snapshot {
+    sha: String,
+    recorded_unix: u64,
+    quick: bool,
+    arc_events_per_sec: f64,
+    deep_events_per_sec: f64,
+    cells: Vec<(StormSpec, f64, u64)>,
+}
+
+impl Snapshot {
+    fn speedup(&self) -> f64 {
+        self.arc_events_per_sec / self.deep_events_per_sec
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"eesmr-bench-trajectory/v1\",\n");
+        out.push_str(&format!("  \"sha\": \"{}\",\n", self.sha));
+        out.push_str(&format!("  \"recorded_unix\": {},\n", self.recorded_unix));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"headline\": {\n");
+        out.push_str(&format!("    \"arc_events_per_sec\": {:.1},\n", self.arc_events_per_sec));
+        out.push_str(&format!("    \"deep_events_per_sec\": {:.1},\n", self.deep_events_per_sec));
+        out.push_str(&format!("    \"speedup\": {:.3}\n", self.speedup()));
+        out.push_str("  },\n");
+        out.push_str("  \"results\": [\n");
+        let rows: Vec<String> = self
+            .cells
+            .iter()
+            .map(|(spec, eps, deliveries)| {
+                format!(
+                    "    {{\"name\": \"{}\", \"n\": {}, \"commands\": {}, \"payload_bytes\": {}, \
+                     \"shards\": {}, \"deep_clone\": {}, \"deliveries\": {}, \
+                     \"events_per_sec\": {:.1}}}",
+                    spec.label(),
+                    spec.n,
+                    spec.commands,
+                    spec.payload_bytes,
+                    spec.shards,
+                    spec.deep_clone,
+                    deliveries,
+                    eps
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Runs the trajectory workload: the headline n = 128 cell in both
+/// spine modes plus an Arc-spine shard sweep.
+fn take_snapshot() -> Snapshot {
+    let quick = quick();
+    let (budget, reps) = if quick { (3, 2) } else { (6, 3) };
+    let mut cells = Vec::new();
+    let mut arc_eps = 0.0;
+    let mut deep_eps = 0.0;
+    for deep_clone in [false, true] {
+        let spec = StormSpec { budget, ..StormSpec::headline(deep_clone) };
+        eprintln!("measuring {} (reps={reps})...", spec.label());
+        let (eps, deliveries) = measure(&spec, reps);
+        if deep_clone {
+            deep_eps = eps;
+        } else {
+            arc_eps = eps;
+        }
+        cells.push((spec, eps, deliveries));
+    }
+    for shards in [2usize, 4] {
+        let spec = StormSpec { budget, shards, ..StormSpec::headline(false) };
+        eprintln!("measuring {} (reps={reps})...", spec.label());
+        let (eps, deliveries) = measure(&spec, reps);
+        cells.push((spec, eps, deliveries));
+    }
+    let recorded_unix =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    Snapshot {
+        sha: short_sha(),
+        recorded_unix,
+        quick,
+        arc_events_per_sec: arc_eps,
+        deep_events_per_sec: deep_eps,
+        cells,
+    }
+}
+
+/// Pulls the number following `"key":` out of our own JSON dialect.
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The newest committed baseline in the current directory, by its
+/// `recorded_unix` stamp.
+fn latest_baseline() -> Option<String> {
+    let mut best: Option<(u64, String)> = None;
+    for entry in fs::read_dir(".").ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().to_string();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(entry.path()) else { continue };
+        let stamp = json_f64(&text, "recorded_unix").unwrap_or(0.0) as u64;
+        if best.as_ref().is_none_or(|(s, _)| stamp > *s) {
+            best = Some((stamp, name));
+        }
+    }
+    best.map(|(_, name)| name)
+}
+
+fn check(baseline_path: Option<String>) -> i32 {
+    let Some(path) = baseline_path.or_else(latest_baseline) else {
+        eprintln!("bench_trajectory --check: no BENCH_*.json baseline found");
+        return 2;
+    };
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("bench_trajectory --check: cannot read {path}: {err}");
+            return 2;
+        }
+    };
+    let Some(baseline_eps) = json_f64(&text, "arc_events_per_sec") else {
+        eprintln!("bench_trajectory --check: {path} has no arc_events_per_sec");
+        return 2;
+    };
+    let tolerance = std::env::var("EESMR_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.10);
+    let floor = baseline_eps * (1.0 - tolerance);
+    // A shared runner can dip any single measurement well past the
+    // tolerance; a true regression fails persistently. Debounce by
+    // keeping the best of up to three snapshots.
+    let (mut best_eps, mut best_speedup) = (0.0f64, 0.0f64);
+    for attempt in 1..=3 {
+        let snap = take_snapshot();
+        best_eps = best_eps.max(snap.arc_events_per_sec);
+        best_speedup = best_speedup.max(snap.speedup());
+        if best_eps >= floor && best_speedup >= MIN_SPEEDUP {
+            break;
+        }
+        eprintln!("attempt {attempt} below the bar ({:.0} events/s); retrying", best_eps);
+    }
+    println!(
+        "baseline {path}: {:.0} events/s; current: {:.0} events/s (floor {:.0}, tolerance {:.0}%)",
+        baseline_eps,
+        best_eps,
+        floor,
+        tolerance * 100.0
+    );
+    println!(
+        "spine speedup (arc vs deep-clone): {best_speedup:.2}x (required >= {MIN_SPEEDUP:.1}x)"
+    );
+    let mut status = 0;
+    if best_eps < floor {
+        eprintln!("FAIL: event throughput regressed more than {:.0}%", tolerance * 100.0);
+        status = 1;
+    }
+    if best_speedup < MIN_SPEEDUP {
+        eprintln!("FAIL: Arc spine no longer >= {MIN_SPEEDUP:.1}x over deep-clone baseline");
+        status = 1;
+    }
+    if status == 0 {
+        println!("OK: throughput within tolerance of the committed baseline");
+    }
+    status
+}
+
+fn emit() -> i32 {
+    let snap = take_snapshot();
+    let path = format!("BENCH_{}.json", snap.sha);
+    println!(
+        "arc: {:.0} events/s  deep-clone: {:.0} events/s  speedup: {:.2}x",
+        snap.arc_events_per_sec,
+        snap.deep_events_per_sec,
+        snap.speedup()
+    );
+    match fs::write(&path, snap.to_json()) {
+        Ok(()) => {
+            println!("wrote {path}");
+            0
+        }
+        Err(err) => {
+            eprintln!("bench_trajectory: cannot write {path}: {err}");
+            1
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let status = match args.next().as_deref() {
+        Some("--check") => check(args.next()),
+        Some(other) => {
+            eprintln!("bench_trajectory: unknown argument {other} (try --check [FILE])");
+            2
+        }
+        None => emit(),
+    };
+    std::process::exit(status);
+}

@@ -1,15 +1,13 @@
 //! Regenerates **Table 3**: best/worst-case complexity comparison, plus an
 //! *empirical* check of the headline scaling claims (EESMR transmissions
-//! grow O(nd) per block while Sync HotStuff grows O(n²d)).
+//! grow O(nd) per block while Sync HotStuff grows O(n²d)). The empirical
+//! protocol × n sweep runs as one grid on the parallel driver
+//! (`EESMR_WORKERS` for threads, `EESMR_QUICK=1` for smoke-test sizing).
 
-use eesmr_bench::{print_table, Csv};
+use eesmr_bench::{print_table, Emit};
+use eesmr_driver::{progress, Driver, ScenarioGrid};
 use eesmr_energy::complexity::table3_rows;
-use eesmr_sim::{Protocol, Scenario, StopWhen};
-
-fn kcasts_per_block(protocol: Protocol, n: usize, k: usize) -> f64 {
-    let report = Scenario::new(protocol, n, k).stop(StopWhen::Blocks(10)).run();
-    report.net.kcasts as f64 / report.committed_height().max(1) as f64
-}
+use eesmr_sim::{Protocol, StopWhen};
 
 fn main() {
     let mut rows = Vec::new();
@@ -44,25 +42,37 @@ fn main() {
 
     // Empirical scaling: double n, fixed k — EESMR per-block transmissions
     // should ~double (O(nd)); Sync HotStuff should ~quadruple (O(n^2 d)).
-    let mut csv = Csv::create("table3_empirical", &["protocol", "n", "k", "kcasts_per_block"]);
-    let mut erows = Vec::new();
+    let grid = ScenarioGrid::named("table3_empirical")
+        .protocols([Protocol::Eesmr, Protocol::SyncHotStuff])
+        .nodes([6, 12])
+        .degrees([3])
+        .stop(StopWhen::Blocks(10));
+    let suite = Driver::from_env().run_grid_with_progress(&grid, progress::stderr_status());
+    let kcasts_per_block = |protocol: Protocol, n: usize| -> f64 {
+        let report =
+            suite.find(|c| c.protocol == protocol && c.n == n).expect("cell on the grid").report();
+        report.net.kcasts as f64 / report.committed_height().max(1) as f64
+    };
+
+    let mut emit = Emit::new(
+        "Empirical k-casts per committed block (k = 3)",
+        "table3_empirical",
+        &["Protocol", "n", "k-casts/block"],
+        &["protocol", "n", "k", "kcasts_per_block"],
+    );
     for (proto, name) in [(Protocol::Eesmr, "EESMR"), (Protocol::SyncHotStuff, "Sync HotStuff")] {
         for n in [6usize, 12] {
-            let v = kcasts_per_block(proto, n, 3);
-            csv.rowd(&[&name, &n, &3, &v]);
-            erows.push(vec![name.to_string(), n.to_string(), format!("{v:.1}")]);
+            let v = kcasts_per_block(proto, n);
+            emit.row(
+                vec![name.to_string(), n.to_string(), format!("{v:.1}")],
+                vec![name.to_string(), n.to_string(), "3".to_string(), v.to_string()],
+            );
         }
     }
-    print_table(
-        "Empirical k-casts per committed block (k = 3)",
-        &["Protocol", "n", "k-casts/block"],
-        &erows,
-    );
+    emit.finish();
 
-    let e_ratio =
-        kcasts_per_block(Protocol::Eesmr, 12, 3) / kcasts_per_block(Protocol::Eesmr, 6, 3);
-    let s_ratio = kcasts_per_block(Protocol::SyncHotStuff, 12, 3)
-        / kcasts_per_block(Protocol::SyncHotStuff, 6, 3);
+    let e_ratio = kcasts_per_block(Protocol::Eesmr, 12) / kcasts_per_block(Protocol::Eesmr, 6);
+    let s_ratio =
+        kcasts_per_block(Protocol::SyncHotStuff, 12) / kcasts_per_block(Protocol::SyncHotStuff, 6);
     println!("\nscaling when n doubles (6 -> 12): EESMR x{e_ratio:.2} (expect ~2), SyncHS x{s_ratio:.2} (expect ~4)");
-    println!("wrote {}", csv.path().display());
 }

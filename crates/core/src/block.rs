@@ -8,6 +8,8 @@
 //! parent hash, leader signature; our wire sizes follow that layout.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use eesmr_crypto::{Digest, Hashable};
 
@@ -52,6 +54,95 @@ impl Hashable for Command {
     }
 }
 
+/// When set, [`Commands::clone`] deep-copies every command instead of
+/// bumping the shared refcount — restoring the pre-Arc-spine clone
+/// semantics. The two modes are observationally identical (`Commands` is
+/// immutable, so sharing is invisible); only the cost differs. Benches
+/// use this to measure the zero-copy win against the old behaviour, and
+/// the determinism proptest uses it to assert reports are bit-identical
+/// under either mode.
+static DEEP_CLONE_SPINE: AtomicBool = AtomicBool::new(false);
+
+/// Switches [`Commands::clone`] between refcount bumps (`false`, the
+/// default) and per-command deep copies (`true`). Global and racy-by
+/// design: both modes produce identical simulation results, so a flip
+/// mid-run only perturbs allocation cost, never outcomes.
+pub fn set_deep_clone_spine(on: bool) {
+    DEEP_CLONE_SPINE.store(on, Ordering::SeqCst);
+}
+
+/// Whether deep-clone mode is currently on.
+pub fn deep_clone_spine() -> bool {
+    DEEP_CLONE_SPINE.load(Ordering::Relaxed)
+}
+
+/// An immutable, shared batch of [`Command`]s — the payload body carried
+/// by blocks and forward messages.
+///
+/// Fan-out is the simulator's hot path: one broadcast clones its message
+/// once per receiver, and under the old `Vec<Command>` representation
+/// each clone copied every command. `Commands` wraps the batch in an
+/// `Arc<[Command]>` so a clone is a refcount bump — O(1) in payload size.
+/// The batch is immutable after construction (no `&mut` access exists),
+/// which is what makes the sharing sound: every holder observes the same
+/// bytes forever, so digests, wire sizes, and flood keys are unaffected.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Commands(Arc<[Command]>);
+
+impl Commands {
+    /// Number of commands in the batch.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over the commands.
+    pub fn iter(&self) -> std::slice::Iter<'_, Command> {
+        self.0.iter()
+    }
+}
+
+impl Clone for Commands {
+    fn clone(&self) -> Self {
+        if DEEP_CLONE_SPINE.load(Ordering::Relaxed) {
+            Commands(self.0.iter().cloned().collect())
+        } else {
+            Commands(Arc::clone(&self.0))
+        }
+    }
+}
+
+impl Default for Commands {
+    fn default() -> Self {
+        Commands(Arc::from(Vec::new()))
+    }
+}
+
+impl From<Vec<Command>> for Commands {
+    fn from(v: Vec<Command>) -> Self {
+        Commands(v.into())
+    }
+}
+
+impl std::ops::Deref for Commands {
+    type Target = [Command];
+    fn deref(&self) -> &[Command] {
+        &self.0
+    }
+}
+
+impl<'a> IntoIterator for &'a Commands {
+    type Item = &'a Command;
+    type IntoIter = std::slice::Iter<'a, Command>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
 /// One block of the replicated log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
@@ -64,19 +155,25 @@ pub struct Block {
     /// Round in which the block was proposed (0 for genesis).
     pub round: u64,
     /// The commands `Cmds`.
-    pub payload: Vec<Command>,
+    pub payload: Commands,
 }
 
 impl Block {
     /// The genesis block `G`.
     pub fn genesis() -> Self {
-        Block { parent: Digest::ZERO, height: 0, view: 0, round: 0, payload: Vec::new() }
+        Block { parent: Digest::ZERO, height: 0, view: 0, round: 0, payload: Commands::default() }
     }
 
     /// Creates the proposal block extending `parent` (the `CreateProposal`
     /// helper of Algorithm 1).
-    pub fn extending(parent: &Block, view: u64, round: u64, payload: Vec<Command>) -> Self {
-        Block { parent: parent.id(), height: parent.height + 1, view, round, payload }
+    pub fn extending(parent: &Block, view: u64, round: u64, payload: impl Into<Commands>) -> Self {
+        Block {
+            parent: parent.id(),
+            height: parent.height + 1,
+            view,
+            round,
+            payload: payload.into(),
+        }
     }
 
     /// This block's identifier: the hash of its canonical encoding.
@@ -432,7 +529,13 @@ mod tests {
 
         // A gap reads as Unknown, not Fork.
         let far = Block::extending(
-            &Block { parent: Digest::of(b"?"), height: 10, view: 9, round: 9, payload: vec![] },
+            &Block {
+                parent: Digest::of(b"?"),
+                height: 10,
+                view: 9,
+                round: 9,
+                payload: Commands::default(),
+            },
             9,
             10,
             vec![],
@@ -449,6 +552,20 @@ mod tests {
         assert!(!c.is_empty());
         let tiny = Command::synthetic(7, 2);
         assert_eq!(tiny.len(), 8, "minimum carries the sequence number");
+    }
+
+    #[test]
+    fn commands_clone_is_shared_unless_deep_mode_is_on() {
+        let batch: Commands = vec![Command::synthetic(0, 16), Command::synthetic(1, 16)].into();
+        let shared = batch.clone();
+        assert_eq!(batch, shared);
+        assert!(std::ptr::eq(batch.as_ptr(), shared.as_ptr()), "arc clone shares the buffer");
+
+        set_deep_clone_spine(true);
+        let deep = batch.clone();
+        set_deep_clone_spine(false);
+        assert_eq!(batch, deep, "deep clones are observationally identical");
+        assert!(!std::ptr::eq(batch.as_ptr(), deep.as_ptr()), "deep clone copies the buffer");
     }
 
     #[test]

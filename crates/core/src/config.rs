@@ -120,6 +120,15 @@ pub struct Config {
     /// fabricates per proposal when no client commands are queued (the
     /// paper's fixed `|b_i|` workloads use 1).
     pub offered_load: usize,
+    /// Forward-batching threshold for non-leading nodes: the backlog is
+    /// relayed to the leader as soon as it holds this many commands, or
+    /// after a Δ flush timer, whichever comes first. `1` (the default)
+    /// forwards on every arrival — the historical behaviour. Larger
+    /// values aggregate several one-command forward floods into one
+    /// signed message, cutting forwarding traffic (and the re-forward
+    /// double counts around view changes) at the cost of up to Δ extra
+    /// queueing latency.
+    pub forward_batch: usize,
     /// Leader assignment.
     pub leader_policy: LeaderPolicy,
     /// Leader pacing (the paper's evaluation uses the blocking variant).
@@ -159,6 +168,7 @@ impl Config {
             payload_bytes: 16,
             batch_policy: BatchPolicy::DEFAULT,
             offered_load: 1,
+            forward_batch: 1,
             leader_policy: LeaderPolicy::RoundRobin,
             pacing: Pacing::Blocking,
             crash_only: false,

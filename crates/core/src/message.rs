@@ -265,7 +265,7 @@ pub enum Payload {
     /// at a node that never leads waits in that node's pool forever).
     Forward {
         /// The forwarded commands, in injection order.
-        commands: Vec<crate::block::Command>,
+        commands: crate::block::Commands,
     },
 }
 

@@ -70,6 +70,9 @@ pub enum TimerToken {
     /// [`WorkloadSource`] (view-independent: client traffic doesn't stop
     /// for view changes).
     Arrival,
+    /// Δ flush deadline for a sub-threshold forward batch (see
+    /// [`Config::forward_batch`](crate::Config)).
+    ForwardFlush,
 }
 
 /// Convenience alias for the replica's network context.
@@ -132,6 +135,7 @@ pub struct Replica {
     pub(crate) outstanding: usize,
     pub(crate) want_propose: bool,
     pub(crate) first_seen: HashMap<Digest, SimTime>,
+    pub(crate) forward_flush_armed: bool,
 
     // Blame / view change.
     pub(crate) blames: BTreeMap<NodeId, Signature>,
@@ -197,6 +201,7 @@ impl Replica {
             outstanding: 0,
             want_propose: false,
             first_seen: HashMap::new(),
+            forward_flush_armed: false,
             blames: BTreeMap::new(),
             view_aborted: false,
             vc: VcState::default(),
@@ -396,7 +401,24 @@ impl Replica {
             ctx.set_timer(eesmr_net::SimDuration::from_micros(delay), TimerToken::Arrival);
         }
         self.try_propose(ctx);
-        self.forward_backlog(ctx);
+        self.maybe_forward_backlog(ctx);
+    }
+
+    /// Forward batching: flush the backlog immediately once it holds
+    /// [`Config::forward_batch`] commands; below the threshold, hold the
+    /// commands and arm a Δ flush timer instead, so several arrivals
+    /// share one signed forward flood. With `forward_batch ≤ 1` this
+    /// degenerates to the historical forward-per-arrival behaviour.
+    pub(crate) fn maybe_forward_backlog(&mut self, ctx: &mut Ctx<'_>) {
+        if self.is_leader() || !self.active() || self.view_aborted || self.txpool.is_empty() {
+            return;
+        }
+        if self.config.forward_batch <= 1 || self.txpool.backlog() >= self.config.forward_batch {
+            self.forward_backlog(ctx);
+        } else if !self.forward_flush_armed {
+            self.forward_flush_armed = true;
+            ctx.set_timer(self.config.delta, TimerToken::ForwardFlush);
+        }
     }
 
     /// Command forwarding: a node that is not the current proposer
@@ -418,7 +440,7 @@ impl Replica {
         let commands = self.txpool.take_pending();
         self.metrics.tx_forwarded += commands.len() as u64;
         let leader = self.config.leader_of(self.v_cur);
-        let msg = self.sign(Payload::Forward { commands }, ctx);
+        let msg = self.sign(Payload::Forward { commands: commands.into() }, ctx);
         ctx.send_to(leader, msg);
     }
 
@@ -432,8 +454,8 @@ impl Replica {
         if !self.verify_envelope(&msg, ctx) {
             return;
         }
-        let Payload::Forward { commands } = msg.payload else { return };
-        for cmd in commands {
+        let Payload::Forward { commands } = &msg.payload else { return };
+        for cmd in commands.iter().cloned() {
             self.txpool.submit(cmd);
         }
         if self.is_leader() {
@@ -733,6 +755,10 @@ impl Actor for Replica {
             TimerToken::EnterNew { view } => self.on_enter_new(view, ctx),
             TimerToken::LeaderStatus { view } => self.on_leader_status(view, ctx),
             TimerToken::Arrival => self.on_arrival(ctx),
+            TimerToken::ForwardFlush => {
+                self.forward_flush_armed = false;
+                self.forward_backlog(ctx);
+            }
         }
     }
 }

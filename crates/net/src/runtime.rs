@@ -67,7 +67,7 @@ use eesmr_hypergraph::Hypergraph;
 use crate::actor::{Actor, Context, Effect, NodeId, TimerId};
 use crate::channel::ChannelCost;
 use crate::message::Message;
-use crate::sched::{EventQueue, SchedulerKind};
+use crate::sched::{EventQueue, FreeList, SchedulerKind};
 use crate::time::{SimDuration, SimTime};
 
 /// Network configuration.
@@ -252,6 +252,13 @@ pub(crate) struct ShardState<A: Actor> {
     /// Cross-shard deliveries generated this window, keyed by target
     /// shard (`outbox[self.index]` stays empty).
     outbox: Vec<Vec<QueuedEvent<A::Msg, A::Timer>>>,
+    /// Recycled outbox buffers: vectors drained by [`Self::ingest`] come
+    /// back here and [`Self::take_outbox`] hands them out again, so the
+    /// per-window exchange allocates nothing at steady state.
+    event_buffers: FreeList<QueuedEvent<A::Msg, A::Timer>>,
+    /// Recycled effect-scratch buffers for [`Self::invoke`]: one actor
+    /// invocation per queue pop means alloc-per-event without this.
+    effect_buffers: FreeList<Effect<A::Msg, A::Timer>>,
     pub(crate) now: SimTime,
     pub(crate) stats: NetStats,
     pub(crate) interceptor: Option<Interceptor>,
@@ -282,6 +289,8 @@ impl<A: Actor> ShardState<A> {
             cancelled_timers: HashSet::new(),
             queue,
             outbox: (0..shards).map(|_| Vec::new()).collect(),
+            event_buffers: FreeList::new(2 * shards as usize),
+            effect_buffers: FreeList::new(2),
             now: SimTime::ZERO,
             stats: NetStats::default(),
             interceptor: None,
@@ -319,16 +328,20 @@ impl<A: Actor> ShardState<A> {
         self.queue.peek_time()
     }
 
-    /// Accepts cross-shard events (already keyed by their origin).
-    pub(crate) fn ingest(&mut self, events: Vec<QueuedEvent<A::Msg, A::Timer>>) {
-        for (time, seq, payload) in events {
+    /// Accepts cross-shard events (already keyed by their origin). The
+    /// drained buffer is recycled into the local pool.
+    pub(crate) fn ingest(&mut self, mut events: Vec<QueuedEvent<A::Msg, A::Timer>>) {
+        for (time, seq, payload) in events.drain(..) {
             self.queue.push(time, seq, payload);
         }
+        self.event_buffers.put(events);
     }
 
-    /// Drains the outbox destined for shard `dst`.
+    /// Drains the outbox destined for shard `dst`, replacing it with a
+    /// recycled buffer.
     pub(crate) fn take_outbox(&mut self, dst: usize) -> Vec<QueuedEvent<A::Msg, A::Timer>> {
-        std::mem::take(&mut self.outbox[dst])
+        let replacement = self.event_buffers.get();
+        std::mem::replace(&mut self.outbox[dst], replacement)
     }
 
     /// Processes every local event with `time < horizon_us` (exclusive —
@@ -430,13 +443,12 @@ impl<A: Actor> ShardState<A> {
     /// sender, samples per-receiver delays, and consults the interceptor.
     fn transmit(&mut self, node: NodeId, msg: &A::Msg, flood: Option<FloodMeta>, relay: bool) {
         let size = msg.wire_size();
-        let edges: Vec<(usize, Vec<NodeId>)> = self
-            .cfg
-            .topology
-            .out_edges(node)
-            .map(|(_, e)| (e.k(), e.receivers().iter().copied().collect()))
-            .collect();
-        for (k, receivers) in edges {
+        // Clone the config handle (a refcount bump) so the topology can be
+        // iterated in place while the meters and counters below take
+        // mutable borrows — no per-transmit edge/receiver buffers.
+        let cfg = Arc::clone(&self.cfg);
+        for (_, edge) in cfg.topology.out_edges(node) {
+            let k = edge.k();
             let mj = self.cfg.channel.send_mj(size, k);
             let local = self.local(node);
             self.meters[local].charge(EnergyCategory::Send, mj);
@@ -445,7 +457,7 @@ impl<A: Actor> ShardState<A> {
                 self.stats.flood_relays += 1;
             }
             self.stats.bytes_on_air += size as u64;
-            for to in receivers {
+            for &to in edge.receivers() {
                 let delivery = Delivery { from: node, to, size, is_flood: flood.is_some() };
                 let fate = match self.interceptor.as_mut() {
                     Some(i) => i(&delivery),
@@ -478,11 +490,13 @@ impl<A: Actor> ShardState<A> {
             now: self.now,
             meter: &mut self.meters[local],
             next_timer_id: &mut self.timer_ctr[local],
-            effects: Vec::new(),
+            effects: self.effect_buffers.get(),
         };
         f(&mut self.actors[local], &mut ctx);
-        let effects = ctx.effects;
-        for effect in effects {
+        // Invocations never nest (effects are applied here, outside the
+        // actor), so draining into the pool and recycling is safe.
+        let mut effects = ctx.effects;
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Multicast(msg) => {
                     // Loopback first so the sender processes its own
@@ -530,6 +544,7 @@ impl<A: Actor> ShardState<A> {
                 }
             }
         }
+        self.effect_buffers.put(effects);
     }
 }
 

@@ -379,6 +379,54 @@ impl<E> CalendarQueue<E> {
     }
 }
 
+/// A bounded pool of reusable `Vec` buffers for the simulator's hot
+/// paths.
+///
+/// The sharded runtime drains batches of queued events every barrier
+/// window (outbox exchange) and every actor invocation drains a batch of
+/// effects; allocating a fresh `Vec` for each would put an allocator
+/// round-trip on the hottest loop. Instead, drained buffers come back
+/// through [`put`](FreeList::put) — which drops their contents *eagerly*
+/// (so no stale event can ever resurface) but keeps their capacity — and
+/// the next [`get`](FreeList::get) hands the warm allocation out again.
+/// The pool is bounded: spares beyond `cap` are simply freed, so a burst
+/// never pins memory forever.
+#[derive(Debug)]
+pub struct FreeList<T> {
+    pool: Vec<Vec<T>>,
+    cap: usize,
+}
+
+impl<T> FreeList<T> {
+    /// An empty pool retaining at most `cap` spare buffers.
+    pub fn new(cap: usize) -> Self {
+        FreeList { pool: Vec::new(), cap }
+    }
+
+    /// A recycled buffer — always empty, with whatever capacity its last
+    /// life accumulated — or a fresh zero-capacity `Vec` when the pool is
+    /// dry.
+    pub fn get(&mut self) -> Vec<T> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool. Its contents are dropped here and
+    /// now — a recycled buffer can never leak stale elements — and its
+    /// capacity is retained unless the pool is already at `cap`, in
+    /// which case the buffer is freed.
+    pub fn put(&mut self, mut buf: Vec<T>) {
+        buf.clear();
+        if self.pool.len() < self.cap {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Spare buffers currently pooled.
+    pub fn spares(&self) -> usize {
+        self.pool.len()
+    }
+}
+
 /// The runtime's pending-event queue: one of the two [`SchedulerKind`]
 /// backends behind a uniform push/peek/pop interface.
 pub struct EventQueue<E>(Backend<E>);
@@ -640,5 +688,33 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_lanes_rejected() {
         let _ = CalendarQueue::<u8>::with_lanes(100);
+    }
+
+    #[test]
+    fn freelist_recycles_capacity_without_stale_state() {
+        let mut fl = FreeList::new(2);
+        let mut buf = fl.get();
+        buf.extend([1, 2, 3]);
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        fl.put(buf);
+        // The same allocation comes back — empty, capacity intact.
+        let recycled = fl.get();
+        assert!(recycled.is_empty(), "recycled buffers must never expose stale elements");
+        assert_eq!(recycled.capacity(), cap);
+        assert_eq!(recycled.as_ptr(), ptr, "the warm allocation is reused, not reallocated");
+        fl.put(recycled);
+        // Contents are dropped at put() time, observable via drop effects.
+        let counted: Vec<std::rc::Rc<u8>> = vec![std::rc::Rc::new(9)];
+        let probe = std::rc::Rc::clone(&counted[0]);
+        let mut fl2 = FreeList::new(1);
+        fl2.put(counted);
+        assert_eq!(std::rc::Rc::strong_count(&probe), 1, "put() drops contents eagerly");
+        // The pool is bounded by cap.
+        let mut fl3 = FreeList::<u8>::new(2);
+        fl3.put(Vec::with_capacity(1));
+        fl3.put(Vec::with_capacity(1));
+        fl3.put(Vec::with_capacity(1));
+        assert_eq!(fl3.spares(), 2);
     }
 }

@@ -16,6 +16,21 @@
 //! synchronization argument (Chandy–Misra–Bryant, specialised to a
 //! global barrier).
 //!
+//! **Adaptive windows.** On runs without a stop predicate
+//! ([`run_until`](ShardedNet::run_until) / [`run_for`](ShardedNet::run_for))
+//! the barrier cadence is adaptive: shard `r` may process every local
+//! event strictly before `min over s ≠ r of (next_s + L)`, where `next_s`
+//! is shard `s`'s earliest pending event at the barrier — the classic
+//! Chandy–Misra–Bryant null-message bound. Any cross-shard delivery shard
+//! `s` can still produce arrives no earlier than `next_s + L` (events
+//! never go backwards in time and cross-shard hops cost at least `L`), so
+//! the bound is conservative; when the other shards are idle or far
+//! behind, one barrier round covers many lookahead windows, and a lone
+//! busy shard drains to the limit in a single window. With a stop
+//! predicate the fixed `L`-wide cadence is kept, because the predicate is
+//! part of the observable schedule: it must be evaluated at the same
+//! barrier times for every shard count.
+//!
 //! **The determinism contract.** The merged execution is bit-identical
 //! to the single-threaded [`SimNet`](crate::SimNet) run because every
 //! event's key and content are pure functions of node-local state (see
@@ -338,6 +353,13 @@ where
         mut clock: WindowClock,
         pred: Option<NodePred<'_, A>>,
     ) -> (u64, bool) {
+        if pred.is_none() {
+            // Adaptive fast path: a sole shard never receives cross-shard
+            // traffic and nothing observes intermediate barriers, so the
+            // whole span is one window.
+            shard.run_window(clock.limit.saturating_add(1));
+            return (clock.limit, false);
+        }
         loop {
             let pred_ok = Self::shard_pred(shard, pred);
             match clock.next(shard.next_time(), pred_ok) {
@@ -346,6 +368,40 @@ where
                 Decision::Window { horizon } => shard.run_window(horizon),
             }
         }
+    }
+
+    /// Fills `horizons[r]` with the adaptive (CMB null-message) bound for
+    /// shard `r`: every local event strictly before
+    /// `min over s ≠ r of (next_s + lookahead)` is safe to process without
+    /// another exchange, because a shard whose earliest pending event is
+    /// `next_s` cannot make anything arrive cross-shard before
+    /// `next_s + lookahead`. Shards with no foreign activity pending run
+    /// straight to the limit. Returns `false` — leaving `horizons`
+    /// untouched — when no pending event is at or before the limit.
+    fn adaptive_horizons(
+        nexts: &[Option<u64>],
+        lookahead: u64,
+        limit: u64,
+        horizons: &[Mutex<u64>],
+    ) -> bool {
+        let global_min = nexts.iter().copied().flatten().min();
+        if global_min.is_none_or(|m| m > limit) {
+            return false;
+        }
+        let open_end = limit.saturating_add(1);
+        for (r, slot) in horizons.iter().enumerate() {
+            let foreign_min = nexts
+                .iter()
+                .enumerate()
+                .filter(|&(s, _)| s != r)
+                .filter_map(|(_, &next)| next)
+                .min();
+            *slot.lock().unwrap() = match foreign_min {
+                Some(m) => m.saturating_add(lookahead).min(open_end),
+                None => open_end,
+            };
+        }
+        true
     }
 
     /// Multi-shard execution: one worker thread per shard, advancing in
@@ -359,13 +415,17 @@ where
         let count = shards.len();
         let barrier = Barrier::new(count);
         let decision = Mutex::new(Decision::Done);
+        let (lookahead, limit) = (clock.lookahead, clock.limit);
         let clock = Mutex::new(clock);
         let outcome = Mutex::new((0u64, false));
         // locals[w] = (earliest pending event, local predicate) for shard
-        // w, republished after every window; mail[src][dst] carries the
-        // cross-shard events of one window.
+        // w, republished after every window; horizons[w] is the window
+        // bound the leader assigns shard w each round (uniform under a
+        // stop predicate, per-shard adaptive without one); mail[src][dst]
+        // carries the cross-shard events of one window.
         let locals: Vec<Mutex<(Option<u64>, bool)>> =
             (0..count).map(|_| Mutex::new((None, false))).collect();
+        let horizons: Vec<Mutex<u64>> = (0..count).map(|_| Mutex::new(0)).collect();
         let mail: Mailboxes<A::Msg, A::Timer> =
             (0..count).map(|_| (0..count).map(|_| Mutex::new(Vec::new())).collect()).collect();
 
@@ -376,9 +436,12 @@ where
                 let clock = &clock;
                 let outcome = &outcome;
                 let locals = &locals;
+                let horizons = &horizons;
                 let mail = &mail;
                 scope.spawn(move || {
                     *locals[w].lock().unwrap() = (shard.next_time(), Self::shard_pred(shard, pred));
+                    // Leader-only scratch for the per-shard next times.
+                    let mut nexts: Vec<Option<u64>> = vec![None; count];
                     loop {
                         barrier.wait();
                         if w == 0 {
@@ -386,31 +449,48 @@ where
                             // the (shard-count-invariant) window clock.
                             let mut global_min: Option<u64> = None;
                             let mut all_ok = true;
-                            for slot in locals.iter() {
-                                let (next, ok) = *slot.lock().unwrap();
-                                global_min = match (global_min, next) {
+                            for (slot, next) in locals.iter().zip(nexts.iter_mut()) {
+                                let (n, ok) = *slot.lock().unwrap();
+                                *next = n;
+                                global_min = match (global_min, n) {
                                     (Some(a), Some(b)) => Some(a.min(b)),
                                     (a, b) => a.or(b),
                                 };
                                 all_ok &= ok;
                             }
-                            let mut clock = clock.lock().unwrap();
-                            let next = clock.next(global_min, pred.is_some() && all_ok);
+                            let next = if pred.is_none() {
+                                // No stop checks to keep on a fixed
+                                // cadence: batch each shard as far as the
+                                // CMB bound allows.
+                                if Self::adaptive_horizons(&nexts, lookahead, limit, horizons) {
+                                    Decision::Window { horizon: 0 } // per-shard slots carry the bounds
+                                } else {
+                                    Decision::Done
+                                }
+                            } else {
+                                let d = clock.lock().unwrap().next(global_min, all_ok);
+                                if let Decision::Window { horizon } = d {
+                                    for slot in horizons.iter() {
+                                        *slot.lock().unwrap() = horizon;
+                                    }
+                                }
+                                d
+                            };
                             match next {
                                 Decision::Stop { at } => *outcome.lock().unwrap() = (at, true),
                                 Decision::Done => {
-                                    *outcome.lock().unwrap() =
-                                        (clock.limit, all_ok && pred.is_some())
+                                    *outcome.lock().unwrap() = (limit, all_ok && pred.is_some())
                                 }
                                 Decision::Window { .. } => {}
                             }
                             *decision.lock().unwrap() = next;
                         }
                         barrier.wait();
-                        let horizon = match *decision.lock().unwrap() {
+                        match *decision.lock().unwrap() {
                             Decision::Stop { .. } | Decision::Done => break,
-                            Decision::Window { horizon } => horizon,
-                        };
+                            Decision::Window { .. } => {}
+                        }
+                        let horizon = *horizons[w].lock().unwrap();
                         shard.run_window(horizon);
                         for (dst, slot) in mail[w].iter().enumerate() {
                             if dst != w {

@@ -94,15 +94,12 @@ where
 
     fn transmit(&mut self, msg: &A::Msg, flood: Option<(u64, Option<NodeId>)>) {
         let size = msg.wire_size();
-        let edges: Vec<(usize, Vec<NodeId>)> = self
-            .topology
-            .out_edges(self.id)
-            .map(|(_, e)| (e.k(), e.receivers().iter().copied().collect()))
-            .collect();
-        for (k, receivers) in edges {
-            let mj = self.channel.send_mj(size, k);
+        // Only disjoint fields are touched inside the loop, so the
+        // topology can be iterated in place — no per-transmit buffers.
+        for (_, edge) in self.topology.out_edges(self.id) {
+            let mj = self.channel.send_mj(size, edge.k());
             self.meter.charge(EnergyCategory::Send, mj);
-            for to in receivers {
+            for &to in edge.receivers() {
                 // A send can fail only during shutdown; ignore then.
                 let _ = self.senders[to as usize].send(TEvent::Deliver {
                     origin: self.id,

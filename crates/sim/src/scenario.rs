@@ -101,6 +101,12 @@ pub struct Scenario {
     /// client commands are queued (the paper's workloads use 1). Ignored
     /// when a [`workload`](Self::workload) is attached.
     pub offered_load: usize,
+    /// Forward-batching threshold at non-leading nodes: relay the local
+    /// backlog once it holds this many commands (or after a Δ flush
+    /// timer). `1` — the default — forwards on every arrival. Applies to
+    /// EESMR and the HotStuff-family baselines; the trusted baseline's
+    /// spokes batch through their upload schedule instead.
+    pub forward_batch: usize,
     /// Client workload model: arrival process × per-node skew × payload
     /// distribution × injection discipline. When set, it replaces the
     /// synthetic `offered_load` feed and the run measures per-transaction
@@ -142,6 +148,8 @@ pub struct CellKey {
     pub batch: BatchPolicy,
     /// Synthetic offered load (commands available per proposal).
     pub offered_load: usize,
+    /// Forward-batching threshold at non-leading nodes.
+    pub forward_batch: usize,
     /// Client workload model, if any.
     pub workload: Option<Workload>,
     /// Simulation shard count. A *performance* axis: cells differing
@@ -180,6 +188,7 @@ impl Scenario {
             checkpoint_interval: None,
             batch_policy: None,
             offered_load: 1,
+            forward_batch: 1,
             workload: None,
             scheduler: SchedulerKind::from_env(),
             shards: eesmr_net::shards_from_env(),
@@ -204,6 +213,14 @@ impl Scenario {
     /// Sets the synthetic offered load (commands available per proposal).
     pub fn offered_load(mut self, commands: usize) -> Self {
         self.offered_load = commands.max(1);
+        self
+    }
+
+    /// Sets the forward-batching threshold: non-leading nodes relay
+    /// their backlog once it holds `threshold` commands (or after a Δ
+    /// flush timer), instead of on every arrival (clamped to at least 1).
+    pub fn forward_batch(mut self, threshold: usize) -> Self {
+        self.forward_batch = threshold.max(1);
         self
     }
 
@@ -296,6 +313,7 @@ impl Scenario {
             scheme: self.scheme,
             batch: self.effective_batch_policy(),
             offered_load: self.offered_load,
+            forward_batch: self.forward_batch,
             workload: self.workload,
             shards: self.shards,
             seed: self.seed,
@@ -312,6 +330,9 @@ impl Scenario {
         }
         if self.offered_load != 1 {
             parts.push(("load", self.offered_load.to_string()));
+        }
+        if self.forward_batch != 1 {
+            parts.push(("fwd", self.forward_batch.to_string()));
         }
         if let Some(workload) = &self.workload {
             parts.push(("wl", workload.label()));
@@ -366,6 +387,7 @@ impl Scenario {
         let mut config = Config::new(self.n, delta);
         config.batch_policy = self.effective_batch_policy();
         config.offered_load = self.offered_load;
+        config.forward_batch = self.forward_batch;
         if let Some(f) = self.fault_bound {
             config.f = f;
         }
@@ -435,6 +457,7 @@ impl Scenario {
         let mut config = HsConfig::new(self.n, delta, variant);
         config.batch_policy = self.effective_batch_policy();
         config.offered_load = self.offered_load;
+        config.forward_batch = self.forward_batch;
         if let Some(f) = self.fault_bound {
             config.f = f;
         }
@@ -766,6 +789,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn forward_batching_cuts_forward_traffic_without_perturbing_determinism() {
+        use eesmr_workload::ArrivalProcess;
+        // Uniform skew, closed loop, and a silent first leader: every
+        // node queues commands for a proposer that dies, so the batch=1
+        // baseline forwards each command on arrival and re-forwards
+        // whole backlogs around the view change. With a threshold, the
+        // sub-threshold backlog a node holds when it becomes (or gains
+        // a live) leader is proposed or relayed once instead.
+        let w = Workload::new(ArrivalProcess::Poisson { rate: 4_000 }).closed_loop(4);
+        let base = Scenario::new(Protocol::Eesmr, 5, 2)
+            .workload(w)
+            .faults(FaultPlan::silent_leader())
+            .stop(StopWhen::Blocks(12));
+        let unbatched = base.clone().run();
+        let batched = base.clone().forward_batch(8).run();
+        assert!(batched.committed_height() >= 12);
+        assert!(batched.view_changes() >= 1);
+        assert!(batched.tx_forwarded() > 0, "forwarding still happens, just batched");
+        assert!(
+            batched.tx_forwarded() < unbatched.tx_forwarded(),
+            "batching should cut forward traffic ({} vs {})",
+            batched.tx_forwarded(),
+            unbatched.tx_forwarded()
+        );
+        // Batching is keyed to node-local state only: sharding the
+        // batched run must reproduce it bit for bit.
+        let sharded = base.clone().forward_batch(8).shards(2).run();
+        assert_eq!(batched, sharded, "forward batching broke shard determinism");
+        // The threshold is a sweep axis with a label suffix.
+        let s = base.clone().forward_batch(8);
+        assert_ne!(s.cell(), base.cell(), "forward_batch distinguishes grid cells");
+        assert!(s.label().contains("fwd=8"), "{}", s.label());
+        assert!(!base.label().contains("fwd="), "{}", base.label());
     }
 
     #[test]
