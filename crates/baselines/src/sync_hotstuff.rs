@@ -27,7 +27,9 @@ use eesmr_core::{
     MsgKind, QuorumCert, TxPool, WorkloadSource,
 };
 use eesmr_crypto::{Digest, Hashable, KeyPair, KeyStore, Signature};
-use eesmr_net::{Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId};
+use eesmr_net::{
+    Actor, Context, Message, NodeId, SimDuration, SimTime, TimerId, TraceClass, TraceEventKind,
+};
 
 /// Which commit rule the replica runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -487,9 +489,9 @@ impl HsReplica {
         self.workload = Some(source);
     }
 
-    /// End-to-end (birth → local commit) latencies of workload
-    /// transactions injected at this node.
-    pub fn tx_latencies(&self) -> &[SimDuration] {
+    /// Histogram of end-to-end (birth → local commit) latencies of
+    /// workload transactions injected at this node, in microseconds.
+    pub fn tx_latencies(&self) -> &eesmr_trace::hist::LogHistogram {
         self.txpool.tx_latencies()
     }
 
@@ -498,7 +500,13 @@ impl HsReplica {
     fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
         let Some(source) = &mut self.workload else { return };
         let now_us = ctx.now().as_micros();
-        if let Some(delay) = self.txpool.drive_arrival(source.as_mut(), &mut self.metrics, now_us) {
+        let traced = ctx.traces(TraceClass::Commit);
+        let delay = self.txpool.drive_arrival(source.as_mut(), &mut self.metrics, now_us, |cmd| {
+            if traced {
+                ctx.trace(TraceEventKind::TxInject { tx: cmd.fingerprint() });
+            }
+        });
+        if let Some(delay) = delay {
             ctx.set_timer(SimDuration::from_micros(delay), HsTimer::Arrival);
         }
         self.try_propose(ctx);
@@ -537,6 +545,11 @@ impl HsReplica {
         let commands = self.txpool.take_pending();
         self.metrics.tx_forwarded += commands.len() as u64;
         let leader = self.config.leader_of(self.v_cur);
+        if ctx.traces(TraceClass::Commit) {
+            for cmd in &commands {
+                ctx.trace(TraceEventKind::TxForward { tx: cmd.fingerprint(), leader });
+            }
+        }
         let msg = self.sign(HsPayload::Forward { commands: commands.into() }, ctx);
         ctx.send_to(leader, msg);
     }
@@ -631,6 +644,17 @@ impl HsReplica {
         let batch = self.txpool.next_batch(want);
         let block = Block::extending(&parent, self.v_cur, parent.height + 1, batch);
         ctx.meter().charge_hash(block.wire_size());
+        if ctx.traces(TraceClass::Commit) {
+            let block_fp = block.fingerprint();
+            for cmd in &block.payload {
+                ctx.trace(TraceEventKind::TxBatched { tx: cmd.fingerprint(), block: block_fp });
+            }
+            ctx.trace(TraceEventKind::Propose {
+                block: block_fp,
+                view: self.v_cur,
+                round: block.height,
+            });
+        }
         self.store.insert(block.clone());
         let msg = self.sign(HsPayload::Propose { block: block.clone(), justify }, ctx);
         ctx.flood(msg);
@@ -733,6 +757,15 @@ impl HsReplica {
         // counts towards our certificate immediately (the loopback copy is
         // swallowed by the relay dedup).
         let height = block.height;
+        if ctx.traces(TraceClass::Proto) {
+            ctx.trace(TraceEventKind::Vote {
+                block: eesmr_core::block::fingerprint(&block_id),
+                view: self.v_cur,
+            });
+        }
+        if ctx.traces(TraceClass::Commit) {
+            ctx.trace(TraceEventKind::Relay { block: eesmr_core::block::fingerprint(&block_id) });
+        }
         let vote = self.sign(HsPayload::Vote { block_id, height }, ctx);
         self.relayed_votes.insert((block_id, self.id));
         self.votes.entry(block_id).or_default().insert(self.id, vote.sig.clone());
@@ -821,7 +854,7 @@ impl HsReplica {
             ctx.cancel_timer(t);
             self.outstanding = self.outstanding.saturating_sub(1);
         }
-        self.commit_block(block_id, ctx.now());
+        self.commit_block(block_id, ctx);
         self.try_propose(ctx);
     }
 
@@ -831,11 +864,12 @@ impl HsReplica {
             return;
         }
         self.outstanding = self.outstanding.saturating_sub(1);
-        self.commit_block(block_id, ctx.now());
+        self.commit_block(block_id, ctx);
         self.try_propose(ctx);
     }
 
-    fn commit_block(&mut self, block_id: Digest, now: SimTime) {
+    fn commit_block(&mut self, block_id: Digest, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
         let Some(block) = self.store.get(&block_id) else { return };
         if block.height <= self.b_com_height {
             return;
@@ -845,9 +879,15 @@ impl HsReplica {
             self.committed_log.push(id);
             self.metrics.blocks_committed += 1;
             if let Some(seen) = self.first_seen.remove(&id) {
-                self.metrics.commit_latencies.push(now.since(seen));
+                self.metrics.record_commit_latency(now.since(seen));
             }
             let b = self.store.get(&id).expect("segment stored").clone();
+            if ctx.traces(TraceClass::Commit) {
+                ctx.trace(TraceEventKind::Commit {
+                    block: eesmr_core::block::fingerprint(&id),
+                    height: b.height,
+                });
+            }
             self.txpool.remove_committed(&b, now);
         }
         self.b_com = block_id;
@@ -865,6 +905,7 @@ impl HsReplica {
         }
         self.blame_timer = None;
         self.metrics.blames_sent += 1;
+        ctx.trace(TraceEventKind::Blame { view: self.v_cur });
         let blame = self.sign(HsPayload::Blame { proof: None }, ctx);
         ctx.flood(blame);
     }
@@ -877,6 +918,8 @@ impl HsReplica {
         self.view_aborted = true;
         self.cancel_commit_timers(ctx);
         self.metrics.blames_sent += 1;
+        ctx.trace(TraceEventKind::Equivocation { view: self.v_cur });
+        ctx.trace(TraceEventKind::Blame { view: self.v_cur });
         let blame = self.sign(HsPayload::Blame { proof: Some(Box::new((first, second))) }, ctx);
         ctx.flood(blame);
     }
@@ -958,6 +1001,7 @@ impl HsReplica {
             return;
         }
         self.quit_scheduled = true;
+        ctx.trace(TraceEventKind::VcQuit { view: self.v_cur });
         if let Some(t) = self.blame_timer.take() {
             ctx.cancel_timer(t);
         }
@@ -976,6 +1020,7 @@ impl HsReplica {
         self.statuses.clear();
         self.new_view_proposed = false;
         self.metrics.view_changes += 1;
+        ctx.trace(TraceEventKind::ViewEnter { view: self.v_cur });
         // Workload transactions drained into the dead view's discarded
         // proposals go back in the pool for the new view.
         self.txpool.requeue_unresolved();

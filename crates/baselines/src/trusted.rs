@@ -20,7 +20,9 @@ use eesmr_core::{
     WorkloadSource,
 };
 use eesmr_crypto::{Digest, KeyPair, KeyStore, Signature};
-use eesmr_net::{Actor, Context, Message, NodeId, SimDuration, SimTime};
+use eesmr_net::{
+    Actor, Context, Message, NodeId, SimDuration, SimTime, TraceClass, TraceEventKind,
+};
 
 /// Messages between CPS nodes and the trusted hub.
 #[derive(Debug, Clone, PartialEq)]
@@ -234,9 +236,9 @@ impl TbNode {
         self.workload = Some(source);
     }
 
-    /// End-to-end (birth → local commit) latencies of workload
-    /// transactions injected at this spoke.
-    pub fn tx_latencies(&self) -> &[SimDuration] {
+    /// Histogram of end-to-end (birth → local commit) latencies of
+    /// workload transactions injected at this spoke, in microseconds.
+    pub fn tx_latencies(&self) -> &eesmr_trace::hist::LogHistogram {
         self.txpool.tx_latencies()
     }
 
@@ -245,7 +247,13 @@ impl TbNode {
     fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
         let Some(source) = &mut self.workload else { return };
         let now_us = ctx.now().as_micros();
-        if let Some(delay) = self.txpool.drive_arrival(source.as_mut(), &mut self.metrics, now_us) {
+        let traced = ctx.traces(TraceClass::Commit);
+        let delay = self.txpool.drive_arrival(source.as_mut(), &mut self.metrics, now_us, |cmd| {
+            if traced {
+                ctx.trace(TraceEventKind::TxInject { tx: cmd.fingerprint() });
+            }
+        });
+        if let Some(delay) = delay {
             ctx.set_timer(SimDuration::from_micros(delay), TbTimer::Arrival);
         }
         self.upload(ctx);
@@ -261,6 +269,11 @@ impl TbNode {
         }
         let seq = self.upload_seq;
         self.upload_seq += 1;
+        if ctx.traces(TraceClass::Commit) {
+            for cmd in &batch {
+                ctx.trace(TraceEventKind::TxForward { tx: cmd.fingerprint(), leader: HUB });
+            }
+        }
         let msg =
             TbMsg::new(TbPayload::Request { batch: batch.into(), seq }, self.pki.keypair(self.id));
         ctx.meter().charge_sign(self.pki.scheme());
@@ -319,7 +332,13 @@ impl Actor for TbNode {
                 self.metrics.blocks_committed += 1;
                 self.metrics.committed_height = block.height;
                 if let Some(seen) = self.first_seen.remove(&id) {
-                    self.metrics.commit_latencies.push(ctx.now().since(seen));
+                    self.metrics.record_commit_latency(ctx.now().since(seen));
+                }
+                if ctx.traces(TraceClass::Commit) {
+                    ctx.trace(TraceEventKind::Commit {
+                        block: eesmr_core::block::fingerprint(&id),
+                        height: block.height,
+                    });
                 }
                 self.txpool.remove_committed(&block, ctx.now());
                 // Upload the next unit after each ordered block.
@@ -339,12 +358,32 @@ impl Actor for TbNode {
                     let batch: Vec<Command> = self.pending.drain(..).collect();
                     let block = Block::extending(&parent, 0, parent.height + 1, batch);
                     ctx.meter().charge_hash(block.wire_size());
+                    if ctx.traces(TraceClass::Commit) {
+                        let block_fp = block.fingerprint();
+                        for cmd in &block.payload {
+                            ctx.trace(TraceEventKind::TxBatched {
+                                tx: cmd.fingerprint(),
+                                block: block_fp,
+                            });
+                        }
+                        ctx.trace(TraceEventKind::Propose {
+                            block: block_fp,
+                            view: 0,
+                            round: block.height,
+                        });
+                    }
                     let id = self.store.insert(block.clone());
                     self.tip = id;
                     self.committed_log.push(id);
                     self.committed_height = block.height;
                     self.metrics.blocks_committed += 1;
                     self.metrics.committed_height = block.height;
+                    if ctx.traces(TraceClass::Commit) {
+                        ctx.trace(TraceEventKind::Commit {
+                            block: eesmr_core::block::fingerprint(&id),
+                            height: block.height,
+                        });
+                    }
                     let msg = TbMsg::new(TbPayload::Ordered { block }, self.pki.keypair(self.id));
                     ctx.meter().charge_sign(self.pki.scheme());
                     ctx.meter().charge_hash(msg.wire_size());

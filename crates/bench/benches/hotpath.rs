@@ -11,6 +11,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use eesmr_bench::hotpath::{run_storm, StormSpec};
+use eesmr_net::TraceLevel;
 
 fn bench_spine_headline(c: &mut Criterion) {
     let arc = StormSpec::headline(false);
@@ -43,6 +44,7 @@ fn bench_commands_sweep(c: &mut Criterion) {
                 budget: 4,
                 shards: 1,
                 deep_clone,
+                trace: TraceLevel::Off,
             };
             group.bench_function(spec.label(), |b| b.iter(|| black_box(run_storm(&spec))));
         }
@@ -63,6 +65,7 @@ fn bench_payload_sweep(c: &mut Criterion) {
                 budget: 4,
                 shards: 1,
                 deep_clone,
+                trace: TraceLevel::Off,
             };
             group.bench_function(spec.label(), |b| b.iter(|| black_box(run_storm(&spec))));
         }

@@ -2,22 +2,36 @@
 //! pre-commit without per-round signature checks, full verification every
 //! c rounds. Measures the replica-side verification energy saved with a
 //! correct leader.
+//!
+//! The intervals run as explicit scenarios on one `eesmr-driver` grid,
+//! so `EESMR_WORKERS` parallelises the sweep and `EESMR_QUICK=1`
+//! shrinks every cell to smoke size.
 
 use eesmr_bench::{print_table, Csv};
+use eesmr_driver::{Driver, ScenarioGrid};
 use eesmr_sim::{Protocol, Scenario, StopWhen};
 
+const INTERVALS: [u64; 5] = [0, 2, 4, 8, 16];
+
 fn main() {
+    let driver = Driver::from_env();
+    let mut grid = ScenarioGrid::named("ablation_checkpoint");
+    for interval in INTERVALS {
+        let mut s = Scenario::new(Protocol::Eesmr, 10, 3).stop(StopWhen::Blocks(32));
+        if interval > 0 {
+            s = s.checkpoint_every(interval);
+        }
+        grid = grid.scenario(format!("c{interval}"), s);
+    }
+    let suite = driver.run_grid(&grid);
+
     let mut csv = Csv::create(
         "ablation_checkpoint",
         &["checkpoint_interval", "replica_mj_per_smr", "replica_verifies_per_smr"],
     );
     let mut rows = Vec::new();
-    for interval in [0u64, 2, 4, 8, 16] {
-        let mut s = Scenario::new(Protocol::Eesmr, 10, 3).stop(StopWhen::Blocks(32));
-        if interval > 0 {
-            s = s.checkpoint_every(interval);
-        }
-        let report = s.run();
+    for interval in INTERVALS {
+        let report = suite.by_label(&format!("c{interval}")).expect("cell ran").report();
         let blocks = report.committed_height().max(1) as f64;
         let replica: f64 = (1..10).map(|id| report.node_energy_per_block_mj(id)).sum::<f64>() / 9.0;
         let verifies: f64 =

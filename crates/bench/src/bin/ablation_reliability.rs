@@ -1,27 +1,42 @@
 //! Ablation: the energy cost of the k-cast reliability target (the paper
 //! fixes 99.99 %; §5.4 notes applications may need more).
+//!
+//! The sweep is closed-form (no scenarios), but it runs through the
+//! `eesmr-driver` pool like every other figure: `EESMR_WORKERS`
+//! parallelises the (k, target) points and `EESMR_QUICK=1` shrinks the
+//! target list to smoke size.
 
 use eesmr_bench::{print_table, Csv};
+use eesmr_driver::Driver;
 use eesmr_energy::BleKcastModel;
 
 fn main() {
+    let driver = Driver::from_env();
+    let targets: &[f64] = if driver.config().quick_mode {
+        &[0.99, 0.9999]
+    } else {
+        &[0.99, 0.999, 0.9999, 0.99999, 0.999999]
+    };
+    let points: Vec<(usize, f64)> =
+        [3usize, 7].iter().flat_map(|&k| targets.iter().map(move |&t| (k, t))).collect();
+
     let model = BleKcastModel::default();
-    let targets = [0.99, 0.999, 0.9999, 0.99999, 0.999999];
+    let rows_raw = driver.map(&points, |&(k, t)| {
+        let r = model.redundancy_for(k, t);
+        (k, t, r, model.kcast_send_mj(25, r))
+    });
+
     let mut csv =
         Csv::create("ablation_reliability", &["k", "reliability", "redundancy", "sender_mj_25b"]);
     let mut rows = Vec::new();
-    for k in [3usize, 7] {
-        for &t in &targets {
-            let r = model.redundancy_for(k, t);
-            let mj = model.kcast_send_mj(25, r);
-            csv.rowd(&[&k, &t, &r, &mj]);
-            rows.push(vec![
-                k.to_string(),
-                format!("{:.4}%", t * 100.0),
-                r.to_string(),
-                format!("{mj:.2}"),
-            ]);
-        }
+    for (k, t, r, mj) in rows_raw {
+        csv.rowd(&[&k, &t, &r, &mj]);
+        rows.push(vec![
+            k.to_string(),
+            format!("{:.4}%", t * 100.0),
+            r.to_string(),
+            format!("{mj:.2}"),
+        ]);
     }
     print_table(
         "Ablation: redundancy & sender energy per 25 B k-cast vs reliability target",

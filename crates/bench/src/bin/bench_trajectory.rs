@@ -24,6 +24,7 @@ use std::process::Command as Shell;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use eesmr_bench::hotpath::{run_storm, StormSpec};
+use eesmr_net::TraceLevel;
 
 /// The floor the acceptance bar sets for Arc-vs-deep speedup.
 const MIN_SPEEDUP: f64 = 1.5;
@@ -62,12 +63,19 @@ struct Snapshot {
     quick: bool,
     arc_events_per_sec: f64,
     deep_events_per_sec: f64,
+    trace_all_events_per_sec: f64,
     cells: Vec<(StormSpec, f64, u64)>,
 }
 
 impl Snapshot {
     fn speedup(&self) -> f64 {
         self.arc_events_per_sec / self.deep_events_per_sec
+    }
+
+    /// Fractional slowdown of the headline cell with full tracing on:
+    /// `(off - all) / off`. Negative values are scheduler noise.
+    fn trace_overhead(&self) -> f64 {
+        (self.arc_events_per_sec - self.trace_all_events_per_sec) / self.arc_events_per_sec
     }
 
     fn to_json(&self) -> String {
@@ -79,7 +87,16 @@ impl Snapshot {
         out.push_str("  \"headline\": {\n");
         out.push_str(&format!("    \"arc_events_per_sec\": {:.1},\n", self.arc_events_per_sec));
         out.push_str(&format!("    \"deep_events_per_sec\": {:.1},\n", self.deep_events_per_sec));
-        out.push_str(&format!("    \"speedup\": {:.3}\n", self.speedup()));
+        out.push_str(&format!("    \"speedup\": {:.3},\n", self.speedup()));
+        out.push_str(&format!(
+            "    \"trace_off_events_per_sec\": {:.1},\n",
+            self.arc_events_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"trace_all_events_per_sec\": {:.1},\n",
+            self.trace_all_events_per_sec
+        ));
+        out.push_str(&format!("    \"trace_overhead\": {:.3}\n", self.trace_overhead()));
         out.push_str("  },\n");
         out.push_str("  \"results\": [\n");
         let rows: Vec<String> = self
@@ -108,7 +125,8 @@ impl Snapshot {
 }
 
 /// Runs the trajectory workload: the headline n = 128 cell in both
-/// spine modes plus an Arc-spine shard sweep.
+/// spine modes, an Arc-spine shard sweep, and the headline cell with
+/// full tracing on (pricing the `eesmr-trace` hot path).
 fn take_snapshot() -> Snapshot {
     let quick = quick();
     let (budget, reps) = if quick { (3, 2) } else { (6, 3) };
@@ -132,6 +150,10 @@ fn take_snapshot() -> Snapshot {
         let (eps, deliveries) = measure(&spec, reps);
         cells.push((spec, eps, deliveries));
     }
+    let traced_spec = StormSpec { budget, trace: TraceLevel::All, ..StormSpec::headline(false) };
+    eprintln!("measuring {} (reps={reps})...", traced_spec.label());
+    let (trace_all_eps, deliveries) = measure(&traced_spec, reps);
+    cells.push((traced_spec, trace_all_eps, deliveries));
     let recorded_unix =
         SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
     Snapshot {
@@ -140,6 +162,7 @@ fn take_snapshot() -> Snapshot {
         quick,
         arc_events_per_sec: arc_eps,
         deep_events_per_sec: deep_eps,
+        trace_all_events_per_sec: trace_all_eps,
         cells,
     }
 }
@@ -236,10 +259,13 @@ fn emit() -> i32 {
     let snap = take_snapshot();
     let path = format!("BENCH_{}.json", snap.sha);
     println!(
-        "arc: {:.0} events/s  deep-clone: {:.0} events/s  speedup: {:.2}x",
+        "arc: {:.0} events/s  deep-clone: {:.0} events/s  speedup: {:.2}x  \
+         trace-all: {:.0} events/s  trace overhead: {:.1}%",
         snap.arc_events_per_sec,
         snap.deep_events_per_sec,
-        snap.speedup()
+        snap.speedup(),
+        snap.trace_all_events_per_sec,
+        snap.trace_overhead() * 100.0
     );
     match fs::write(&path, snap.to_json()) {
         Ok(()) => {

@@ -13,7 +13,8 @@
 
 use eesmr_bench::Csv;
 use eesmr_driver::{Driver, ScenarioGrid};
-use eesmr_sim::{FaultPlan, Protocol, Scenario, StopWhen};
+use eesmr_net::{TraceClass, TraceLevel};
+use eesmr_sim::{ArrivalProcess, FaultPlan, Protocol, Scenario, StopWhen, Workload};
 
 fn main() {
     let mut csv = Csv::create("headline", &["metric", "paper", "measured"]);
@@ -95,4 +96,27 @@ fn main() {
         &format!("{:.1}-{:.1}", min_saving * 100.0, max_saving * 100.0),
     ]);
     println!("wrote {}", csv.path().display());
+
+    // With EESMR_TRACE=commit (or higher) set, also trace a small
+    // workload run and print the per-hop breakdown of its first
+    // committed transaction (exported to EESMR_TRACE_OUT when set).
+    let trace = TraceLevel::from_env();
+    if trace.enables(TraceClass::Commit) {
+        let w = Workload::new(ArrivalProcess::Poisson { rate: 2_000 });
+        let (report, traces) = Scenario::new(Protocol::Eesmr, 5, 2)
+            .workload(w)
+            .trace(trace)
+            .stop(StopWhen::Blocks(5))
+            .run_traced();
+        println!(
+            "\ntraced workload run ({}): {} events, {} dropped",
+            trace.name(),
+            traces.total_events(),
+            traces.total_dropped()
+        );
+        match &report.commit_path {
+            Some(path) => print!("{}", path.render()),
+            None => println!("no committed workload transaction to trace"),
+        }
+    }
 }

@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use eesmr_core::{set_deep_clone_spine, Block, Command};
 use eesmr_hypergraph::topology::ring_kcast;
-use eesmr_net::{Actor, Context, Message, NetConfig, NodeId, ShardedNet, SimDuration};
+use eesmr_net::{Actor, Context, Message, NetConfig, NodeId, ShardedNet, SimDuration, TraceLevel};
 
 /// A flooded proposal: a block of commands plus a dedup key. Cloned by
 /// the runtime once per receiver per hop — the spine's hot path.
@@ -87,6 +87,9 @@ pub struct StormSpec {
     pub shards: usize,
     /// Run with the deep-clone (pre-Arc) spine semantics.
     pub deep_clone: bool,
+    /// Structured-event trace level the runtime records at, so the
+    /// trajectory can price tracing against the untraced hot path.
+    pub trace: TraceLevel,
 }
 
 impl StormSpec {
@@ -101,19 +104,25 @@ impl StormSpec {
             budget: 6,
             shards: 1,
             deep_clone,
+            trace: TraceLevel::Off,
         }
     }
 
-    /// A short label naming the cell, e.g. `n128_c16_p32_s1_arc`.
+    /// A short label naming the cell, e.g. `n128_c16_p32_s1_arc`
+    /// (a `_tr<level>` suffix marks traced cells).
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "n{}_c{}_p{}_s{}_{}",
             self.n,
             self.commands,
             self.payload_bytes,
             self.shards,
             if self.deep_clone { "deep" } else { "arc" }
-        )
+        );
+        if self.trace != TraceLevel::Off {
+            label.push_str(&format!("_tr{}", self.trace.name()));
+        }
+        label
     }
 }
 
@@ -161,7 +170,8 @@ pub fn run_storm(spec: &StormSpec) -> StormResult {
             template: template.clone(),
         })
         .collect::<Vec<_>>();
-    let cfg = NetConfig::ble(ring_kcast(spec.n, spec.k), 7);
+    let mut cfg = NetConfig::ble(ring_kcast(spec.n, spec.k), 7);
+    cfg.trace = spec.trace;
     set_deep_clone_spine(spec.deep_clone);
     let mut net = ShardedNet::new(cfg, actors, spec.shards);
     let started = Instant::now();
@@ -181,8 +191,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn storm_is_mode_and_shard_invariant() {
-        let arc = run_storm(&StormSpec {
+    fn storm_is_mode_shard_and_trace_invariant() {
+        let base = StormSpec {
             n: 12,
             k: 3,
             commands: 4,
@@ -190,28 +200,18 @@ mod tests {
             budget: 3,
             shards: 1,
             deep_clone: false,
-        });
-        let deep = run_storm(&StormSpec {
-            n: 12,
-            k: 3,
-            commands: 4,
-            payload_bytes: 16,
-            budget: 3,
-            shards: 1,
-            deep_clone: true,
-        });
-        let sharded = run_storm(&StormSpec {
-            n: 12,
-            k: 3,
-            commands: 4,
-            payload_bytes: 16,
-            budget: 3,
-            shards: 2,
-            deep_clone: false,
-        });
+            trace: TraceLevel::Off,
+        };
+        let arc = run_storm(&base);
+        let deep = run_storm(&StormSpec { deep_clone: true, ..base });
+        let sharded = run_storm(&StormSpec { shards: 2, ..base });
+        let traced = run_storm(&StormSpec { trace: TraceLevel::All, ..base });
         assert_eq!(arc.fingerprint(), deep.fingerprint(), "spine mode changed behavior");
         assert_eq!(arc.fingerprint(), sharded.fingerprint(), "sharding changed behavior");
+        assert_eq!(arc.fingerprint(), traced.fingerprint(), "tracing changed behavior");
         assert!(arc.deliveries > 0, "the storm actually ran");
         assert!(arc.commands_heard >= 4 * arc.heard, "payloads survived the hops");
+        let traced_spec = StormSpec { trace: TraceLevel::All, ..base };
+        assert!(traced_spec.label().ends_with("_trall"), "{}", traced_spec.label());
     }
 }

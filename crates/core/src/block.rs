@@ -45,6 +45,21 @@ impl Command {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+
+    /// 64-bit trace fingerprint: the first 8 bytes of the command's
+    /// SHA-256 digest, little-endian. Stable across runs and cheap to
+    /// carry in trace events; call sites gate on the trace level first
+    /// so the untraced path never pays for the hash.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint(&self.digest())
+    }
+}
+
+/// The 64-bit trace fingerprint of a digest (first 8 bytes,
+/// little-endian).
+pub fn fingerprint(d: &Digest) -> u64 {
+    let bytes: [u8; 8] = d.as_bytes()[..8].try_into().expect("digest has 32 bytes");
+    u64::from_le_bytes(bytes)
 }
 
 impl Hashable for Command {
@@ -179,6 +194,12 @@ impl Block {
     /// This block's identifier: the hash of its canonical encoding.
     pub fn id(&self) -> Digest {
         self.digest()
+    }
+
+    /// 64-bit trace fingerprint of this block's id (see
+    /// [`fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint(&self.id())
     }
 
     /// Total payload bytes.

@@ -1,6 +1,7 @@
 //! Per-replica protocol metrics.
 
 use eesmr_net::SimDuration;
+use eesmr_trace::hist::LogHistogram;
 
 /// Counters a replica maintains about its own execution. Signature and
 /// energy accounting live in the node's `EnergyMeter`; these are the
@@ -29,18 +30,22 @@ pub struct Metrics {
     /// Client commands this node forwarded to a proposer (it was not
     /// the leader when they were queued).
     pub tx_forwarded: u64,
-    /// Commit latencies (relay → commit) for locally-timed blocks.
-    pub commit_latencies: Vec<SimDuration>,
+    /// Commit latencies (relay → commit, microseconds) for locally-timed
+    /// blocks, as a streaming histogram: O(buckets) memory for
+    /// arbitrarily long runs, exact count/sum/min/max, ≲3% bucket
+    /// resolution on percentiles.
+    pub commit_latencies: LogHistogram,
 }
 
 impl Metrics {
+    /// Records one relay→commit latency sample.
+    pub fn record_commit_latency(&mut self, d: SimDuration) {
+        self.commit_latencies.record(d.as_micros());
+    }
+
     /// Mean commit latency, if any block was timed.
     pub fn mean_commit_latency(&self) -> Option<SimDuration> {
-        if self.commit_latencies.is_empty() {
-            return None;
-        }
-        let sum: u64 = self.commit_latencies.iter().map(|d| d.as_micros()).sum();
-        Some(SimDuration::from_micros(sum / self.commit_latencies.len() as u64))
+        self.commit_latencies.mean().map(SimDuration::from_micros)
     }
 }
 
@@ -56,8 +61,9 @@ mod tests {
     #[test]
     fn mean_latency_averages() {
         let mut m = Metrics::default();
-        m.commit_latencies.push(SimDuration::from_micros(100));
-        m.commit_latencies.push(SimDuration::from_micros(300));
+        m.record_commit_latency(SimDuration::from_micros(100));
+        m.record_commit_latency(SimDuration::from_micros(300));
         assert_eq!(m.mean_commit_latency(), Some(SimDuration::from_micros(200)));
+        assert_eq!(m.commit_latencies.count(), 2);
     }
 }

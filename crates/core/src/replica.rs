@@ -22,7 +22,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use eesmr_crypto::{Digest, KeyStore, Signature};
-use eesmr_net::{Actor, Context, NodeId, SimTime, TimerId};
+use eesmr_net::{Actor, Context, NodeId, SimTime, TimerId, TraceClass, TraceEventKind};
 
 use crate::block::{Block, BlockStore, Command};
 use crate::config::{Config, FaultMode, Pacing};
@@ -267,9 +267,9 @@ impl Replica {
         self.workload = Some(source);
     }
 
-    /// End-to-end (birth → local commit) latencies of workload
-    /// transactions injected at this node.
-    pub fn tx_latencies(&self) -> &[eesmr_net::SimDuration] {
+    /// Histogram of end-to-end (birth → local commit) latencies of
+    /// workload transactions injected at this node, in microseconds.
+    pub fn tx_latencies(&self) -> &eesmr_trace::hist::LogHistogram {
         self.txpool.tx_latencies()
     }
 
@@ -397,7 +397,13 @@ impl Replica {
     pub(crate) fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
         let Some(source) = &mut self.workload else { return };
         let now_us = ctx.now().as_micros();
-        if let Some(delay) = self.txpool.drive_arrival(source.as_mut(), &mut self.metrics, now_us) {
+        let traced = ctx.traces(TraceClass::Commit);
+        let delay = self.txpool.drive_arrival(source.as_mut(), &mut self.metrics, now_us, |cmd| {
+            if traced {
+                ctx.trace(TraceEventKind::TxInject { tx: cmd.fingerprint() });
+            }
+        });
+        if let Some(delay) = delay {
             ctx.set_timer(eesmr_net::SimDuration::from_micros(delay), TimerToken::Arrival);
         }
         self.try_propose(ctx);
@@ -440,6 +446,11 @@ impl Replica {
         let commands = self.txpool.take_pending();
         self.metrics.tx_forwarded += commands.len() as u64;
         let leader = self.config.leader_of(self.v_cur);
+        if ctx.traces(TraceClass::Commit) {
+            for cmd in &commands {
+                ctx.trace(TraceEventKind::TxForward { tx: cmd.fingerprint(), leader });
+            }
+        }
         let msg = self.sign(Payload::Forward { commands: commands.into() }, ctx);
         ctx.send_to(leader, msg);
     }
@@ -491,6 +502,13 @@ impl Replica {
         let batch = self.txpool.next_batch(want);
         let block = Block::extending(&parent, self.v_cur, round, batch);
         ctx.meter().charge_hash(block.wire_size());
+        if ctx.traces(TraceClass::Commit) {
+            let block_fp = block.fingerprint();
+            for cmd in &block.payload {
+                ctx.trace(TraceEventKind::TxBatched { tx: cmd.fingerprint(), block: block_fp });
+            }
+            ctx.trace(TraceEventKind::Propose { block: block_fp, view: self.v_cur, round });
+        }
         self.store.insert(block.clone());
         let msg = self.sign(Payload::Propose { block: block.clone(), round, justify: None }, ctx);
         self.relayed.insert(block.id());
@@ -613,6 +631,9 @@ impl Replica {
         // Relay once (line 213) — the implicit vote.
         if self.relayed.insert(block_id) {
             self.metrics.proposals_relayed += 1;
+            if ctx.traces(TraceClass::Commit) {
+                ctx.trace(TraceEventKind::Relay { block: crate::block::fingerprint(&block_id) });
+            }
             ctx.multicast(msg);
         }
 
@@ -643,14 +664,15 @@ impl Replica {
             return;
         }
         self.outstanding = self.outstanding.saturating_sub(1);
-        self.commit_block(block_id, ctx.now());
+        self.commit_block(block_id, ctx);
         if self.want_propose {
             self.try_propose(ctx);
         }
     }
 
     /// Commits `block_id` and all uncommitted ancestors.
-    pub(crate) fn commit_block(&mut self, block_id: Digest, now: SimTime) {
+    pub(crate) fn commit_block(&mut self, block_id: Digest, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
         let Some(block) = self.store.get(&block_id) else { return };
         if block.height <= self.b_com_height {
             return; // already covered
@@ -664,9 +686,15 @@ impl Replica {
             self.committed_log.push(id);
             self.metrics.blocks_committed += 1;
             if let Some(seen) = self.first_seen.remove(&id) {
-                self.metrics.commit_latencies.push(now.since(seen));
+                self.metrics.record_commit_latency(now.since(seen));
             }
             let block = self.store.get(&id).expect("segment blocks are stored").clone();
+            if ctx.traces(TraceClass::Commit) {
+                ctx.trace(TraceEventKind::Commit {
+                    block: crate::block::fingerprint(&id),
+                    height: block.height,
+                });
+            }
             self.txpool.remove_committed(&block, now);
         }
         self.b_com = block_id;

@@ -7,7 +7,8 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use eesmr_net::{SimDuration, SimTime};
+use eesmr_net::SimTime;
+use eesmr_trace::hist::LogHistogram;
 
 use crate::block::{Block, Command};
 use crate::config::BatchPolicy;
@@ -56,8 +57,8 @@ pub struct TxPool {
     /// [`remove_committed`](TxPool::remove_committed).
     births: Vec<(Command, u64)>,
     /// End-to-end (birth → local commit) latencies of settled workload
-    /// transactions.
-    tx_latencies: Vec<SimDuration>,
+    /// transactions, in microseconds, as a streaming histogram.
+    tx_latencies: LogHistogram,
 }
 
 impl TxPool {
@@ -69,7 +70,7 @@ impl TxPool {
             synthetic_depth: 1,
             next_seq: 0,
             births: Vec::new(),
-            tx_latencies: Vec::new(),
+            tx_latencies: LogHistogram::new(),
         }
     }
 
@@ -113,27 +114,31 @@ impl TxPool {
 
     /// Runs one arrival event from `source` against this pool: injects
     /// the transaction it yields (unless the closed-loop bound
-    /// suppresses it), counts it in `metrics`, and returns the delay
-    /// until the source's next arrival event, if any. Every protocol's
-    /// arrival handler funnels through this, so the
-    /// inject/count/re-arm sequence cannot drift between them — the
-    /// caller only arms its own timer token with the returned delay.
+    /// suppresses it), counts it in `metrics`, reports it to
+    /// `on_inject` (the tracing hook — protocols emit their `TxInject`
+    /// event there), and returns the delay until the source's next
+    /// arrival event, if any. Every protocol's arrival handler funnels
+    /// through this, so the inject/count/trace/re-arm sequence cannot
+    /// drift between them — the caller only arms its own timer token
+    /// with the returned delay.
     pub fn drive_arrival(
         &mut self,
         source: &mut dyn WorkloadSource,
         metrics: &mut Metrics,
         now_us: u64,
+        mut on_inject: impl FnMut(&Command),
     ) -> Option<u64> {
         if let Some(cmd) = source.arrival(now_us, self.in_flight()) {
             metrics.tx_injected += 1;
+            on_inject(&cmd);
             self.submit_at(cmd, now_us);
         }
         source.next_arrival_in(now_us)
     }
 
-    /// End-to-end (birth → local commit) latencies of this node's
-    /// committed workload transactions, in commit order.
-    pub fn tx_latencies(&self) -> &[SimDuration] {
+    /// Histogram of end-to-end (birth → local commit) latencies of this
+    /// node's committed workload transactions, in microseconds.
+    pub fn tx_latencies(&self) -> &LogHistogram {
         &self.tx_latencies
     }
 
@@ -227,7 +232,7 @@ impl TxPool {
         let latencies = &mut self.tx_latencies;
         self.births.retain(|(cmd, birth_us)| {
             if committed.contains(cmd) {
-                latencies.push(now.since(SimTime::from_micros(*birth_us)));
+                latencies.record(now.since(SimTime::from_micros(*birth_us)).as_micros());
                 false
             } else {
                 true
@@ -435,7 +440,7 @@ mod tests {
         pool.remove_committed(&block, SimTime::from_micros(1_000));
         assert_eq!(pool.in_flight(), 0);
         assert_eq!(pool.len(), 0);
-        assert_eq!(pool.tx_latencies().len(), 2);
+        assert_eq!(pool.tx_latencies().count(), 2);
     }
 
     #[test]
@@ -456,7 +461,7 @@ mod tests {
         let block = Block::extending(&Block::genesis(), 1, 3, vec![a, b]);
         pool.remove_committed(&block, SimTime::from_micros(1_000));
         assert_eq!(pool.in_flight(), 0);
-        assert_eq!(pool.tx_latencies().len(), 2);
+        assert_eq!(pool.tx_latencies().count(), 2);
         assert!(pool.is_empty());
     }
 
@@ -483,11 +488,12 @@ mod tests {
         let block = Block::extending(&Block::genesis(), 1, 3, vec![a]);
         pool.remove_committed(&block, SimTime::from_micros(5_000));
         assert_eq!(pool.in_flight(), 1, "only the committed command settles");
-        assert_eq!(pool.tx_latencies(), &[SimDuration::from_micros(4_000)]);
+        assert_eq!(pool.tx_latencies().count(), 1);
+        assert_eq!(pool.tx_latencies().min(), Some(4_000), "birth 1000 → commit 5000");
         let block2 = Block::extending(&block, 1, 4, vec![b]);
         pool.remove_committed(&block2, SimTime::from_micros(9_000));
         assert_eq!(pool.in_flight(), 0);
-        assert_eq!(pool.tx_latencies().len(), 2);
-        assert_eq!(pool.tx_latencies()[1], SimDuration::from_micros(7_000));
+        assert_eq!(pool.tx_latencies().count(), 2);
+        assert_eq!(pool.tx_latencies().max(), Some(7_000), "birth 2000 → commit 9000");
     }
 }

@@ -20,7 +20,7 @@
 //! quits on the proof alone, and the lock-only status replaces fresh
 //! commit certificates with signed locked blocks.
 
-use eesmr_net::NodeId;
+use eesmr_net::{NodeId, TraceEventKind};
 
 use crate::block::Block;
 use crate::config::FaultMode;
@@ -41,6 +41,7 @@ impl Replica {
         }
         self.blame_timer = None;
         self.metrics.blames_sent += 1;
+        ctx.trace(TraceEventKind::Blame { view: self.v_cur });
         let blame = self.sign(Payload::Blame { proof: None }, ctx);
         ctx.flood(blame);
     }
@@ -60,6 +61,8 @@ impl Replica {
         self.view_aborted = true;
         self.cancel_commit_timers(ctx);
         self.metrics.blames_sent += 1;
+        ctx.trace(TraceEventKind::Equivocation { view: self.v_cur });
+        ctx.trace(TraceEventKind::Blame { view: self.v_cur });
         let blame = self.sign(Payload::Blame { proof: Some(Box::new((first, second))) }, ctx);
         ctx.flood(blame);
         if self.config.opt_equivocation_speedup {
@@ -150,6 +153,7 @@ impl Replica {
             return;
         }
         self.vc.quit_scheduled = true;
+        ctx.trace(TraceEventKind::VcQuit { view: self.v_cur });
         if let Some(t) = self.blame_timer.take() {
             ctx.cancel_timer(t);
         }
@@ -318,6 +322,7 @@ impl Replica {
         self.nv = Default::default();
         self.want_propose = false;
         self.metrics.view_changes += 1;
+        ctx.trace(TraceEventKind::ViewEnter { view: self.v_cur });
         // Workload transactions drained into the dead view's discarded
         // proposals go back in the pool for the new view.
         self.txpool.requeue_unresolved();

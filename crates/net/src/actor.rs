@@ -2,6 +2,7 @@
 //! through which they interact with the simulated network.
 
 use eesmr_energy::EnergyMeter;
+use eesmr_trace::{EventKind as TraceEventKind, TraceClass, Tracer};
 
 use crate::message::Message;
 use crate::time::{SimDuration, SimTime};
@@ -72,6 +73,7 @@ pub struct Context<'a, M, T> {
     pub(crate) now: SimTime,
     pub(crate) meter: &'a mut EnergyMeter,
     pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) tracer: &'a mut Tracer,
     pub(crate) effects: Vec<Effect<M, T>>,
 }
 
@@ -134,6 +136,22 @@ impl<'a, M: Message, T: Clone + core::fmt::Debug> Context<'a, M, T> {
     pub fn cancel_timer(&mut self, id: TimerId) {
         self.effects.push(Effect::CancelTimer(id));
     }
+
+    /// Whether trace events of `class` are being recorded. Check this
+    /// before computing expensive event fields (digest fingerprints);
+    /// events whose fields are free can call [`Context::trace`]
+    /// directly — it performs the same gate internally.
+    pub fn traces(&self, class: TraceClass) -> bool {
+        self.tracer.enabled(class)
+    }
+
+    /// Records a trace event at the node's current virtual time, into
+    /// its private ring buffer. A no-op (one enum comparison) when the
+    /// active [`eesmr_trace::TraceLevel`] doesn't admit the event's
+    /// class.
+    pub fn trace(&mut self, kind: TraceEventKind) {
+        self.tracer.record(self.now.as_micros(), kind);
+    }
 }
 
 #[cfg(test)]
@@ -151,12 +169,17 @@ mod tests {
         }
     }
 
-    fn ctx<'a>(meter: &'a mut EnergyMeter, next: &'a mut u64) -> Context<'a, Ping, &'static str> {
+    fn ctx<'a>(
+        meter: &'a mut EnergyMeter,
+        next: &'a mut u64,
+        tracer: &'a mut Tracer,
+    ) -> Context<'a, Ping, &'static str> {
         Context {
             node: 3,
             now: SimTime::from_micros(42),
             meter,
             next_timer_id: next,
+            tracer,
             effects: Vec::new(),
         }
     }
@@ -165,7 +188,8 @@ mod tests {
     fn context_reports_identity_and_time() {
         let mut meter = EnergyMeter::new();
         let mut next = 0;
-        let c = ctx(&mut meter, &mut next);
+        let mut tracer = Tracer::disabled(3);
+        let c = ctx(&mut meter, &mut next, &mut tracer);
         assert_eq!(c.id(), 3);
         assert_eq!(c.now(), SimTime::from_micros(42));
     }
@@ -174,7 +198,8 @@ mod tests {
     fn timer_ids_are_unique_and_monotonic() {
         let mut meter = EnergyMeter::new();
         let mut next = 0;
-        let mut c = ctx(&mut meter, &mut next);
+        let mut tracer = Tracer::disabled(3);
+        let mut c = ctx(&mut meter, &mut next, &mut tracer);
         let a = c.set_timer(SimDuration::from_micros(1), "a");
         let b = c.set_timer(SimDuration::from_micros(2), "b");
         assert!(a < b);
@@ -182,10 +207,26 @@ mod tests {
     }
 
     #[test]
+    fn context_trace_stamps_the_nodes_clock() {
+        use eesmr_trace::TraceLevel;
+        let mut meter = EnergyMeter::new();
+        let mut next = 0;
+        let mut tracer = Tracer::new(TraceLevel::All, 3);
+        let mut c = ctx(&mut meter, &mut next, &mut tracer);
+        assert!(c.traces(TraceClass::Wire));
+        c.trace(TraceEventKind::TimerFire { id: 5 });
+        let trace = tracer.drain();
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.events[0].time_us, 42);
+        assert_eq!(trace.events[0].node, 3);
+    }
+
+    #[test]
     fn effects_are_recorded_in_order() {
         let mut meter = EnergyMeter::new();
         let mut next = 0;
-        let mut c = ctx(&mut meter, &mut next);
+        let mut tracer = Tracer::disabled(3);
+        let mut c = ctx(&mut meter, &mut next, &mut tracer);
         c.multicast(Ping);
         c.flood(Ping);
         c.send_to(1, Ping);

@@ -82,12 +82,20 @@ pub struct Harness<A: Actor> {
     meter: EnergyMeter,
     next_timer_id: u64,
     now: SimTime,
+    tracer: eesmr_trace::Tracer,
 }
 
 impl<A: Actor> Harness<A> {
     /// Wraps `actor` as node `id` at time zero.
     pub fn new(id: NodeId, actor: A) -> Self {
-        Harness { id, actor, meter: EnergyMeter::new(), next_timer_id: 0, now: SimTime::ZERO }
+        Harness {
+            id,
+            actor,
+            meter: EnergyMeter::new(),
+            next_timer_id: 0,
+            now: SimTime::ZERO,
+            tracer: eesmr_trace::Tracer::disabled(id),
+        }
     }
 
     /// The wrapped actor.
@@ -124,6 +132,7 @@ impl<A: Actor> Harness<A> {
             now: self.now,
             meter: &mut self.meter,
             next_timer_id: &mut self.next_timer_id,
+            tracer: &mut self.tracer,
             effects: Vec::new(),
         };
         f(&mut self.actor, &mut ctx);

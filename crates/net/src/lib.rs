@@ -57,6 +57,9 @@ pub mod time;
 
 pub use actor::{Actor, Context, NodeId, TimerId};
 pub use channel::ChannelCost;
+// Trace vocabulary, re-exported so actor crates can gate and emit
+// events through [`Context`] without naming `eesmr_trace` themselves.
+pub use eesmr_trace::{EventKind as TraceEventKind, TraceClass, TraceLevel, TraceSet, Tracer};
 pub use message::Message;
 pub use runtime::{Delivery, Fate, Interceptor, NetConfig, NetStats, SimNet};
 pub use sched::{CalendarQueue, EventQueue, SchedulerKind};

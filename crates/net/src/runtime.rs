@@ -63,6 +63,7 @@ use std::sync::Arc;
 
 use eesmr_energy::{EnergyCategory, EnergyMeter};
 use eesmr_hypergraph::Hypergraph;
+use eesmr_trace::{EventKind as TraceEventKind, NodeTrace, TraceLevel, TraceSet, Tracer};
 
 use crate::actor::{Actor, Context, Effect, NodeId, TimerId};
 use crate::channel::ChannelCost;
@@ -87,6 +88,11 @@ pub struct NetConfig {
     /// either kind; the calendar queue is simply faster (see
     /// [`crate::sched`]).
     pub scheduler: SchedulerKind,
+    /// How much of the structured event taxonomy the runtime records
+    /// into per-node [`Tracer`] ring buffers (collect with
+    /// [`SimNet::take_traces`]). [`TraceLevel::Off`] costs one enum
+    /// comparison per candidate event.
+    pub trace: TraceLevel,
 }
 
 impl NetConfig {
@@ -105,6 +111,7 @@ impl NetConfig {
             hop_delay_max: SimDuration::from_micros(1_000),
             seed,
             scheduler: SchedulerKind::from_env(),
+            trace: TraceLevel::from_env(),
         }
     }
 
@@ -240,6 +247,10 @@ pub(crate) struct ShardState<A: Actor> {
     /// Owned actors; local slot `i` holds global node `index + i·shards`.
     pub(crate) actors: Vec<A>,
     meters: Vec<EnergyMeter>,
+    /// Per-owned-node trace ring buffers (see [`crate::Context::trace`];
+    /// the runtime also records wire-layer events here). Node-local like
+    /// the meters, so recorded streams are shard-invariant.
+    tracers: Vec<Tracer>,
     seen_floods: Vec<HashSet<u64>>,
     /// Per-owned-node event push counters (high bits of the seq key).
     push_ctr: Vec<u64>,
@@ -276,12 +287,16 @@ impl<A: Actor> ShardState<A> {
         );
         let local_n = actors.len();
         let queue = EventQueue::new(cfg.scheduler);
+        let tracers = (0..local_n)
+            .map(|local| Tracer::new(cfg.trace, index + (local as u32) * shards))
+            .collect();
         let mut shard = ShardState {
             cfg,
             shards,
             index,
             actors,
             meters: vec![EnergyMeter::new(); local_n],
+            tracers,
             seen_floods: vec![HashSet::new(); local_n],
             push_ctr: vec![0; local_n],
             draw_ctr: vec![0; local_n],
@@ -321,6 +336,12 @@ impl<A: Actor> ShardState<A> {
     /// An owned node's meter.
     pub(crate) fn meter(&self, node: NodeId) -> &EnergyMeter {
         &self.meters[self.local(node)]
+    }
+
+    /// Drains an owned node's trace ring buffer.
+    pub(crate) fn take_trace(&mut self, node: NodeId) -> NodeTrace {
+        let local = self.local(node);
+        self.tracers[local].drain()
     }
 
     /// The earliest pending local event time, µs.
@@ -363,6 +384,8 @@ impl<A: Actor> ShardState<A> {
                 if self.cancelled_timers.remove(&id.0) {
                     return Some(self.now);
                 }
+                let local = self.local(node);
+                self.tracers[local].record(time, TraceEventKind::TimerFire { id: id.0 });
                 self.invoke(node, |actor, ctx| actor.on_timer(token, ctx));
             }
             EventKind::Deliver { from, msg, flood, loopback } => {
@@ -389,11 +412,24 @@ impl<A: Actor> ShardState<A> {
                             // sender — replies must go back to the source,
                             // not the last relayer.
                             let origin = meta.origin;
+                            self.tracers[local].record(
+                                time,
+                                TraceEventKind::MsgDeliver {
+                                    from: origin,
+                                    bytes: size as u64,
+                                    flood: true,
+                                },
+                            );
                             self.invoke(node, |actor, ctx| actor.on_message(origin, msg, ctx));
                         }
                     }
                     None => {
                         self.stats.deliveries += 1;
+                        let local = self.local(node);
+                        self.tracers[local].record(
+                            time,
+                            TraceEventKind::MsgDeliver { from, bytes: size as u64, flood: false },
+                        );
                         self.invoke(node, |actor, ctx| actor.on_message(from, msg, ctx));
                     }
                 }
@@ -443,6 +479,13 @@ impl<A: Actor> ShardState<A> {
     /// sender, samples per-receiver delays, and consults the interceptor.
     fn transmit(&mut self, node: NodeId, msg: &A::Msg, flood: Option<FloodMeta>, relay: bool) {
         let size = msg.wire_size();
+        {
+            let local = self.local(node);
+            let now = self.now.as_micros();
+            // One event per transmit (k-cast), not per receiver.
+            self.tracers[local]
+                .record(now, TraceEventKind::MsgSend { bytes: size as u64, flood: relay });
+        }
         // Clone the config handle (a refcount bump) so the topology can be
         // iterated in place while the meters and counters below take
         // mutable borrows — no per-transmit edge/receiver buffers.
@@ -490,6 +533,7 @@ impl<A: Actor> ShardState<A> {
             now: self.now,
             meter: &mut self.meters[local],
             next_timer_id: &mut self.timer_ctr[local],
+            tracer: &mut self.tracers[local],
             effects: self.effect_buffers.get(),
         };
         f(&mut self.actors[local], &mut ctx);
@@ -615,6 +659,14 @@ impl<A: Actor> SimNet<A> {
     /// Network statistics so far.
     pub fn stats(&self) -> &NetStats {
         &self.shard.stats
+    }
+
+    /// Drains every node's trace ring buffer into a [`TraceSet`]
+    /// (node-id order). Empty when the config's
+    /// [`trace`](NetConfig::trace) level is [`TraceLevel::Off`].
+    pub fn take_traces(&mut self) -> TraceSet {
+        let n = self.shard.cfg.topology.n() as NodeId;
+        TraceSet { nodes: (0..n).map(|id| self.shard.take_trace(id)).collect() }
     }
 
     /// Processes the next event, if any, returning its timestamp.
@@ -877,5 +929,30 @@ mod tests {
     fn wrong_actor_count_panics() {
         let cfg = NetConfig::ble(topology::ring_kcast(4, 2), 1);
         let _ = SimNet::new(cfg, vec![TActor::default()]);
+    }
+
+    #[test]
+    fn wire_tracing_records_sends_delivers_and_timers() {
+        let mut cfg = NetConfig::ble(topology::ring_kcast(4, 2), 4);
+        cfg.trace = TraceLevel::All;
+        let mut net = SimNet::new(cfg, (0..4).map(|_| TActor::default()).collect::<Vec<_>>());
+        net.run_for(SimDuration::from_millis(50));
+        let traces = net.take_traces();
+        assert_eq!(traces.nodes.len(), 4);
+        let merged = traces.merged();
+        let has = |f: fn(&TraceEventKind) -> bool| merged.iter().any(|e| f(&e.kind));
+        assert!(has(|k| matches!(k, TraceEventKind::MsgSend { .. })));
+        assert!(has(|k| matches!(k, TraceEventKind::MsgDeliver { flood: true, .. })));
+        assert!(has(|k| matches!(k, TraceEventKind::TimerFire { .. })));
+        assert_eq!(traces.total_dropped(), 0);
+        // Draining leaves the buffers empty.
+        assert_eq!(net.take_traces().total_events(), 0);
+    }
+
+    #[test]
+    fn tracing_off_records_nothing_and_default_is_off() {
+        let mut net = net(4, 2, 4);
+        net.run_for(SimDuration::from_millis(50));
+        assert_eq!(net.take_traces().total_events(), 0);
     }
 }

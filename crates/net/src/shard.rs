@@ -270,6 +270,18 @@ where
         total
     }
 
+    /// Drains every node's trace ring buffer into a
+    /// [`TraceSet`](eesmr_trace::TraceSet) in node-id order — the same
+    /// set a single-threaded run produces, because every event is
+    /// stamped with node-local state only (see `eesmr_trace`).
+    pub fn take_traces(&mut self) -> eesmr_trace::TraceSet {
+        let n = self.cfg.topology.n() as NodeId;
+        let shards = self.shards.len();
+        eesmr_trace::TraceSet {
+            nodes: (0..n).map(|id| self.shards[id as usize % shards].take_trace(id)).collect(),
+        }
+    }
+
     /// Network statistics so far, merged across shards. Counters are
     /// sums, so the merge equals the single-threaded totals exactly.
     pub fn stats(&self) -> NetStats {

@@ -66,6 +66,9 @@ struct NodeRuntime<A: Actor> {
     cancelled: HashSet<u64>,
     seen_floods: HashSet<u64>,
     local: VecDeque<TEvent<A::Msg>>,
+    /// Wall-clock runs are nondeterministic, so structured tracing stays
+    /// off here; the disabled tracer just satisfies the [`Context`] shape.
+    tracer: eesmr_trace::Tracer,
 }
 
 impl<A: Actor> NodeRuntime<A>
@@ -83,6 +86,7 @@ where
             now: self.now(),
             meter: &mut self.meter,
             next_timer_id: &mut self.next_timer_id,
+            tracer: &mut self.tracer,
             effects: Vec::new(),
         };
         f(&mut self.actor, &mut ctx);
@@ -249,6 +253,7 @@ where
                 cancelled: HashSet::new(),
                 seen_floods: HashSet::new(),
                 local: VecDeque::new(),
+                tracer: eesmr_trace::Tracer::disabled(i as NodeId),
             };
             handles.push(std::thread::spawn(move || runtime.run()));
         }

@@ -2,6 +2,8 @@
 
 use eesmr_energy::{EnergyCategory, EnergyMeter};
 use eesmr_net::{NetStats, NodeId, SimDuration};
+use eesmr_trace::hist::LogHistogram;
+use eesmr_trace::path::CommitPath;
 
 /// Energy breakdown for one node, in millijoules.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -66,17 +68,19 @@ pub struct NodeReport {
     /// forwarding from non-leading nodes; counts re-forwards after
     /// view changes too).
     pub tx_forwarded: u64,
-    /// End-to-end (birth → local commit) latency of each workload
-    /// transaction injected at this node, µs, in commit order. Empty when
-    /// the scenario has no workload attached.
-    pub tx_latencies_us: Vec<u64>,
+    /// End-to-end (birth → local commit) latency distribution of the
+    /// workload transactions injected at this node, µs. A streaming
+    /// log-bucket histogram — O(buckets) memory however long the run —
+    /// empty when the scenario has no workload attached.
+    pub tx_latency_hist: LogHistogram,
 }
 
 /// End-to-end commit-latency statistics over a run's workload
 /// transactions (all correct nodes pooled). Percentiles use the
-/// nearest-rank definition on the sorted sample: the p-th percentile is
-/// the value at (1-based) index `⌈p·count/100⌉` — see README's "Known
-/// deviations" for how this relates to the paper's block-level numbers.
+/// nearest-rank definition on the pooled [`LogHistogram`]: the p-th
+/// percentile is the value at (1-based) rank `⌈p·count/100⌉`, reported
+/// at the histogram's bucket resolution (≤ ~3 % relative error above
+/// the sub-millisecond range) — see README's "Known deviations".
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TxLatencyStats {
     /// Committed workload transactions measured.
@@ -89,15 +93,8 @@ pub struct TxLatencyStats {
     pub p99_us: u64,
 }
 
-/// Nearest-rank percentile of a sorted, non-empty sample.
-fn percentile(sorted: &[u64], p: u64) -> u64 {
-    debug_assert!(!sorted.is_empty() && (1..=100).contains(&p));
-    let rank = (p as usize * sorted.len()).div_ceil(100).max(1);
-    sorted[rank - 1]
-}
-
 /// The outcome of one scenario run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Human-readable protocol name.
     pub protocol: &'static str,
@@ -117,6 +114,29 @@ pub struct RunReport {
     pub nodes: Vec<NodeReport>,
     /// Network counters.
     pub net: NetStats,
+    /// The reconstructed commit path of the run's first committed
+    /// workload transaction, when the scenario traced at
+    /// [`TraceLevel::Commit`](eesmr_net::TraceLevel::Commit) or above.
+    /// Diagnostic only — excluded from equality so traced and untraced
+    /// runs of the same scenario still compare bit-identical.
+    pub commit_path: Option<CommitPath>,
+}
+
+/// Equality covers the measured results — everything except the
+/// diagnostic `commit_path`, which depends on the trace level rather
+/// than on what the run computed.
+impl PartialEq for RunReport {
+    fn eq(&self, other: &RunReport) -> bool {
+        self.protocol == other.protocol
+            && self.n == other.n
+            && self.k == other.k
+            && self.f == other.f
+            && self.payload_bytes == other.payload_bytes
+            && self.delta_us == other.delta_us
+            && self.elapsed_us == other.elapsed_us
+            && self.nodes == other.nodes
+            && self.net == other.net
+    }
 }
 
 impl RunReport {
@@ -175,25 +195,32 @@ impl RunReport {
     /// Workload transactions committed (with a measured end-to-end
     /// latency) across correct nodes.
     pub fn tx_committed(&self) -> u64 {
-        self.correct_nodes().map(|n| n.tx_latencies_us.len() as u64).sum()
+        self.correct_nodes().map(|n| n.tx_latency_hist.count()).sum()
+    }
+
+    /// The pooled end-to-end latency histogram over all correct nodes'
+    /// workload transactions (merge order cannot change the result).
+    pub fn tx_latency_hist(&self) -> LogHistogram {
+        let mut pooled = LogHistogram::new();
+        for node in self.correct_nodes() {
+            pooled.merge(&node.tx_latency_hist);
+        }
+        pooled
     }
 
     /// End-to-end commit-latency statistics over all correct nodes'
     /// workload transactions; `None` when nothing was measured (no
     /// workload attached, or nothing committed yet).
     pub fn tx_latency_stats(&self) -> Option<TxLatencyStats> {
-        let mut all: Vec<u64> =
-            self.correct_nodes().flat_map(|n| n.tx_latencies_us.iter().copied()).collect();
-        if all.is_empty() {
+        let pooled = self.tx_latency_hist();
+        if pooled.is_empty() {
             return None;
         }
-        all.sort_unstable();
-        let sum: u128 = all.iter().map(|&v| v as u128).sum();
         Some(TxLatencyStats {
-            count: all.len(),
-            mean_us: (sum / all.len() as u128) as u64,
-            p50_us: percentile(&all, 50),
-            p99_us: percentile(&all, 99),
+            count: pooled.count() as usize,
+            mean_us: pooled.mean().unwrap_or(0),
+            p50_us: pooled.percentile(50).unwrap_or(0),
+            p99_us: pooled.percentile(99).unwrap_or(0),
         })
     }
 
@@ -243,8 +270,16 @@ mod tests {
             mean_commit_latency: None,
             tx_injected: 0,
             tx_forwarded: 0,
-            tx_latencies_us: Vec::new(),
+            tx_latency_hist: LogHistogram::new(),
         }
+    }
+
+    fn hist(samples: impl IntoIterator<Item = u64>) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for s in samples {
+            h.record(s);
+        }
+        h
     }
 
     fn report(nodes: Vec<NodeReport>) -> RunReport {
@@ -258,6 +293,7 @@ mod tests {
             elapsed_us: 10_000,
             nodes,
             net: NetStats::default(),
+            commit_path: None,
         }
     }
 
@@ -291,9 +327,9 @@ mod tests {
     fn tx_latency_percentiles_use_nearest_rank() {
         let mut nodes = vec![node(0, 1.0, 4, false), node(1, 1.0, 4, true)];
         nodes[0].tx_injected = 120;
-        nodes[0].tx_latencies_us = (1..=100).rev().collect(); // unsorted on purpose
+        nodes[0].tx_latency_hist = hist((1..=100).rev()); // unsorted on purpose
         nodes[1].tx_injected = 50; // faulty: excluded
-        nodes[1].tx_latencies_us = vec![1_000_000];
+        nodes[1].tx_latency_hist = hist([1_000_000]);
         let r = report(nodes);
         assert_eq!(r.tx_injected(), 120);
         assert_eq!(r.tx_committed(), 100);
@@ -304,12 +340,31 @@ mod tests {
         assert_eq!(stats.p99_us, 99, "nearest rank: ⌈99·100/100⌉ = 99th value");
         // Singleton sample: every percentile is the value itself.
         let mut one = vec![node(0, 1.0, 1, false)];
-        one[0].tx_latencies_us = vec![7];
+        one[0].tx_latency_hist = hist([7]);
         let r1 = report(one);
         let s1 = r1.tx_latency_stats().unwrap();
         assert_eq!((s1.p50_us, s1.p99_us), (7, 7));
         // No measurements → None.
         assert_eq!(report(vec![node(0, 1.0, 1, false)]).tx_latency_stats(), None);
+    }
+
+    #[test]
+    fn pooled_hist_merges_per_node_populations() {
+        let mut nodes = vec![node(0, 1.0, 4, false), node(1, 1.0, 4, false)];
+        nodes[0].tx_latency_hist = hist(1..=50);
+        nodes[1].tx_latency_hist = hist(51..=100);
+        let r = report(nodes);
+        let pooled = r.tx_latency_hist();
+        assert_eq!(pooled, hist(1..=100), "grouping-invariant merge");
+        assert_eq!(r.tx_committed(), 100);
+    }
+
+    #[test]
+    fn equality_ignores_the_diagnostic_commit_path() {
+        let a = report(vec![node(0, 1.0, 2, false)]);
+        let mut b = a.clone();
+        b.commit_path = Some(CommitPath { tx: 1, block: 2, stages: Vec::new() });
+        assert_eq!(a, b, "commit_path is diagnostic, not a measured result");
     }
 
     #[test]

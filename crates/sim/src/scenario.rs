@@ -16,7 +16,11 @@ use eesmr_core::{build_replicas, BatchPolicy, Config, Pacing};
 use eesmr_crypto::{KeyStore, SigScheme};
 use eesmr_energy::Medium;
 use eesmr_hypergraph::topology::{ring_kcast, star};
-use eesmr_net::{ChannelCost, NetConfig, SchedulerKind, ShardedNet, SimDuration, SimTime};
+use eesmr_net::{
+    ChannelCost, NetConfig, SchedulerKind, ShardedNet, SimDuration, SimTime, TraceClass,
+    TraceLevel, TraceSet,
+};
+use eesmr_trace::path::CommitPath;
 use eesmr_workload::Workload;
 
 use crate::faults::FaultPlan;
@@ -120,6 +124,11 @@ pub struct Scenario {
     /// value; sharding only changes how fast a large-`n` scenario runs.
     /// Defaults to `EESMR_SHARDS` (or 1).
     pub shards: usize,
+    /// Structured-event trace level (see `eesmr-trace`). An
+    /// observability knob, not a sweep axis: traces are keyed to
+    /// node-local state, so any level produces the same `RunReport`
+    /// bit for bit. Defaults to `EESMR_TRACE` (or off).
+    pub trace: TraceLevel,
 }
 
 /// The sweep coordinates identifying one cell of an experiment grid: the
@@ -192,6 +201,7 @@ impl Scenario {
             workload: None,
             scheduler: SchedulerKind::from_env(),
             shards: eesmr_net::shards_from_env(),
+            trace: TraceLevel::from_env(),
         }
     }
 
@@ -244,6 +254,14 @@ impl Scenario {
     /// speed knob for large `n`.
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the structured-event trace level (overriding `EESMR_TRACE`).
+    /// Like [`shards`](Self::shards) this cannot change results — it only
+    /// controls what [`run_traced`](Self::run_traced) captures.
+    pub fn trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
         self
     }
 
@@ -368,21 +386,41 @@ impl Scenario {
 
     /// Runs the scenario to completion.
     pub fn run(&self) -> RunReport {
-        match self.protocol {
+        self.run_traced().0
+    }
+
+    /// Runs the scenario and also returns the structured-event trace the
+    /// run recorded (empty at [`TraceLevel::Off`]). When the level
+    /// enables commit-class events, the report's
+    /// [`commit_path`](RunReport::commit_path) is reconstructed from the
+    /// merged trace; when `EESMR_TRACE_OUT` names a file, the trace is
+    /// also exported there as Perfetto JSON.
+    pub fn run_traced(&self) -> (RunReport, TraceSet) {
+        let (mut report, traces) = match self.protocol {
             Protocol::Eesmr => self.run_eesmr(),
             Protocol::SyncHotStuff => self.run_hs(HsVariant::SyncHotStuff),
             Protocol::OptSync => self.run_hs(HsVariant::OptSync),
             Protocol::TrustedBaseline => self.run_trusted(),
+        };
+        if self.trace.enables(TraceClass::Commit) {
+            report.commit_path = CommitPath::reconstruct(&traces.merged());
+            if let Ok(path) = std::env::var(ENV_TRACE_OUT) {
+                if !path.is_empty() {
+                    write_trace_out(&path, &traces);
+                }
+            }
         }
+        (report, traces)
     }
 
     fn deadline_time(&self) -> SimTime {
         SimTime::ZERO + self.deadline
     }
 
-    fn run_eesmr(&self) -> RunReport {
+    fn run_eesmr(&self) -> (RunReport, TraceSet) {
         let mut net_cfg = NetConfig::ble(ring_kcast(self.n, self.k), self.seed);
         net_cfg.scheduler = self.scheduler;
+        net_cfg.trace = self.trace;
         let delta = net_cfg.delta();
         let mut config = Config::new(self.n, delta);
         config.batch_policy = self.effective_batch_policy();
@@ -426,6 +464,7 @@ impl Scenario {
             }
         }
 
+        let traces = net.take_traces();
         let nodes = (0..self.n as u32)
             .map(|id| {
                 let r = net.actor(id);
@@ -443,16 +482,17 @@ impl Scenario {
                     mean_commit_latency: r.metrics().mean_commit_latency(),
                     tx_injected: r.metrics().tx_injected,
                     tx_forwarded: r.metrics().tx_forwarded,
-                    tx_latencies_us: r.tx_latencies().iter().map(|d| d.as_micros()).collect(),
+                    tx_latency_hist: r.tx_latencies().clone(),
                 }
             })
             .collect();
-        self.report("EESMR", f, delta, &net.stats(), nodes, net.now())
+        (self.report("EESMR", f, delta, &net.stats(), nodes, net.now()), traces)
     }
 
-    fn run_hs(&self, variant: HsVariant) -> RunReport {
+    fn run_hs(&self, variant: HsVariant) -> (RunReport, TraceSet) {
         let mut net_cfg = NetConfig::ble(ring_kcast(self.n, self.k), self.seed);
         net_cfg.scheduler = self.scheduler;
+        net_cfg.trace = self.trace;
         let delta = net_cfg.delta();
         let mut config = HsConfig::new(self.n, delta, variant);
         config.batch_policy = self.effective_batch_policy();
@@ -492,6 +532,7 @@ impl Scenario {
             }
         }
 
+        let traces = net.take_traces();
         let nodes = (0..self.n as u32)
             .map(|id| {
                 let r = net.actor(id);
@@ -509,18 +550,19 @@ impl Scenario {
                     mean_commit_latency: r.metrics().mean_commit_latency(),
                     tx_injected: r.metrics().tx_injected,
                     tx_forwarded: r.metrics().tx_forwarded,
-                    tx_latencies_us: r.tx_latencies().iter().map(|d| d.as_micros()).collect(),
+                    tx_latency_hist: r.tx_latencies().clone(),
                 }
             })
             .collect();
-        self.report(variant_name(variant), f, delta, &net.stats(), nodes, net.now())
+        (self.report(variant_name(variant), f, delta, &net.stats(), nodes, net.now()), traces)
     }
 
-    fn run_trusted(&self) -> RunReport {
+    fn run_trusted(&self) -> (RunReport, TraceSet) {
         // Star over the expensive medium; Δ is one hop to/from the hub.
         let mut net_cfg = NetConfig::ble(star(self.n, HUB), self.seed);
         net_cfg.channel = ChannelCost::PerByte { medium: Medium::FourG };
         net_cfg.scheduler = self.scheduler;
+        net_cfg.trace = self.trace;
         let delta = net_cfg.delta();
         let mut config = TbConfig::new(self.n, self.payload_bytes, delta * 2);
         config.batch_policy = self.effective_batch_policy();
@@ -545,6 +587,7 @@ impl Scenario {
             StopWhen::ViewReached(_) => {} // no views in the baseline
         }
 
+        let traces = net.take_traces();
         let nodes = (0..self.n as u32)
             .map(|id| {
                 let r = net.actor(id);
@@ -562,11 +605,11 @@ impl Scenario {
                     mean_commit_latency: r.metrics().mean_commit_latency(),
                     tx_injected: r.metrics().tx_injected,
                     tx_forwarded: r.metrics().tx_forwarded,
-                    tx_latencies_us: r.tx_latencies().iter().map(|d| d.as_micros()).collect(),
+                    tx_latency_hist: r.tx_latencies().clone(),
                 }
             })
             .collect();
-        self.report("Trusted baseline", 0, delta, &net.stats(), nodes, net.now())
+        (self.report("Trusted baseline", 0, delta, &net.stats(), nodes, net.now()), traces)
     }
 
     fn report(
@@ -588,7 +631,23 @@ impl Scenario {
             elapsed_us: now.as_micros(),
             nodes,
             net: net.clone(),
+            commit_path: None,
         }
+    }
+}
+
+/// Env var naming a file each traced run exports its Perfetto JSON to
+/// (level ≥ `commit`; a grid's runs overwrite it — last one wins).
+pub const ENV_TRACE_OUT: &str = "EESMR_TRACE_OUT";
+
+/// Writes the Perfetto export under a process-wide lock so concurrent
+/// grid cells (the driver's worker pool) never interleave writes.
+fn write_trace_out(path: &str, traces: &TraceSet) {
+    use std::sync::Mutex;
+    static GUARD: Mutex<()> = Mutex::new(());
+    let _lock = GUARD.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    if let Err(err) = std::fs::write(path, eesmr_trace::perfetto::render(traces)) {
+        eprintln!("warning: failed to write trace export {path}: {err}");
     }
 }
 
@@ -758,7 +817,7 @@ mod tests {
         let report =
             Scenario::new(Protocol::Eesmr, 5, 2).workload(w).stop(StopWhen::Blocks(8)).run();
         for node in report.nodes.iter() {
-            let in_flight_at_end = node.tx_injected - node.tx_latencies_us.len() as u64;
+            let in_flight_at_end = node.tx_injected - node.tx_latency_hist.count();
             assert!(
                 in_flight_at_end <= bound as u64,
                 "node {} ended with {in_flight_at_end} in flight",
@@ -783,7 +842,7 @@ mod tests {
             for node in &report.nodes {
                 assert!(node.tx_injected > 0, "{protocol:?} node {} injected nothing", node.id);
                 assert!(
-                    !node.tx_latencies_us.is_empty(),
+                    !node.tx_latency_hist.is_empty(),
                     "{protocol:?} node {}: its transactions stranded — forwarding broken",
                     node.id
                 );
@@ -878,6 +937,28 @@ mod tests {
         assert!(!a.label().contains("shards"), "{}", a.label());
         assert!(b.label().contains("shards=4"), "{}", b.label());
         assert_eq!(a.clone().shards(0).shards, 1, "clamped to at least one");
+    }
+
+    #[test]
+    fn traced_workload_run_reconstructs_the_commit_path() {
+        use eesmr_workload::ArrivalProcess;
+        let w = Workload::new(ArrivalProcess::Poisson { rate: 2_000 });
+        let base = Scenario::new(Protocol::Eesmr, 5, 2).workload(w).stop(StopWhen::Blocks(5));
+        let (report, traces) = base.clone().trace(TraceLevel::Commit).run_traced();
+        assert!(traces.total_events() > 0, "commit-level tracing recorded events");
+        let path = report.commit_path.as_ref().expect("commit path reconstructed");
+        assert_eq!(path.stages.first().map(|s| s.stage), Some("inject"));
+        assert_eq!(path.stages.last().map(|s| s.stage), Some("commit"));
+        assert!(path.total_us() > 0);
+        // Tracing is pure observation: the untraced run is bit-identical
+        // (commit_path itself is diagnostic and excluded from equality).
+        let (untraced, empty) = base.clone().trace(TraceLevel::Off).run_traced();
+        assert_eq!(empty.total_events(), 0);
+        assert_eq!(untraced.commit_path, None);
+        assert_eq!(report, untraced, "tracing perturbed the run");
+        // Not a sweep axis: same cell, same label.
+        assert_eq!(base.clone().trace(TraceLevel::All).cell(), base.cell());
+        assert_eq!(base.clone().trace(TraceLevel::All).label(), base.label());
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Diff two exported trace files and pinpoint the first divergent event.
+//!
+//! The Perfetto exporter writes one event per line in the canonical
+//! merged order, so a determinism failure shows up as a first differing
+//! line — this tool turns "two 50 MB traces differ somewhere" into the
+//! exact event where the executions forked.
+//!
+//! ```text
+//! trace_diff A.json B.json       # first divergent event, exit 1 if any
+//! trace_diff --validate F.json   # structural JSON check, exit 1 if bad
+//! ```
+
+use std::process::ExitCode;
+
+use eesmr_trace::perfetto::is_well_formed_json;
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Lines of context printed around the first divergence.
+const CONTEXT: usize = 3;
+
+fn diff(path_a: &str, path_b: &str) -> ExitCode {
+    let (text_a, text_b) = (read(path_a), read(path_b));
+    let lines_a: Vec<&str> = text_a.lines().collect();
+    let lines_b: Vec<&str> = text_b.lines().collect();
+    let common = lines_a.len().min(lines_b.len());
+    for i in 0..common {
+        if lines_a[i] != lines_b[i] {
+            println!("traces diverge at line {} (first difference):", i + 1);
+            for line in &lines_a[i.saturating_sub(CONTEXT)..i] {
+                println!("  = {line}");
+            }
+            println!("  A {}", lines_a[i]);
+            println!("  B {}", lines_b[i]);
+            return ExitCode::FAILURE;
+        }
+    }
+    if lines_a.len() != lines_b.len() {
+        println!(
+            "traces agree on the first {common} lines but differ in length: {} has {} lines, {} has {}",
+            path_a,
+            lines_a.len(),
+            path_b,
+            lines_b.len()
+        );
+        let (longer, lines) =
+            if lines_a.len() > lines_b.len() { (path_a, &lines_a) } else { (path_b, &lines_b) };
+        println!("  first extra line in {}: {}", longer, lines[common]);
+        return ExitCode::FAILURE;
+    }
+    println!("traces are identical ({} lines)", lines_a.len());
+    ExitCode::SUCCESS
+}
+
+fn validate(path: &str) -> ExitCode {
+    let text = read(path);
+    if !text.starts_with("{\"traceEvents\":[") {
+        println!("{path}: not a trace-event document (missing traceEvents header)");
+        return ExitCode::FAILURE;
+    }
+    if !is_well_formed_json(&text) {
+        println!("{path}: malformed JSON");
+        return ExitCode::FAILURE;
+    }
+    println!("{path}: well-formed trace ({} lines)", text.lines().count());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, path] if flag == "--validate" => validate(path),
+        [a, b] => diff(a, b),
+        _ => {
+            println!("usage: trace_diff A.json B.json | trace_diff --validate F.json");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Commit-path reconstruction: follow one transaction through a merged
+//! trace from birth to commit and break its end-to-end latency into
+//! per-hop stages.
+
+use std::collections::HashMap;
+
+use crate::{EventKind, TraceEvent};
+
+/// One stage of a transaction's journey.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStage {
+    /// Stage name: `inject`, `forward`, `batch`, `propose`, `relay`,
+    /// `commit`.
+    pub stage: &'static str,
+    /// The node the stage happened at.
+    pub node: u32,
+    /// Simulated time of the stage, microseconds.
+    pub at_us: u64,
+}
+
+/// The reconstructed journey of one sampled transaction. Built by
+/// [`CommitPath::reconstruct`] from a merged trace recorded at
+/// [`TraceLevel::Commit`](crate::TraceLevel::Commit) or above.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitPath {
+    /// Fingerprint of the sampled transaction.
+    pub tx: u64,
+    /// Fingerprint of the block that carried it to commit.
+    pub block: u64,
+    /// Stages in causal order (`forward`/`relay` are absent when the
+    /// origin was the proposer or no relay was recorded).
+    pub stages: Vec<PathStage>,
+}
+
+impl CommitPath {
+    /// Follows the **first committed** transaction of the trace:
+    /// `TxInject` at its origin, optional `TxForward`, `TxBatched` +
+    /// `Propose` at the proposer, the first `Relay` of the carrying
+    /// block, and the origin's `Commit` of that block. Returns `None`
+    /// when no injected transaction commits within the trace (e.g. the
+    /// run had no workload, or tracing was off).
+    pub fn reconstruct(merged: &[TraceEvent]) -> Option<CommitPath> {
+        // First-occurrence indices per fingerprint, one linear pass.
+        let mut forward_by_tx: HashMap<u64, &TraceEvent> = HashMap::new();
+        let mut batch_by_tx: HashMap<u64, (&TraceEvent, u64)> = HashMap::new();
+        let mut propose_by_block: HashMap<u64, &TraceEvent> = HashMap::new();
+        let mut relay_by_block: HashMap<u64, &TraceEvent> = HashMap::new();
+        let mut commit_at: HashMap<(u32, u64), &TraceEvent> = HashMap::new();
+        for ev in merged {
+            match ev.kind {
+                EventKind::TxForward { tx, .. } => {
+                    forward_by_tx.entry(tx).or_insert(ev);
+                }
+                EventKind::TxBatched { tx, block } => {
+                    batch_by_tx.entry(tx).or_insert((ev, block));
+                }
+                EventKind::Propose { block, .. } => {
+                    propose_by_block.entry(block).or_insert(ev);
+                }
+                EventKind::Relay { block } => {
+                    relay_by_block.entry(block).or_insert(ev);
+                }
+                EventKind::Commit { block, .. } => {
+                    commit_at.entry((ev.node, block)).or_insert(ev);
+                }
+                _ => {}
+            }
+        }
+
+        for ev in merged {
+            let EventKind::TxInject { tx } = ev.kind else { continue };
+            let Some(&(batched, block)) = batch_by_tx.get(&tx) else { continue };
+            let Some(&committed) = commit_at.get(&(ev.node, block)) else { continue };
+            let mut stages = vec![PathStage { stage: "inject", node: ev.node, at_us: ev.time_us }];
+            if let Some(fwd) = forward_by_tx.get(&tx) {
+                stages.push(PathStage { stage: "forward", node: fwd.node, at_us: fwd.time_us });
+            }
+            stages.push(PathStage { stage: "batch", node: batched.node, at_us: batched.time_us });
+            if let Some(prop) = propose_by_block.get(&block) {
+                stages.push(PathStage { stage: "propose", node: prop.node, at_us: prop.time_us });
+            }
+            if let Some(relay) = relay_by_block.get(&block) {
+                stages.push(PathStage { stage: "relay", node: relay.node, at_us: relay.time_us });
+            }
+            stages.push(PathStage {
+                stage: "commit",
+                node: committed.node,
+                at_us: committed.time_us,
+            });
+            return Some(CommitPath { tx, block, stages });
+        }
+        None
+    }
+
+    /// Birth-to-commit latency, microseconds.
+    pub fn total_us(&self) -> u64 {
+        match (self.stages.first(), self.stages.last()) {
+            (Some(first), Some(last)) => last.at_us.saturating_sub(first.at_us),
+            _ => 0,
+        }
+    }
+
+    /// A human-readable per-hop breakdown, one stage per line with the
+    /// delta from the previous stage.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "commit path of tx {:016x} (block {:016x}), {} us birth->commit:\n",
+            self.tx,
+            self.block,
+            self.total_us()
+        );
+        let mut prev: Option<u64> = None;
+        for stage in &self.stages {
+            let delta = prev.map_or(0, |p| stage.at_us.saturating_sub(p));
+            out.push_str(&format!(
+                "  {:>8} @ node {:<3} t={:>8} us  (+{} us)\n",
+                stage.stage, stage.node, stage.at_us, delta
+            ));
+            prev = Some(stage.at_us);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time_us: u64, node: u32, seq: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { time_us, node, seq, kind }
+    }
+
+    #[test]
+    fn reconstructs_a_forwarded_transaction() {
+        let merged = vec![
+            ev(100, 2, 0, EventKind::TxInject { tx: 0xAA }),
+            ev(150, 2, 1, EventKind::TxForward { tx: 0xAA, leader: 0 }),
+            ev(300, 0, 0, EventKind::TxBatched { tx: 0xAA, block: 0xB0 }),
+            ev(300, 0, 1, EventKind::Propose { block: 0xB0, view: 1, round: 2 }),
+            ev(400, 1, 0, EventKind::Relay { block: 0xB0 }),
+            ev(900, 0, 2, EventKind::Commit { block: 0xB0, height: 1 }),
+            ev(950, 2, 2, EventKind::Commit { block: 0xB0, height: 1 }),
+        ];
+        let path = CommitPath::reconstruct(&merged).expect("tx committed");
+        assert_eq!(path.tx, 0xAA);
+        assert_eq!(path.block, 0xB0);
+        let stages: Vec<&str> = path.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(stages, vec!["inject", "forward", "batch", "propose", "relay", "commit"]);
+        // The commit is the origin's, not the proposer's.
+        assert_eq!(path.stages.last().unwrap().node, 2);
+        assert_eq!(path.total_us(), 850);
+        let rendered = path.render();
+        assert!(rendered.contains("commit path of tx 00000000000000aa"));
+        assert!(rendered.contains("forward"));
+    }
+
+    #[test]
+    fn skips_transactions_that_never_commit() {
+        let merged = vec![
+            ev(10, 1, 0, EventKind::TxInject { tx: 1 }),
+            ev(20, 2, 0, EventKind::TxInject { tx: 2 }),
+            ev(30, 0, 0, EventKind::TxBatched { tx: 2, block: 5 }),
+            ev(90, 2, 1, EventKind::Commit { block: 5, height: 1 }),
+        ];
+        let path = CommitPath::reconstruct(&merged).expect("tx 2 committed");
+        assert_eq!(path.tx, 2);
+        let stages: Vec<&str> = path.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(stages, vec!["inject", "batch", "commit"]);
+    }
+
+    #[test]
+    fn empty_or_workloadless_traces_yield_none() {
+        assert_eq!(CommitPath::reconstruct(&[]), None);
+        let no_commit = vec![ev(10, 1, 0, EventKind::TxInject { tx: 1 })];
+        assert_eq!(CommitPath::reconstruct(&no_commit), None);
+    }
+}

@@ -1,0 +1,192 @@
+//! Chrome-trace / Perfetto JSON export.
+//!
+//! Renders a [`TraceSet`] in the Trace Event Format that
+//! `chrome://tracing` and <https://ui.perfetto.dev> open directly: one
+//! track (`tid`) per node, a complete-span (`ph:"X"`) per view derived
+//! from `ViewEnter` events, and an instant (`ph:"i"`) per recorded
+//! event. The output is rendered **one event per line** in the canonical
+//! merged order, so two exports of equivalent runs are line-identical
+//! and the `trace_diff` binary can pinpoint the first divergence.
+
+use crate::{EventKind, TraceEvent, TraceSet};
+
+fn args_json(kind: &EventKind) -> String {
+    match *kind {
+        EventKind::TxInject { tx } => format!(r#"{{"tx":"{tx:016x}"}}"#),
+        EventKind::TxForward { tx, leader } => {
+            format!(r#"{{"tx":"{tx:016x}","leader":{leader}}}"#)
+        }
+        EventKind::TxBatched { tx, block } => {
+            format!(r#"{{"tx":"{tx:016x}","block":"{block:016x}"}}"#)
+        }
+        EventKind::Propose { block, view, round } => {
+            format!(r#"{{"block":"{block:016x}","view":{view},"round":{round}}}"#)
+        }
+        EventKind::Relay { block } => format!(r#"{{"block":"{block:016x}"}}"#),
+        EventKind::Vote { block, view } => {
+            format!(r#"{{"block":"{block:016x}","view":{view}}}"#)
+        }
+        EventKind::Commit { block, height } => {
+            format!(r#"{{"block":"{block:016x}","height":{height}}}"#)
+        }
+        EventKind::Blame { view }
+        | EventKind::Equivocation { view }
+        | EventKind::VcQuit { view }
+        | EventKind::ViewEnter { view } => format!(r#"{{"view":{view}}}"#),
+        EventKind::TimerFire { id } => format!(r#"{{"id":{id}}}"#),
+        EventKind::MsgSend { bytes, flood } => {
+            format!(r#"{{"bytes":{bytes},"flood":{flood}}}"#)
+        }
+        EventKind::MsgDeliver { from, bytes, flood } => {
+            format!(r#"{{"from":{from},"bytes":{bytes},"flood":{flood}}}"#)
+        }
+    }
+}
+
+fn class_name(kind: &EventKind) -> &'static str {
+    match kind.class() {
+        crate::TraceClass::Commit => "commit",
+        crate::TraceClass::Proto => "proto",
+        crate::TraceClass::Wire => "wire",
+    }
+}
+
+fn instant_json(ev: &TraceEvent) -> String {
+    format!(
+        r#"{{"name":"{}","ph":"i","s":"t","pid":0,"tid":{},"ts":{},"cat":"{}","args":{}}}"#,
+        ev.kind.name(),
+        ev.node,
+        ev.time_us,
+        class_name(&ev.kind),
+        args_json(&ev.kind)
+    )
+}
+
+/// Renders the trace as a Trace Event Format JSON document, one event
+/// per line, deterministically ordered.
+pub fn render(set: &TraceSet) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    // Track metadata: name each node's track.
+    for node in &set.nodes {
+        lines.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{},"args":{{"name":"node {}"}}}}"#,
+            node.node, node.node
+        ));
+    }
+    // View spans per node: ViewEnter marks a span boundary; the last
+    // span extends to the node's final event.
+    for node in &set.nodes {
+        let enters: Vec<&TraceEvent> =
+            node.events.iter().filter(|e| matches!(e.kind, EventKind::ViewEnter { .. })).collect();
+        let last_us = node.events.last().map_or(0, |e| e.time_us);
+        for (i, enter) in enters.iter().enumerate() {
+            let EventKind::ViewEnter { view } = enter.kind else { unreachable!() };
+            let end = enters.get(i + 1).map_or(last_us, |next| next.time_us);
+            let dur = end.saturating_sub(enter.time_us).max(1);
+            lines.push(format!(
+                r#"{{"name":"view {}","ph":"X","pid":0,"tid":{},"ts":{},"dur":{},"cat":"view"}}"#,
+                view, node.node, enter.time_us, dur
+            ));
+        }
+    }
+    for ev in set.merged() {
+        lines.push(instant_json(&ev));
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// A minimal structural JSON validator: balanced braces and brackets
+/// outside strings, legal string escapes, and no trailing garbage. Not
+/// a full parser — just enough for CI to assert an exported trace is
+/// well-formed without external tooling.
+pub fn is_well_formed_json(text: &str) -> bool {
+    let mut stack: Vec<u8> = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut saw_value = false;
+    for b in text.bytes() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => {
+                in_string = true;
+                saw_value = true;
+            }
+            b'{' => stack.push(b'}'),
+            b'[' => stack.push(b']'),
+            b'}' | b']' => {
+                if stack.pop() != Some(b) {
+                    return false;
+                }
+                saw_value = true;
+            }
+            _ => {}
+        }
+    }
+    saw_value && !in_string && stack.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeTrace, TraceLevel, Tracer};
+
+    fn sample_set() -> TraceSet {
+        let mut t0 = Tracer::new(TraceLevel::All, 0);
+        let mut t1 = Tracer::new(TraceLevel::All, 1);
+        t0.record(0, EventKind::ViewEnter { view: 1 });
+        t0.record(10, EventKind::Propose { block: 0xB0, view: 1, round: 1 });
+        t1.record(20, EventKind::Relay { block: 0xB0 });
+        t1.record(50, EventKind::ViewEnter { view: 2 });
+        t0.record(60, EventKind::Commit { block: 0xB0, height: 1 });
+        TraceSet { nodes: vec![t0.drain(), t1.drain()] }
+    }
+
+    #[test]
+    fn render_is_well_formed_and_one_event_per_line() {
+        let doc = render(&sample_set());
+        assert!(is_well_formed_json(&doc), "exported trace parses");
+        assert!(doc.starts_with("{\"traceEvents\":[\n"));
+        assert!(doc.contains(r#""name":"node 0""#));
+        assert!(doc.contains(r#""name":"view 1""#));
+        assert!(doc.contains(r#""name":"propose""#));
+        // One JSON object per line between the wrapper lines.
+        for line in doc.lines().skip(1) {
+            if line == "]}" {
+                break;
+            }
+            assert!(line.starts_with('{'), "line is one event: {line}");
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        assert_eq!(render(&sample_set()), render(&sample_set()));
+    }
+
+    #[test]
+    fn empty_trace_still_renders_valid_json() {
+        let doc = render(&TraceSet { nodes: vec![NodeTrace::default()] });
+        assert!(is_well_formed_json(&doc));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(!is_well_formed_json(""));
+        assert!(!is_well_formed_json("{\"a\":["));
+        assert!(!is_well_formed_json("{\"a\":1]}"));
+        assert!(!is_well_formed_json("{\"a\":\"unterminated"));
+        assert!(is_well_formed_json("{\"a\":[1,2,{\"b\":\"c\"}]}"));
+    }
+}

@@ -149,7 +149,7 @@ proptest! {
             }
         }
         prop_assert_eq!(
-            pool.in_flight() + pool.tx_latencies().len(),
+            pool.in_flight() + pool.tx_latencies().count() as usize,
             source.injected() as usize,
             "every injected transaction is either in flight or settled"
         );

@@ -324,3 +324,68 @@ fn seed_actually_matters_somewhere() {
         "eight different seeds produced eight identical reports; is the seed wired through?"
     );
 }
+
+#[test]
+fn traces_are_bit_identical_across_shards() {
+    // The trace extends the determinism contract: events are stamped
+    // (time, node, node-local seq) from node-local state only, so the
+    // shard count — which reorders *execution* but not virtual time —
+    // cannot move, drop, or reorder a single event.
+    use eesmr_net::TraceLevel;
+    let base = Scenario::new(Protocol::Eesmr, 6, 3)
+        .workload(bursty_workload())
+        .stop(StopWhen::Blocks(4))
+        .trace(TraceLevel::All);
+    let (reference_report, reference_trace) = base.clone().shards(1).run_traced();
+    assert!(reference_trace.total_events() > 0, "tracing recorded something");
+    for shards in [2usize, 4] {
+        let (report, trace) = base.clone().shards(shards).run_traced();
+        assert_eq!(reference_trace, trace, "trace diverged with {shards} shards");
+        assert_eq!(reference_report, report, "report diverged with {shards} shards");
+    }
+    // Same contract for the scheduler knob.
+    let (_, calendar) = base.clone().scheduler(SchedulerKind::Calendar).run_traced();
+    let (_, heap) = base.clone().scheduler(SchedulerKind::Heap).run_traced();
+    assert_eq!(calendar, heap, "trace diverged across schedulers");
+}
+
+#[test]
+fn traces_are_bit_identical_across_workers() {
+    // Fanning traced scenarios over the driver's worker pool must yield
+    // the same traces as running them inline.
+    use eesmr_net::TraceLevel;
+    use eesmr_trace::TraceSet;
+    let scenarios: Vec<Scenario> = [Protocol::Eesmr, Protocol::SyncHotStuff, Protocol::OptSync]
+        .into_iter()
+        .map(|p| {
+            Scenario::new(p, 5, 2)
+                .workload(bursty_workload())
+                .stop(StopWhen::Blocks(3))
+                .trace(TraceLevel::All)
+        })
+        .collect();
+    let traced = |workers: usize| -> Vec<TraceSet> {
+        Driver::new(DriverConfig::default().workers(workers)).map(&scenarios, |s| s.run_traced().1)
+    };
+    let inline = traced(1);
+    assert!(inline.iter().all(|t| t.total_events() > 0));
+    assert_eq!(inline, traced(8), "worker count leaked into the traces");
+}
+
+#[test]
+fn tracing_cannot_perturb_results() {
+    // Every level from off to all must produce the same RunReport for
+    // every protocol: tracing is pure observation.
+    use eesmr_net::TraceLevel;
+    for protocol in
+        [Protocol::Eesmr, Protocol::SyncHotStuff, Protocol::OptSync, Protocol::TrustedBaseline]
+    {
+        let base =
+            Scenario::new(protocol, 5, 2).workload(bursty_workload()).stop(StopWhen::Blocks(3));
+        let off = base.clone().trace(TraceLevel::Off).run();
+        for level in [TraceLevel::Commit, TraceLevel::Proto, TraceLevel::All] {
+            let traced = base.clone().trace(level).run();
+            assert_eq!(off, traced, "{protocol:?} diverged at {}", level.name());
+        }
+    }
+}
