@@ -38,4 +38,4 @@ pub mod trusted;
 
 pub use status::{check_prefix_consistency, SmrStatus};
 pub use sync_hotstuff::{build_hs_replicas, HsConfig, HsFault, HsPacing, HsReplica, HsVariant};
-pub use trusted::{build_tb_nodes, TbConfig, TbNode, HUB};
+pub use trusted::{build_tb_nodes, TbConfig, TbFault, TbNode, HUB};

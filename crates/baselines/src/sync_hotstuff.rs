@@ -171,6 +171,20 @@ pub enum HsPayload {
         /// per-hop clones are refcount bumps).
         commands: Commands,
     },
+    /// A restarted replica's catch-up request (crash-recovery repair).
+    Repair {
+        /// The requester's last durable committed height.
+        from_height: u64,
+    },
+    /// A committed-chain suffix answering a [`HsPayload::Repair`]
+    /// (hash-chained oldest first, so it is self-certifying), plus the
+    /// responder's current view.
+    RepairReply {
+        /// Committed blocks above the requested height, oldest first.
+        blocks: Vec<Block>,
+        /// The responder's current view.
+        view: u64,
+    },
 }
 
 impl HsPayload {
@@ -184,6 +198,8 @@ impl HsPayload {
             HsPayload::SyncRequest { .. } => MsgKind::SyncRequest,
             HsPayload::SyncResponse { .. } => MsgKind::SyncResponse,
             HsPayload::Forward { .. } => MsgKind::Forward,
+            HsPayload::Repair { .. } => MsgKind::Repair,
+            HsPayload::RepairReply { .. } => MsgKind::RepairReply,
         }
     }
 
@@ -215,6 +231,17 @@ impl HsPayload {
                 }
                 Digest::of(&h)
             }
+            HsPayload::Repair { from_height } => {
+                Digest::of_parts(&[b"hs-repair", &from_height.to_le_bytes()])
+            }
+            HsPayload::RepairReply { blocks, view } => {
+                let mut h = Vec::from(&b"hs-repair-reply"[..]);
+                h.extend_from_slice(&view.to_le_bytes());
+                for b in blocks {
+                    h.extend_from_slice(b.id().as_bytes());
+                }
+                Digest::of(&h)
+            }
         }
     }
 
@@ -234,6 +261,10 @@ impl HsPayload {
             HsPayload::SyncRequest { .. } => 32,
             HsPayload::SyncResponse { blocks } => blocks.iter().map(Block::wire_size).sum(),
             HsPayload::Forward { commands } => commands.iter().map(|c| c.len() + 4).sum(),
+            HsPayload::Repair { .. } => 8,
+            HsPayload::RepairReply { blocks, .. } => {
+                8 + blocks.iter().map(Block::wire_size).sum::<usize>()
+            }
         }
     }
 }
@@ -319,6 +350,9 @@ pub enum HsTimer {
     /// Δ flush deadline for a sub-threshold forward batch (armed when
     /// `forward_batch > 1` and the backlog is below the threshold).
     ForwardFlush,
+    /// A crashed node's restart point ([`HsFault::Crash`] with a
+    /// `restart_at_us`): re-arm timers and run the repair protocol.
+    Restart,
 }
 
 /// Injected fault behaviour (mirrors `eesmr_core::FaultMode`).
@@ -336,13 +370,70 @@ pub enum HsFault {
         /// The view.
         in_view: u64,
     },
+    /// Withholds its explicit vote from `from_view` on while otherwise
+    /// following the protocol — the quorum-starving adversary the
+    /// certificate-based baselines are sensitive to.
+    Withhold {
+        /// First view in which votes are withheld.
+        from_view: u64,
+    },
+    /// Re-multicasts every vote `repeats` extra times from `from_view`
+    /// on: dedup absorbs the copies but traffic and energy inflate.
+    Storm {
+        /// First storming view.
+        from_view: u64,
+        /// Extra copies per vote.
+        repeats: u32,
+    },
+    /// Crashes at `at_us`; if `restart_at_us` is set, restarts then and
+    /// runs the repair protocol to catch up.
+    Crash {
+        /// Outage start (µs).
+        at_us: u64,
+        /// Restart time (µs), or `None` to stay down.
+        restart_at_us: Option<u64>,
+    },
 }
 
 impl HsFault {
     fn is_active_in(&self, view: u64) -> bool {
         match self {
-            HsFault::Honest | HsFault::Equivocate { .. } => true,
+            HsFault::Honest
+            | HsFault::Equivocate { .. }
+            | HsFault::Withhold { .. }
+            | HsFault::Storm { .. }
+            | HsFault::Crash { .. } => true,
             HsFault::Silent { from_view } => view < *from_view,
+        }
+    }
+
+    fn online(&self, now_us: u64) -> bool {
+        match self {
+            HsFault::Crash { at_us, restart_at_us } => {
+                now_us < *at_us || restart_at_us.is_some_and(|r| now_us >= r)
+            }
+            _ => true,
+        }
+    }
+
+    fn relays_in(&self, view: u64) -> bool {
+        match self {
+            HsFault::Withhold { from_view } => view < *from_view,
+            _ => true,
+        }
+    }
+
+    fn storm_repeats_in(&self, view: u64) -> u32 {
+        match self {
+            HsFault::Storm { from_view, repeats } if view >= *from_view => *repeats,
+            _ => 0,
+        }
+    }
+
+    fn restart_at_us(&self) -> Option<u64> {
+        match self {
+            HsFault::Crash { restart_at_us, .. } => *restart_at_us,
+            _ => None,
         }
     }
 }
@@ -757,19 +848,30 @@ impl HsReplica {
         // counts towards our certificate immediately (the loopback copy is
         // swallowed by the relay dedup).
         let height = block.height;
-        if ctx.traces(TraceClass::Proto) {
-            ctx.trace(TraceEventKind::Vote {
-                block: eesmr_core::block::fingerprint(&block_id),
-                view: self.v_cur,
-            });
+        // A withholding node accepts the proposal (timers, tip, commit
+        // path all run) but never emits its vote — the quorum-starving
+        // adversary; a storming node repeats its vote, which the
+        // receivers' dedup absorbs while traffic inflates.
+        if self.fault.relays_in(self.v_cur) {
+            if ctx.traces(TraceClass::Proto) {
+                ctx.trace(TraceEventKind::Vote {
+                    block: eesmr_core::block::fingerprint(&block_id),
+                    view: self.v_cur,
+                });
+            }
+            if ctx.traces(TraceClass::Commit) {
+                ctx.trace(TraceEventKind::Relay {
+                    block: eesmr_core::block::fingerprint(&block_id),
+                });
+            }
+            let vote = self.sign(HsPayload::Vote { block_id, height }, ctx);
+            self.relayed_votes.insert((block_id, self.id));
+            self.votes.entry(block_id).or_default().insert(self.id, vote.sig.clone());
+            for _ in 0..self.fault.storm_repeats_in(self.v_cur) {
+                ctx.multicast(vote.clone());
+            }
+            ctx.multicast(vote);
         }
-        if ctx.traces(TraceClass::Commit) {
-            ctx.trace(TraceEventKind::Relay { block: eesmr_core::block::fingerprint(&block_id) });
-        }
-        let vote = self.sign(HsPayload::Vote { block_id, height }, ctx);
-        self.relayed_votes.insert((block_id, self.id));
-        self.votes.entry(block_id).or_default().insert(self.id, vote.sig.clone());
-        ctx.multicast(vote);
         self.try_form_cert(block_id, height, self.v_cur, ctx);
         self.try_fast_commit(block_id, ctx);
         let t = ctx.set_timer(
@@ -1143,6 +1245,106 @@ impl HsReplica {
             self.on_propose(from, m, ctx);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Crash-recovery repair protocol (mirrors `eesmr_core`'s).
+    // ------------------------------------------------------------------
+
+    fn online(&self, ctx: &Ctx<'_>) -> bool {
+        self.fault.online(ctx.now().as_micros())
+    }
+
+    /// Restart after an outage: volatile timers died with the process,
+    /// the committed prefix is durable — re-arm and ask for the rest.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        self.cancel_commit_timers(ctx);
+        self.forward_flush_armed = false;
+        self.reset_blame_timer(self.config.steady_blame_multiple(), ctx);
+        if let Some(source) = &mut self.workload {
+            if let Some(delay) = source.next_arrival_in(ctx.now().as_micros()) {
+                ctx.set_timer(SimDuration::from_micros(delay), HsTimer::Arrival);
+            }
+        }
+        self.metrics.repair_requests += 1;
+        let msg = self.sign(HsPayload::Repair { from_height: self.b_com_height }, ctx);
+        ctx.flood(msg);
+    }
+
+    fn on_repair(&mut self, _from: NodeId, msg: HsMsg, ctx: &mut Ctx<'_>) {
+        let HsPayload::Repair { from_height } = msg.payload else { return };
+        if !self.verify_envelope(&msg, ctx) || self.b_com_height <= from_height {
+            return;
+        }
+        let mut blocks = Vec::new();
+        let mut cur = self.b_com;
+        while let Some(b) = self.store.get(&cur) {
+            if b.height <= from_height || blocks.len() >= 256 {
+                break;
+            }
+            blocks.push(b.clone());
+            cur = b.parent;
+        }
+        blocks.reverse();
+        if blocks.is_empty() {
+            return;
+        }
+        self.metrics.repairs_served += 1;
+        let reply = self.sign(HsPayload::RepairReply { blocks, view: self.v_cur }, ctx);
+        ctx.send_to(msg.signer, reply);
+    }
+
+    fn on_repair_reply(&mut self, _from: NodeId, msg: HsMsg, ctx: &mut Ctx<'_>) {
+        let HsPayload::RepairReply { blocks, view } = msg.payload else { return };
+        // Self-certifying: hash-linked oldest first, rooted in a block we
+        // already hold.
+        let Some(first) = blocks.first() else { return };
+        if !self.store.contains(&first.parent)
+            || blocks.windows(2).any(|w| w[1].parent != w[0].id())
+        {
+            return;
+        }
+        let tip = blocks.last().expect("non-empty").clone();
+        let mut unblocked = Vec::new();
+        for block in blocks {
+            ctx.meter().charge_hash(block.wire_size());
+            let id = self.store.insert(block);
+            self.sync_requested.remove(&id);
+            if let Some(waiting) = self.orphans.remove(&id) {
+                unblocked.extend(waiting);
+            }
+        }
+        let tip_id = tip.id();
+        self.commit_block(tip_id, ctx);
+        if tip.height > self.tip_height {
+            self.tip = tip_id;
+            self.tip_height = tip.height;
+        }
+        // Jump straight to the network's view — it ran any view changes
+        // while this node was down.
+        if view > self.v_cur {
+            self.v_cur = view;
+            self.view_aborted = false;
+            self.quit_scheduled = false;
+            self.blames.clear();
+            self.statuses.clear();
+            self.new_view_proposed = false;
+            self.txpool.requeue_unresolved();
+            self.reset_blame_timer(self.config.steady_blame_multiple(), ctx);
+            self.forward_backlog(ctx);
+            let pending: Vec<(NodeId, HsMsg)> = {
+                let (now, later): (Vec<_>, Vec<_>) =
+                    self.future_views.drain(..).partition(|(_, m)| m.view <= self.v_cur);
+                self.future_views = later;
+                now
+            };
+            for (f, m) in pending {
+                self.on_message(f, m, ctx);
+            }
+        }
+        for (f, m) in unblocked {
+            self.on_propose(f, m, ctx);
+        }
+    }
 }
 
 impl Actor for HsReplica {
@@ -1150,7 +1352,12 @@ impl Actor for HsReplica {
     type Timer = HsTimer;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        if !self.active() {
+        // The restart point must be armed even for a node that will be
+        // offline when it fires — that is the whole point of it.
+        if let Some(restart) = self.fault.restart_at_us() {
+            ctx.set_timer(SimDuration::from_micros(restart), HsTimer::Restart);
+        }
+        if !self.active() || !self.online(ctx) {
             return;
         }
         self.reset_blame_timer(self.config.steady_blame_multiple(), ctx);
@@ -1163,7 +1370,7 @@ impl Actor for HsReplica {
     }
 
     fn on_message(&mut self, from: NodeId, msg: HsMsg, ctx: &mut Ctx<'_>) {
-        if !self.active() {
+        if !self.active() || !self.online(ctx) {
             return;
         }
         match msg.payload {
@@ -1175,11 +1382,15 @@ impl Actor for HsReplica {
             HsPayload::SyncRequest { .. } => self.on_sync_request(from, msg, ctx),
             HsPayload::SyncResponse { .. } => self.on_sync_response(from, msg, ctx),
             HsPayload::Forward { .. } => self.on_forward(msg, ctx),
+            HsPayload::Repair { .. } => self.on_repair(from, msg, ctx),
+            HsPayload::RepairReply { .. } => self.on_repair_reply(from, msg, ctx),
         }
     }
 
     fn on_timer(&mut self, token: HsTimer, ctx: &mut Ctx<'_>) {
-        if !self.active() {
+        // The restart timer fires exactly when the outage ends, so the
+        // online gate admits it; timers that fire mid-outage die here.
+        if !self.active() || !self.online(ctx) {
             return;
         }
         match token {
@@ -1192,6 +1403,7 @@ impl Actor for HsReplica {
                 self.forward_flush_armed = false;
                 self.forward_backlog(ctx);
             }
+            HsTimer::Restart => self.on_restart(ctx),
         }
     }
 }

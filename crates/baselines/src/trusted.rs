@@ -40,6 +40,74 @@ pub enum TbPayload {
         /// The block.
         block: Block,
     },
+    /// A lagging spoke's catch-up request: "send the hub-signed chain
+    /// above `from_height`" (issued after an outage or an out-of-order
+    /// `Ordered`, which previously stalled the spoke forever).
+    Repair {
+        /// The spoke's committed height.
+        from_height: u64,
+    },
+    /// The hub's answer: the ordered-chain suffix, oldest first.
+    RepairReply {
+        /// Blocks above the requested height, oldest first.
+        blocks: Vec<Block>,
+    },
+}
+
+/// Fault behaviour injected into a spoke (the externally powered hub is
+/// always honest). The trusted baseline has no views, so faults are
+/// time-keyed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TbFault {
+    /// Follows the protocol.
+    Honest,
+    /// Stops uploading and processing from `from_us` on (models silent
+    /// and vote-withholding adversaries, which the hub reduces to the
+    /// same thing: a spoke that contributes nothing).
+    Silent {
+        /// First silent microsecond.
+        from_us: u64,
+    },
+    /// Re-sends every upload `repeats` extra times (duplicate storms;
+    /// the hub dedups by upload content, but the expensive link pays).
+    Storm {
+        /// Extra copies per upload.
+        repeats: u32,
+    },
+    /// Crashes at `at_us`; with a `restart_at_us` the spoke comes back
+    /// and repairs from the hub.
+    Crash {
+        /// Outage start (µs).
+        at_us: u64,
+        /// Restart time (µs), or `None` to stay down.
+        restart_at_us: Option<u64>,
+    },
+}
+
+impl TbFault {
+    fn active(&self, now_us: u64) -> bool {
+        match self {
+            TbFault::Silent { from_us } => now_us < *from_us,
+            TbFault::Crash { at_us, restart_at_us } => {
+                now_us < *at_us || restart_at_us.is_some_and(|r| now_us >= r)
+            }
+            _ => true,
+        }
+    }
+
+    fn storm_repeats(&self) -> u32 {
+        match self {
+            TbFault::Storm { repeats } => *repeats,
+            _ => 0,
+        }
+    }
+
+    fn restart_at_us(&self) -> Option<u64> {
+        match self {
+            TbFault::Crash { restart_at_us, .. } => *restart_at_us,
+            _ => None,
+        }
+    }
 }
 
 /// A signed trusted-baseline message.
@@ -65,6 +133,16 @@ impl TbPayload {
                 Digest::of_parts(&[b"tb-req", &bytes])
             }
             TbPayload::Ordered { block } => block.id(),
+            TbPayload::Repair { from_height } => {
+                Digest::of_parts(&[b"tb-repair", &from_height.to_le_bytes()])
+            }
+            TbPayload::RepairReply { blocks } => {
+                let mut bytes = Vec::with_capacity(32 * blocks.len());
+                for b in blocks {
+                    bytes.extend_from_slice(b.id().as_bytes());
+                }
+                Digest::of_parts(&[b"tb-repair-reply", &bytes])
+            }
         }
     }
 
@@ -72,6 +150,8 @@ impl TbPayload {
         match self {
             TbPayload::Request { batch, .. } => 8 + batch.iter().map(Command::len).sum::<usize>(),
             TbPayload::Ordered { block } => block.wire_size(),
+            TbPayload::Repair { .. } => 8,
+            TbPayload::RepairReply { blocks } => blocks.iter().map(Block::wire_size).sum(),
         }
     }
 }
@@ -114,6 +194,9 @@ pub enum TbTimer {
     /// The next client-transaction arrival from the attached
     /// `WorkloadSource` (spokes only).
     Arrival,
+    /// A crashed spoke coming back online (armed at start from the
+    /// fault schedule; fires exactly when `TbFault::active` flips back).
+    Restart,
 }
 
 /// Configuration.
@@ -165,6 +248,8 @@ pub struct TbNode {
     committed_height: u64,
     first_seen: std::collections::HashMap<Digest, SimTime>,
     metrics: Metrics,
+    fault: TbFault,
+    repair_inflight: bool,
 }
 
 impl core::fmt::Debug for TbNode {
@@ -200,6 +285,8 @@ impl TbNode {
             committed_height: 0,
             first_seen: std::collections::HashMap::new(),
             metrics: Metrics::default(),
+            fault: TbFault::Honest,
+            repair_inflight: false,
         }
     }
 
@@ -278,6 +365,26 @@ impl TbNode {
             TbMsg::new(TbPayload::Request { batch: batch.into(), seq }, self.pki.keypair(self.id));
         ctx.meter().charge_sign(self.pki.scheme());
         ctx.meter().charge_hash(msg.wire_size());
+        for _ in 0..self.fault.storm_repeats() {
+            ctx.multicast(msg.clone());
+        }
+        ctx.multicast(msg); // the spoke's only edge points at the hub
+    }
+
+    /// Asks the hub for the signed chain suffix above our committed
+    /// height. Deduped: at most one request outstanding per spoke.
+    fn request_repair(&mut self, ctx: &mut Ctx<'_>) {
+        if self.repair_inflight {
+            return;
+        }
+        self.repair_inflight = true;
+        self.metrics.repair_requests += 1;
+        let msg = TbMsg::new(
+            TbPayload::Repair { from_height: self.committed_height },
+            self.pki.keypair(self.id),
+        );
+        ctx.meter().charge_sign(self.pki.scheme());
+        ctx.meter().charge_hash(msg.wire_size());
         ctx.multicast(msg); // the spoke's only edge points at the hub
     }
 }
@@ -287,6 +394,15 @@ impl Actor for TbNode {
     type Timer = TbTimer;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Armed before the fault gate: the sim starts at t = 0, so the
+        // delay equals the absolute restart time and the timer fires
+        // exactly when `TbFault::active` flips back on.
+        if let Some(restart_us) = self.fault.restart_at_us() {
+            ctx.set_timer(SimDuration::from_micros(restart_us), TbTimer::Restart);
+        }
+        if !self.fault.active(ctx.now().as_micros()) {
+            return;
+        }
         if self.is_hub() {
             ctx.set_timer(self.config.order_period, TbTimer::Order);
         } else {
@@ -300,6 +416,9 @@ impl Actor for TbNode {
     }
 
     fn on_message(&mut self, _from: NodeId, msg: TbMsg, ctx: &mut Ctx<'_>) {
+        if !self.fault.active(ctx.now().as_micros()) {
+            return; // crashed or silent: the process is not there
+        }
         match &msg.payload {
             TbPayload::Request { batch, .. } => {
                 if !self.is_hub() || msg.signer == HUB {
@@ -323,7 +442,13 @@ impl Actor for TbNode {
                 }
                 let block = block.clone();
                 if block.parent != self.tip {
-                    return; // out of order — the hub's signed chain is linear
+                    // A gap in the hub's linear chain (we missed blocks
+                    // during an outage or a lossy stretch): catch up
+                    // from the hub instead of stalling forever.
+                    if block.height > self.committed_height + 1 {
+                        self.request_repair(ctx);
+                    }
+                    return;
                 }
                 let id = self.store.insert(block.clone());
                 self.tip = id;
@@ -344,10 +469,78 @@ impl Actor for TbNode {
                 // Upload the next unit after each ordered block.
                 self.upload(ctx);
             }
+            TbPayload::Repair { from_height } => {
+                if !self.is_hub() || msg.signer == HUB {
+                    return;
+                }
+                ctx.meter().charge_verify(self.pki.scheme());
+                ctx.meter().charge_hash(msg.wire_size());
+                if !msg.verify_sig(&self.pki) {
+                    return;
+                }
+                if self.committed_height <= *from_height {
+                    return; // nothing newer to serve
+                }
+                // Walk the committed chain from the tip down to the
+                // requested height (capped to bound the reply; the
+                // spoke re-requests if still behind).
+                let mut blocks = Vec::new();
+                let mut cursor = self.tip;
+                while let Some(b) = self.store.get(&cursor) {
+                    if b.height <= *from_height || blocks.len() >= 256 {
+                        break;
+                    }
+                    cursor = b.parent;
+                    blocks.push(b.clone());
+                }
+                blocks.reverse();
+                self.metrics.repairs_served += 1;
+                let reply =
+                    TbMsg::new(TbPayload::RepairReply { blocks }, self.pki.keypair(self.id));
+                ctx.meter().charge_sign(self.pki.scheme());
+                ctx.meter().charge_hash(reply.wire_size());
+                ctx.send_to(msg.signer, reply);
+            }
+            TbPayload::RepairReply { blocks } => {
+                if self.is_hub() || msg.signer != HUB {
+                    return;
+                }
+                ctx.meter().charge_verify(self.pki.scheme());
+                ctx.meter().charge_hash(msg.wire_size());
+                if !msg.verify_sig(&self.pki) {
+                    return;
+                }
+                self.repair_inflight = false;
+                for block in blocks {
+                    if block.parent != self.tip {
+                        continue; // must extend our committed tip in order
+                    }
+                    let block = block.clone();
+                    let id = self.store.insert(block.clone());
+                    self.tip = id;
+                    self.committed_log.push(id);
+                    self.committed_height = block.height;
+                    self.metrics.blocks_committed += 1;
+                    self.metrics.committed_height = block.height;
+                    if ctx.traces(TraceClass::Commit) {
+                        ctx.trace(TraceEventKind::Commit {
+                            block: eesmr_core::block::fingerprint(&id),
+                            height: block.height,
+                        });
+                    }
+                    self.txpool.remove_committed(&block, ctx.now());
+                }
+                // Caught up (or as far as one capped reply gets us):
+                // resume the upload loop.
+                self.upload(ctx);
+            }
         }
     }
 
     fn on_timer(&mut self, token: TbTimer, ctx: &mut Ctx<'_>) {
+        if !self.fault.active(ctx.now().as_micros()) {
+            return; // timers armed before the outage die with the process
+        }
         match token {
             TbTimer::Order => {
                 if !self.is_hub() {
@@ -393,6 +586,17 @@ impl Actor for TbNode {
             }
             TbTimer::Upload => self.upload(ctx),
             TbTimer::Arrival => self.on_arrival(ctx),
+            TbTimer::Restart => {
+                // Back online: re-arm the workload feed and catch up on
+                // everything the hub ordered during the outage.
+                if let Some(source) = &mut self.workload {
+                    if let Some(delay) = source.next_arrival_in(ctx.now().as_micros()) {
+                        ctx.set_timer(SimDuration::from_micros(delay), TbTimer::Arrival);
+                    }
+                }
+                self.repair_inflight = false;
+                self.request_repair(ctx);
+            }
         }
     }
 }
@@ -411,7 +615,21 @@ impl crate::status::SmrStatus for TbNode {
     }
 }
 
-/// Builds the hub (node 0) plus `n − 1` CPS nodes.
-pub fn build_tb_nodes(config: &TbConfig, pki: &Arc<KeyStore>) -> Vec<TbNode> {
-    (0..config.n as NodeId).map(|id| TbNode::new(id, config.clone(), pki.clone())).collect()
+/// Builds the hub (node 0) plus `n − 1` CPS nodes. `faults` assigns a
+/// behaviour to each spoke; the externally powered hub is always honest
+/// regardless of what the closure returns for node 0.
+pub fn build_tb_nodes(
+    config: &TbConfig,
+    pki: &Arc<KeyStore>,
+    faults: impl Fn(NodeId) -> TbFault,
+) -> Vec<TbNode> {
+    (0..config.n as NodeId)
+        .map(|id| {
+            let mut node = TbNode::new(id, config.clone(), pki.clone());
+            if id != HUB {
+                node.fault = faults(id);
+            }
+            node
+        })
+        .collect()
 }

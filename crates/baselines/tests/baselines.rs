@@ -6,11 +6,11 @@ use eesmr_baselines::check_prefix_consistency;
 use eesmr_baselines::sync_hotstuff::{
     build_hs_replicas, HsConfig, HsFault, HsPacing, HsReplica, HsVariant,
 };
-use eesmr_baselines::trusted::{build_tb_nodes, TbConfig, TbNode, HUB};
+use eesmr_baselines::trusted::{build_tb_nodes, TbConfig, TbFault, TbNode, HUB};
 use eesmr_crypto::{KeyStore, SigScheme};
 use eesmr_energy::{EnergyCategory, Medium};
 use eesmr_hypergraph::topology::{ring_kcast, star};
-use eesmr_net::{ChannelCost, NetConfig, SimDuration, SimNet};
+use eesmr_net::{ChannelCost, NetConfig, NodeId, SimDuration, SimNet};
 
 fn run_hs(
     n: usize,
@@ -135,12 +135,16 @@ fn synchs_deterministic_replay() {
 }
 
 fn run_tb(n: usize, millis: u64) -> SimNet<TbNode> {
+    run_tb_faulty(n, millis, |_| TbFault::Honest)
+}
+
+fn run_tb_faulty(n: usize, millis: u64, faults: impl Fn(NodeId) -> TbFault) -> SimNet<TbNode> {
     // Star topology over the expensive medium (4G), as in §5.1.
     let mut cfg = NetConfig::ble(star(n, HUB), 9);
     cfg.channel = ChannelCost::PerByte { medium: Medium::FourG };
     let config = TbConfig::new(n, 64, SimDuration::from_millis(5));
     let pki = Arc::new(KeyStore::generate(n, SigScheme::Rsa1024, 9));
-    let nodes = build_tb_nodes(&config, &pki);
+    let nodes = build_tb_nodes(&config, &pki, faults);
     let mut net = SimNet::new(cfg, nodes);
     net.run_for(SimDuration::from_millis(millis));
     net
@@ -167,4 +171,69 @@ fn trusted_baseline_spokes_pay_expensive_medium() {
     }
     // The hub pays too — but harnesses exclude it from CPS totals.
     assert!(net.meter(HUB).total_mj() > 0.0);
+}
+
+#[test]
+fn trusted_baseline_crashed_spoke_repairs_and_rejoins() {
+    let fault = |id: NodeId| {
+        if id == 3 {
+            TbFault::Crash { at_us: 50_000, restart_at_us: Some(250_000) }
+        } else {
+            TbFault::Honest
+        }
+    };
+    let net = run_tb_faulty(6, 500, fault);
+    let hub_height = net.actor(HUB).committed_height();
+    assert!(hub_height >= 5, "the hub kept ordering, got {hub_height}");
+    let m = net.actor(3).metrics();
+    assert!(m.repair_requests >= 1, "the restarted spoke asked the hub to repair");
+    assert!(net.actor(HUB).metrics().repairs_served >= 1, "the hub served the repair");
+    assert!(
+        net.actor(3).committed_height() + 2 >= hub_height,
+        "spoke 3 caught back up: {} vs hub {hub_height}",
+        net.actor(3).committed_height()
+    );
+    let logs: Vec<&[eesmr_crypto::Digest]> = (0..6).map(|id| net.actor(id).committed()).collect();
+    check_prefix_consistency(&logs).expect("repair forked the trusted log");
+}
+
+#[test]
+fn trusted_baseline_storm_spoke_inflates_traffic_without_divergence() {
+    let honest = run_tb(6, 400);
+    let stormy = run_tb_faulty(6, 400, |id| {
+        if id == 2 {
+            TbFault::Storm { repeats: 3 }
+        } else {
+            TbFault::Honest
+        }
+    });
+    assert!(
+        stormy.stats().bytes_on_air > honest.stats().bytes_on_air,
+        "duplicate uploads cost real bytes on the expensive link"
+    );
+    let hub_height = stormy.actor(HUB).committed_height();
+    assert!(hub_height >= 3, "the hub still orders under a storm");
+    let logs: Vec<&[eesmr_crypto::Digest]> =
+        (0..6).map(|id| stormy.actor(id).committed()).collect();
+    check_prefix_consistency(&logs).expect("storm forked the trusted log");
+}
+
+#[test]
+fn trusted_baseline_silent_spoke_does_not_stop_the_rest() {
+    let net = run_tb_faulty(6, 400, |id| {
+        if id == 4 {
+            TbFault::Silent { from_us: 0 }
+        } else {
+            TbFault::Honest
+        }
+    });
+    let hub_height = net.actor(HUB).committed_height();
+    assert!(hub_height >= 3, "the hub orders from the remaining spokes");
+    assert_eq!(net.actor(4).committed_height(), 0, "the silent spoke never commits");
+    for id in 1..6u32 {
+        if id == 4 {
+            continue;
+        }
+        assert!(net.actor(id).committed_height() >= hub_height - 1, "spoke {id} follows the hub");
+    }
 }

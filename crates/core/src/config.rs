@@ -91,14 +91,81 @@ pub enum FaultMode {
         /// The view in which to equivocate.
         in_view: u64,
     },
+    /// Vote withholding: from `from_view` on, the node keeps processing
+    /// and committing but never relays its acceptance (EESMR's relay-once
+    /// multicast / Sync HotStuff's vote), starving quorum formation.
+    Withhold {
+        /// First view in which votes are withheld.
+        from_view: u64,
+    },
+    /// Duplicate/storm flooding: from `from_view` on, every proposal the
+    /// node relays is re-multicast `repeats` extra times. Flood
+    /// deduplication absorbs the copies, but traffic and energy inflate.
+    Storm {
+        /// First view in which the node storms.
+        from_view: u64,
+        /// Extra relay copies per accepted proposal.
+        repeats: u32,
+    },
+    /// Churn / crash-recovery: the node drops offline at `at_us` and, if
+    /// `restart_at_us` is set, comes back then and runs the repair
+    /// protocol to catch up before rejoining.
+    Crash {
+        /// Simulated time (µs) at which the node goes dark.
+        at_us: u64,
+        /// Simulated time (µs) at which it restarts (`None` = stays down).
+        restart_at_us: Option<u64>,
+    },
 }
 
 impl FaultMode {
-    /// Whether this node behaves correctly in `view`.
+    /// Whether this node behaves correctly in `view` (view-keyed faults
+    /// only; time-keyed [`FaultMode::Crash`] is judged by [`Self::online`]).
     pub fn is_active_in(&self, view: u64) -> bool {
         match self {
-            FaultMode::Honest | FaultMode::Equivocate { .. } => true,
+            FaultMode::Honest
+            | FaultMode::Equivocate { .. }
+            | FaultMode::Withhold { .. }
+            | FaultMode::Storm { .. }
+            | FaultMode::Crash { .. } => true,
             FaultMode::Silent { from_view } => view < *from_view,
+        }
+    }
+
+    /// Whether the node is powered on at simulated time `now_us`
+    /// (always true except inside a [`FaultMode::Crash`] outage window).
+    pub fn online(&self, now_us: u64) -> bool {
+        match self {
+            FaultMode::Crash { at_us, restart_at_us } => {
+                now_us < *at_us || restart_at_us.is_some_and(|r| now_us >= r)
+            }
+            _ => true,
+        }
+    }
+
+    /// Whether the node relays/votes for proposals it accepts in `view`
+    /// (false only for an active [`FaultMode::Withhold`]).
+    pub fn relays_in(&self, view: u64) -> bool {
+        match self {
+            FaultMode::Withhold { from_view } => view < *from_view,
+            _ => true,
+        }
+    }
+
+    /// Extra relay copies to emit per accepted proposal in `view`
+    /// (non-zero only for an active [`FaultMode::Storm`]).
+    pub fn storm_repeats_in(&self, view: u64) -> u32 {
+        match self {
+            FaultMode::Storm { from_view, repeats } if view >= *from_view => *repeats,
+            _ => 0,
+        }
+    }
+
+    /// The restart time of a recovering [`FaultMode::Crash`], if any.
+    pub fn restart_at_us(&self) -> Option<u64> {
+        match self {
+            FaultMode::Crash { restart_at_us, .. } => *restart_at_us,
+            _ => None,
         }
     }
 }
@@ -269,6 +336,46 @@ mod tests {
         assert!(silent.is_active_in(1));
         assert!(!silent.is_active_in(2));
         assert!(FaultMode::Equivocate { in_view: 1 }.is_active_in(1));
+    }
+
+    #[test]
+    fn withhold_processes_but_does_not_relay() {
+        let w = FaultMode::Withhold { from_view: 2 };
+        assert!(w.is_active_in(1) && w.relays_in(1));
+        // Withholding nodes stay protocol-active — only the relay stops.
+        assert!(w.is_active_in(2) && !w.relays_in(2));
+        // Honest and Storm nodes always relay.
+        assert!(FaultMode::Honest.relays_in(7));
+        assert!(FaultMode::Storm { from_view: 1, repeats: 3 }.relays_in(7));
+    }
+
+    #[test]
+    fn storm_repeats_only_once_active() {
+        let s = FaultMode::Storm { from_view: 3, repeats: 4 };
+        assert_eq!(s.storm_repeats_in(2), 0);
+        assert_eq!(s.storm_repeats_in(3), 4);
+        assert_eq!(FaultMode::Honest.storm_repeats_in(3), 0);
+        assert!(s.is_active_in(99), "storming nodes stay protocol-active");
+    }
+
+    #[test]
+    fn crash_window_and_restart() {
+        let perm = FaultMode::Crash { at_us: 100, restart_at_us: None };
+        assert!(perm.online(99));
+        assert!(!perm.online(100));
+        assert!(!perm.online(u64::MAX));
+        assert_eq!(perm.restart_at_us(), None);
+
+        let churn = FaultMode::Crash { at_us: 100, restart_at_us: Some(500) };
+        assert!(churn.online(0));
+        assert!(!churn.online(100));
+        assert!(!churn.online(499));
+        assert!(churn.online(500));
+        assert_eq!(churn.restart_at_us(), Some(500));
+        // Crash is time-keyed, never view-keyed.
+        assert!(churn.is_active_in(42));
+        // Non-crash modes are always online.
+        assert!(FaultMode::Silent { from_view: 1 }.online(u64::MAX));
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub enum MsgKind {
     /// proposer, so closed-loop workloads cannot strand transactions at
     /// nodes that never lead.
     Forward = 13,
+    /// Crash-recovery: a restarted replica asks peers for the committed
+    /// chain above its last durable height.
+    Repair = 14,
+    /// Crash-recovery: a committed-chain suffix answering a
+    /// [`MsgKind::Repair`], plus the responder's current view.
+    RepairReply = 15,
 }
 
 /// The canonical byte string covered by a signature: `(kind, view, data)`.
@@ -267,6 +273,22 @@ pub enum Payload {
         /// The forwarded commands, in injection order.
         commands: crate::block::Commands,
     },
+    /// A restarted replica's catch-up request: "send me the committed
+    /// chain above `from_height`" (crash-recovery repair protocol).
+    Repair {
+        /// The requester's last durable committed height.
+        from_height: u64,
+    },
+    /// A committed-chain suffix answering a [`Payload::Repair`]. The
+    /// blocks are hash-chained (oldest first), so the reply is
+    /// self-certifying once the requester checks the links; `view` tells
+    /// the recovering node which view the network has reached.
+    RepairReply {
+        /// Committed blocks above the requested height, oldest first.
+        blocks: Vec<Block>,
+        /// The responder's current view.
+        view: u64,
+    },
 }
 
 impl Payload {
@@ -285,6 +307,8 @@ impl Payload {
             Payload::SyncRequest { .. } => MsgKind::SyncRequest,
             Payload::SyncResponse { .. } => MsgKind::SyncResponse,
             Payload::Forward { .. } => MsgKind::Forward,
+            Payload::Repair { .. } => MsgKind::Repair,
+            Payload::RepairReply { .. } => MsgKind::RepairReply,
         }
     }
 
@@ -322,6 +346,17 @@ impl Payload {
                 }
                 Digest::of(&h)
             }
+            Payload::Repair { from_height } => {
+                Digest::of_parts(&[b"repair", &from_height.to_le_bytes()])
+            }
+            Payload::RepairReply { blocks, view } => {
+                let mut h = Vec::from(&b"repair-reply"[..]);
+                h.extend_from_slice(&view.to_le_bytes());
+                for b in blocks {
+                    h.extend_from_slice(b.id().as_bytes());
+                }
+                Digest::of(&h)
+            }
         }
     }
 
@@ -343,6 +378,10 @@ impl Payload {
             Payload::SyncRequest { .. } => 32,
             Payload::SyncResponse { blocks } => blocks.iter().map(Block::wire_size).sum(),
             Payload::Forward { commands } => commands.iter().map(|c| c.len() + 4).sum(),
+            Payload::Repair { .. } => 8,
+            Payload::RepairReply { blocks, .. } => {
+                8 + blocks.iter().map(Block::wire_size).sum::<usize>()
+            }
         }
     }
 }
@@ -536,6 +575,36 @@ mod tests {
         assert_eq!(status.highest(), Some((b2.id(), 2)));
         assert_eq!(status.len(), 2);
         assert!(!status.is_empty());
+    }
+
+    #[test]
+    fn repair_round_trip_and_digests() {
+        let pki = pki();
+        let req = SignedMsg::new(Payload::Repair { from_height: 7 }, 2, pki.keypair(1));
+        assert!(req.verify_sig(&pki));
+        assert!(req.matches(MsgKind::Repair, 2));
+        // Repair body is just the height.
+        assert_eq!(req.wire_size(), 13 + 8 + 128);
+
+        let g = Block::genesis();
+        let b1 = Block::extending(&g, 1, 3, vec![]);
+        let reply = SignedMsg::new(
+            Payload::RepairReply { blocks: vec![b1.clone()], view: 4 },
+            2,
+            pki.keypair(0),
+        );
+        assert!(reply.verify_sig(&pki));
+        assert!(reply.matches(MsgKind::RepairReply, 2));
+        // Replies with different chain suffixes or views sign differently.
+        let d1 = Payload::RepairReply { blocks: vec![b1.clone()], view: 4 }.signing_digest(2);
+        let d2 = Payload::RepairReply { blocks: vec![], view: 4 }.signing_digest(2);
+        let d3 = Payload::RepairReply { blocks: vec![b1], view: 5 }.signing_digest(2);
+        assert_ne!(d1, d2);
+        assert_ne!(d1, d3);
+        assert_ne!(
+            Payload::Repair { from_height: 7 }.signing_digest(2),
+            Payload::Repair { from_height: 8 }.signing_digest(2)
+        );
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub struct Metrics {
     pub proposals_rejected: u64,
     /// Chain-sync requests issued.
     pub sync_requests: u64,
+    /// Crash-recovery repair requests issued (once per restart).
+    pub repair_requests: u64,
+    /// Crash-recovery repair replies served to recovering peers.
+    pub repairs_served: u64,
     /// Workload transactions injected at this node (arrival events that
     /// passed the closed-loop bound).
     pub tx_injected: u64,

@@ -73,6 +73,15 @@ pub enum TimerToken {
     /// Δ flush deadline for a sub-threshold forward batch (see
     /// [`Config::forward_batch`](crate::Config)).
     ForwardFlush,
+    /// Periodic check for forwarded commands that never resolved: a
+    /// forward flood is fire-and-forget, so a partition (or a silently
+    /// absent leader) can swallow it without any view change to trigger
+    /// the usual re-queue. The retry requeues and re-forwards anything
+    /// still unresolved after the retry window.
+    ForwardRetry,
+    /// A crashed node's restart point ([`FaultMode::Crash`] with a
+    /// `restart_at_us`): re-arm timers and run the repair protocol.
+    Restart,
 }
 
 /// Convenience alias for the replica's network context.
@@ -136,6 +145,7 @@ pub struct Replica {
     pub(crate) want_propose: bool,
     pub(crate) first_seen: HashMap<Digest, SimTime>,
     pub(crate) forward_flush_armed: bool,
+    pub(crate) forward_retry_armed: bool,
 
     // Blame / view change.
     pub(crate) blames: BTreeMap<NodeId, Signature>,
@@ -202,6 +212,7 @@ impl Replica {
             want_propose: false,
             first_seen: HashMap::new(),
             forward_flush_armed: false,
+            forward_retry_armed: false,
             blames: BTreeMap::new(),
             view_aborted: false,
             vc: VcState::default(),
@@ -453,6 +464,59 @@ impl Replica {
         }
         let msg = self.sign(Payload::Forward { commands: commands.into() }, ctx);
         ctx.send_to(leader, msg);
+        self.arm_forward_retry(ctx);
+    }
+
+    /// How long a forwarded command may stay unresolved before the
+    /// origin re-forwards it: well past the healthy commit path (a 4Δ
+    /// commit timer plus flooding hops) *and* past a full view change —
+    /// ages are measured from birth, and a command born just before a
+    /// blame quorum rides the quit/status/new-view sequence before its
+    /// re-forward can even land — so live runs never retry. But it is
+    /// bounded, so a partition that swallowed the forward heals into
+    /// re-delivery instead of a stranded client.
+    pub(crate) const FORWARD_RETRY_MULTIPLE: u64 = 32;
+
+    /// Arms the retry timer if any birth-tracked command is unresolved
+    /// and no retry is already pending, scheduled for the instant the
+    /// earliest unresolved command becomes retry-eligible (its age
+    /// crosses the window, or its per-command cooldown from a previous
+    /// retry expires). A fixed 32Δ period would let a command born just
+    /// after a fire sit unresolved for almost two full windows — long
+    /// enough to strand a closed-loop injector past a partition heal.
+    /// Node-local state only — the timer's schedule depends on nothing
+    /// a shard boundary could reorder.
+    pub(crate) fn arm_forward_retry(&mut self, ctx: &mut Ctx<'_>) {
+        if self.forward_retry_armed {
+            return;
+        }
+        let window_us = self.config.delta.as_micros() * Self::FORWARD_RETRY_MULTIPLE;
+        let Some(due_us) = self.txpool.next_retry_due_us(window_us) else {
+            return;
+        };
+        let delay_us = due_us.saturating_sub(ctx.now().as_micros()).max(1);
+        self.forward_retry_armed = true;
+        ctx.set_timer(eesmr_net::SimDuration::from_micros(delay_us), TimerToken::ForwardRetry);
+    }
+
+    /// The retry timer: requeue commands that have been unresolved for a
+    /// full retry window (younger in-flight commands are presumed to be
+    /// riding a block toward commit) and forward them to the current
+    /// leader again. Re-arms itself while anything is still in flight.
+    pub(crate) fn on_forward_retry(&mut self, ctx: &mut Ctx<'_>) {
+        self.forward_retry_armed = false;
+        if !self.active() || self.view_aborted {
+            return;
+        }
+        let age_us = self.config.delta.as_micros() * Self::FORWARD_RETRY_MULTIPLE;
+        if self.txpool.requeue_stale(ctx.now().as_micros(), age_us) {
+            if self.is_leader() {
+                self.try_propose(ctx);
+            } else {
+                self.forward_backlog(ctx);
+            }
+        }
+        self.arm_forward_retry(ctx);
     }
 
     /// Receives forwarded client commands: queue them and, if this node
@@ -628,11 +692,18 @@ impl Replica {
         ctx.meter().charge_hash(block.wire_size());
         self.first_seen.entry(block_id).or_insert(ctx.now());
 
-        // Relay once (line 213) — the implicit vote.
-        if self.relayed.insert(block_id) {
+        // Relay once (line 213) — the implicit vote. A withholding node
+        // processes and commits but never relays (starving quorum-less
+        // EESMR of nothing, but starving the vote-counting baselines); a
+        // storming node re-multicasts extra copies that the receivers'
+        // content dedup absorbs while traffic and energy inflate.
+        if self.relayed.insert(block_id) && self.fault.relays_in(self.v_cur) {
             self.metrics.proposals_relayed += 1;
             if ctx.traces(TraceClass::Commit) {
                 ctx.trace(TraceEventKind::Relay { block: crate::block::fingerprint(&block_id) });
+            }
+            for _ in 0..self.fault.storm_repeats_in(self.v_cur) {
+                ctx.multicast(msg.clone());
             }
             ctx.multicast(msg);
         }
@@ -735,6 +806,116 @@ impl Replica {
             self.on_message(from, orphan_msg, ctx);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Crash-recovery repair protocol.
+    // ------------------------------------------------------------------
+
+    /// Whether the node is powered on (false inside a
+    /// [`FaultMode::Crash`] outage window).
+    pub(crate) fn online(&self, ctx: &Ctx<'_>) -> bool {
+        self.fault.online(ctx.now().as_micros())
+    }
+
+    /// The restart point of a recovering crash fault: the outage wiped
+    /// volatile per-view state (in-flight timers died with the process),
+    /// but the committed prefix is durable. Re-arm the protocol timers
+    /// and ask the network for everything above the durable height.
+    pub(crate) fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        self.cancel_commit_timers(ctx);
+        self.want_propose = false;
+        self.forward_flush_armed = false;
+        self.forward_retry_armed = false;
+        let m = self.steady_blame_multiple();
+        self.reset_blame_timer(m, ctx);
+        self.schedule_first_arrival(ctx);
+        self.metrics.repair_requests += 1;
+        let msg = self.sign(Payload::Repair { from_height: self.b_com_height }, ctx);
+        ctx.flood(msg);
+    }
+
+    /// Serves a recovering peer: reply with the committed-chain suffix
+    /// above its durable height, plus our current view so it can rejoin.
+    pub(crate) fn on_repair(&mut self, _from: NodeId, msg: SignedMsg, ctx: &mut Ctx<'_>) {
+        let Payload::Repair { from_height } = msg.payload else { return };
+        if !self.verify_envelope(&msg, ctx) || self.b_com_height <= from_height {
+            return;
+        }
+        // Walk the committed chain down to the requested height, capped
+        // like chain sync; a still-lagging requester re-requests.
+        let mut blocks = Vec::new();
+        let mut cur = self.b_com;
+        while let Some(b) = self.store.get(&cur) {
+            if b.height <= from_height || blocks.len() >= 256 {
+                break;
+            }
+            blocks.push(b.clone());
+            cur = b.parent;
+        }
+        blocks.reverse();
+        if blocks.is_empty() {
+            return;
+        }
+        self.metrics.repairs_served += 1;
+        let reply = self.sign(Payload::RepairReply { blocks, view: self.v_cur }, ctx);
+        ctx.send_to(msg.signer, reply);
+    }
+
+    /// A committed-chain suffix from a peer: verify the hash links, commit
+    /// it, and adopt the network's view so steady state can resume here.
+    pub(crate) fn on_repair_reply(&mut self, _from: NodeId, msg: SignedMsg, ctx: &mut Ctx<'_>) {
+        let Payload::RepairReply { blocks, view } = msg.payload else { return };
+        // The suffix is self-certifying: hash-linked, oldest first, and
+        // rooted in a block we already hold. Reject anything else.
+        let Some(first) = blocks.first() else { return };
+        if !self.store.contains(&first.parent)
+            || blocks.windows(2).any(|w| w[1].parent != w[0].id())
+        {
+            return;
+        }
+        let tip = blocks.last().expect("non-empty").clone();
+        let mut unblocked = Vec::new();
+        for block in blocks {
+            ctx.meter().charge_hash(block.wire_size());
+            let id = self.store.insert(block);
+            self.sync_requested.remove(&id);
+            if let Some(waiting) = self.orphans.remove(&id) {
+                unblocked.extend(waiting);
+            }
+        }
+        let tip_id = tip.id();
+        self.commit_block(tip_id, ctx);
+        if tip.height > self.b_lock_height {
+            self.b_lock = tip_id;
+            self.b_lock_height = tip.height;
+        }
+        self.adopt_view(view, ctx);
+        for (from, orphan_msg) in unblocked {
+            self.on_message(from, orphan_msg, ctx);
+        }
+    }
+
+    /// Jump straight to `view` after a repair (no view-change ceremony —
+    /// the network already ran it while this node was down). Per-view
+    /// volatile state is reset; buffered future-view traffic replays.
+    pub(crate) fn adopt_view(&mut self, view: u64, ctx: &mut Ctx<'_>) {
+        if view <= self.v_cur {
+            return;
+        }
+        self.v_cur = view;
+        self.r_cur = 3;
+        self.view_aborted = false;
+        self.blames.clear();
+        self.vc = Default::default();
+        self.nv = Default::default();
+        self.want_propose = false;
+        self.cancel_commit_timers(ctx);
+        self.txpool.requeue_unresolved();
+        let m = self.steady_blame_multiple();
+        self.reset_blame_timer(m, ctx);
+        self.forward_backlog(ctx);
+        self.drain_future_views(ctx);
+    }
 }
 
 impl Actor for Replica {
@@ -742,7 +923,13 @@ impl Actor for Replica {
     type Timer = TimerToken;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        if !self.active() {
+        // Arm the restart point before any liveness gate: a node that is
+        // crashed (or crashes later) must still wake up at its restart
+        // time even though every other handler ignores it while offline.
+        if let Some(restart) = self.fault.restart_at_us() {
+            ctx.set_timer(eesmr_net::SimDuration::from_micros(restart), TimerToken::Restart);
+        }
+        if !self.active() || !self.online(ctx) {
             return;
         }
         let m = self.steady_blame_multiple();
@@ -752,7 +939,7 @@ impl Actor for Replica {
     }
 
     fn on_message(&mut self, from: NodeId, msg: SignedMsg, ctx: &mut Ctx<'_>) {
-        if !self.active() {
+        if !self.active() || !self.online(ctx) {
             return;
         }
         match msg.payload {
@@ -768,11 +955,16 @@ impl Actor for Replica {
             Payload::SyncRequest { .. } => self.on_sync_request(from, msg, ctx),
             Payload::SyncResponse { .. } => self.on_sync_response(from, msg, ctx),
             Payload::Forward { .. } => self.on_forward(msg, ctx),
+            Payload::Repair { .. } => self.on_repair(from, msg, ctx),
+            Payload::RepairReply { .. } => self.on_repair_reply(from, msg, ctx),
         }
     }
 
     fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_>) {
-        if !self.active() {
+        // The restart timer fires exactly when the outage ends, so the
+        // online gate below admits it; every timer armed before the crash
+        // that fires *during* the outage dies here, like a real process.
+        if !self.active() || !self.online(ctx) {
             return;
         }
         match token {
@@ -787,6 +979,8 @@ impl Actor for Replica {
                 self.forward_flush_armed = false;
                 self.forward_backlog(ctx);
             }
+            TimerToken::ForwardRetry => self.on_forward_retry(ctx),
+            TimerToken::Restart => self.on_restart(ctx),
         }
     }
 }

@@ -37,6 +37,20 @@ pub trait WorkloadSource: Send {
     fn arrival(&mut self, now_us: u64, in_flight: usize) -> Option<Command>;
 }
 
+/// One live workload transaction born at this node.
+#[derive(Debug, Clone)]
+struct Birth {
+    cmd: Command,
+    /// Birth time, µs — the latency clock, never touched after submit.
+    born_us: u64,
+    /// Earliest time the forward-retry timer may requeue this command
+    /// (again): starts at 0, so the first retry is governed purely by
+    /// age, and is pushed one full window ahead on every requeue — a
+    /// just-re-forwarded command gets a fresh window to resolve instead
+    /// of being immediately stale again (its birth never advances).
+    retry_after_us: u64,
+}
+
 /// Pool of pending client commands.
 ///
 /// Two modes:
@@ -51,11 +65,11 @@ pub struct TxPool {
     synthetic_len: Option<usize>,
     synthetic_depth: usize,
     next_seq: u64,
-    /// Live workload transactions born at this node: `(command, birth µs)`.
-    /// Entries persist after batching (the leader drains `pending` into a
-    /// proposal long before the commit) and are settled by
+    /// Live workload transactions born at this node. Entries persist
+    /// after batching (the leader drains `pending` into a proposal long
+    /// before the commit) and are settled by
     /// [`remove_committed`](TxPool::remove_committed).
-    births: Vec<(Command, u64)>,
+    births: Vec<Birth>,
     /// End-to-end (birth → local commit) latencies of settled workload
     /// transactions, in microseconds, as a streaming histogram.
     tx_latencies: LogHistogram,
@@ -102,7 +116,7 @@ impl TxPool {
     /// Queues a workload transaction born at `now_us`, tracking it until
     /// commit so its end-to-end latency can be measured.
     pub fn submit_at(&mut self, cmd: Command, now_us: u64) {
-        self.births.push((cmd.clone(), now_us));
+        self.births.push(Birth { cmd: cmd.clone(), born_us: now_us, retry_after_us: 0 });
         self.pending.push_back(cmd);
     }
 
@@ -155,10 +169,64 @@ impl TxPool {
         let lost: Vec<Command> = self
             .births
             .iter()
-            .filter(|(cmd, _)| !pending.contains(cmd))
-            .map(|(cmd, _)| cmd.clone())
+            .filter(|b| !pending.contains(&b.cmd))
+            .map(|b| b.cmd.clone())
             .collect();
         self.pending.extend(lost);
+    }
+
+    /// Whether any birth-tracked workload transaction is in flight but
+    /// no longer queued locally (drained into a proposal or forwarded
+    /// away) — i.e. whether there is anything a retry timer could ever
+    /// need to rescue.
+    pub fn has_unresolved(&self) -> bool {
+        if self.births.is_empty() {
+            return false;
+        }
+        let pending: HashSet<&Command> = self.pending.iter().collect();
+        self.births.iter().any(|b| !pending.contains(&b.cmd))
+    }
+
+    /// The earliest time (µs) any unresolved transaction becomes
+    /// eligible for a retry under a `window_us` staleness window —
+    /// `max(birth + window, retry cooldown)` minimised over the
+    /// in-flight set — or `None` when nothing is in flight. The
+    /// forward-retry timer schedules its next fire for exactly this
+    /// instant.
+    pub fn next_retry_due_us(&self, window_us: u64) -> Option<u64> {
+        if self.births.is_empty() {
+            return None;
+        }
+        let pending: HashSet<&Command> = self.pending.iter().collect();
+        self.births
+            .iter()
+            .filter(|b| !pending.contains(&b.cmd))
+            .map(|b| (b.born_us + window_us).max(b.retry_after_us))
+            .min()
+    }
+
+    /// Re-queues unresolved transactions (see
+    /// [`requeue_unresolved`](TxPool::requeue_unresolved)) that were born
+    /// at least `age_us` before `now_us`; younger in-flight commands are
+    /// presumed to be riding a block toward commit and are left alone.
+    /// Returns whether anything was restored. Used by the forward-retry
+    /// timer: a fire-and-forget forward swallowed by a partition has no
+    /// view change to rescue it, so age is the only stranding signal.
+    pub fn requeue_stale(&mut self, now_us: u64, age_us: u64) -> bool {
+        let mut lost: Vec<Command> = Vec::new();
+        {
+            let pending: HashSet<&Command> = self.pending.iter().collect();
+            for b in &mut self.births {
+                let due = (b.born_us + age_us).max(b.retry_after_us);
+                if now_us >= due && !pending.contains(&b.cmd) {
+                    b.retry_after_us = now_us + age_us;
+                    lost.push(b.cmd.clone());
+                }
+            }
+        }
+        let restored = !lost.is_empty();
+        self.pending.extend(lost);
+        restored
     }
 
     /// Drains every queued command for forwarding to the current
@@ -230,9 +298,9 @@ impl TxPool {
         let committed: HashSet<&Command> = block.payload.iter().collect();
         self.pending.retain(|c| !committed.contains(c));
         let latencies = &mut self.tx_latencies;
-        self.births.retain(|(cmd, birth_us)| {
-            if committed.contains(cmd) {
-                latencies.record(now.since(SimTime::from_micros(*birth_us)).as_micros());
+        self.births.retain(|b| {
+            if committed.contains(&b.cmd) {
+                latencies.record(now.since(SimTime::from_micros(b.born_us)).as_micros());
                 false
             } else {
                 true
@@ -463,6 +531,34 @@ mod tests {
         assert_eq!(pool.in_flight(), 0);
         assert_eq!(pool.tx_latencies().count(), 2);
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn requeue_stale_respects_the_age_threshold() {
+        let mut pool = TxPool::new();
+        let old = Command::new(vec![1; 8]);
+        let young = Command::new(vec![2; 8]);
+        pool.submit_at(old.clone(), 1_000);
+        pool.submit_at(young.clone(), 9_000);
+        assert!(!pool.has_unresolved(), "everything still queued locally");
+        let forwarded = pool.take_pending();
+        assert_eq!(forwarded.len(), 2);
+        assert!(pool.has_unresolved(), "both are in flight now");
+        // At t=10_000 with a 5_000µs window only the older command
+        // qualifies; the younger one is presumed to be committing.
+        assert!(pool.requeue_stale(10_000, 5_000));
+        assert_eq!(pool.len(), 1, "only the stale command is restored");
+        // Settle the restored command (commit removes it from pending
+        // and resolves its birth). The young one alone doesn't qualify:
+        let block = Block::extending(&Block::genesis(), 1, 3, vec![old]);
+        pool.remove_committed(&block, SimTime::from_micros(11_000));
+        assert!(!pool.requeue_stale(11_000, 5_000));
+        // But it still counts as unresolved, so a retry stays armed...
+        assert!(pool.has_unresolved());
+        // ...and it qualifies once enough time passes.
+        assert!(pool.requeue_stale(20_000, 5_000));
+        assert_eq!(pool.next_batch(10), vec![young]);
+        assert!(pool.has_unresolved());
     }
 
     #[test]

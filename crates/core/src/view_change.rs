@@ -369,7 +369,7 @@ impl Replica {
         self.drain_future_views(ctx);
     }
 
-    fn drain_future_views(&mut self, ctx: &mut Ctx<'_>) {
+    pub(crate) fn drain_future_views(&mut self, ctx: &mut Ctx<'_>) {
         let current: Vec<(NodeId, SignedMsg)> = {
             let (now, later): (Vec<_>, Vec<_>) =
                 self.future_views.drain(..).partition(|(_, m)| m.view <= self.v_cur);

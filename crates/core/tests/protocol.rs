@@ -331,6 +331,114 @@ fn logs_survive_longer_runs_with_rotating_faults() {
 }
 
 #[test]
+fn withholding_follower_neither_stalls_nor_forks() {
+    // EESMR's implicit vote is the relay: a withholding follower keeps
+    // processing and committing but never relays. With one withholder the
+    // flood still saturates, so the others are unaffected.
+    let net = run(
+        Setup {
+            faults: |id| {
+                if id == 3 {
+                    FaultMode::Withhold { from_view: 1 }
+                } else {
+                    FaultMode::Honest
+                }
+            },
+            ..Setup::default()
+        },
+        500,
+    );
+    assert_eq!(net.actor(3).metrics().proposals_relayed, 0, "withholder never relays");
+    assert!(net.actor(3).committed_height() >= 3, "withholder still commits locally");
+    for id in 0..5 {
+        assert!(net.actor(id).committed_height() >= 3, "node {id}");
+        assert_eq!(net.actor(id).metrics().view_changes, 0);
+    }
+    assert_log_consistency(&net, 0..5);
+}
+
+#[test]
+fn storming_follower_inflates_traffic_without_breaking_safety() {
+    let honest = run(Setup::default(), 400);
+    let stormy = run(
+        Setup {
+            faults: |id| {
+                if id == 4 {
+                    FaultMode::Storm { from_view: 1, repeats: 4 }
+                } else {
+                    FaultMode::Honest
+                }
+            },
+            ..Setup::default()
+        },
+        400,
+    );
+    assert!(
+        stormy.stats().bytes_on_air > honest.stats().bytes_on_air,
+        "storm duplicates must show up on the air: {} vs {}",
+        stormy.stats().bytes_on_air,
+        honest.stats().bytes_on_air
+    );
+    for id in 0..5 {
+        assert!(stormy.actor(id).committed_height() >= 3, "node {id} commits despite the storm");
+    }
+    assert_log_consistency(&stormy, 0..5);
+}
+
+#[test]
+fn crashed_follower_repairs_and_commits_after_restart() {
+    // Node 2 goes dark at 50 ms and restarts at 200 ms: on restart it
+    // floods a Repair, peers serve the committed suffix, and it rejoins
+    // steady state — by the end its log has caught back up.
+    let net = run(
+        Setup {
+            faults: |id| {
+                if id == 2 {
+                    FaultMode::Crash { at_us: 50_000, restart_at_us: Some(200_000) }
+                } else {
+                    FaultMode::Honest
+                }
+            },
+            ..Setup::default()
+        },
+        500,
+    );
+    let recovered = net.actor(2);
+    assert_eq!(recovered.metrics().repair_requests, 1, "exactly one repair per restart");
+    let served: u64 = (0..5).map(|id| net.actor(id).metrics().repairs_served).sum();
+    assert!(served >= 1, "at least one peer served the repair");
+    let reference = net.actor(0).committed_height();
+    assert!(reference >= 10, "the healthy majority kept committing, got {reference}");
+    assert!(
+        recovered.committed_height() + 5 >= reference,
+        "recovered node must catch up: {} vs {reference}",
+        recovered.committed_height()
+    );
+    assert_log_consistency(&net, 0..5);
+}
+
+#[test]
+fn permanently_crashed_follower_does_not_stop_progress() {
+    let net = run(
+        Setup {
+            faults: |id| {
+                if id == 4 {
+                    FaultMode::Crash { at_us: 30_000, restart_at_us: None }
+                } else {
+                    FaultMode::Honest
+                }
+            },
+            ..Setup::default()
+        },
+        500,
+    );
+    for id in 0..4 {
+        assert!(net.actor(id).committed_height() >= 5, "node {id}");
+    }
+    assert_log_consistency(&net, 0..4);
+}
+
+#[test]
 fn checkpoint_variant_commits_and_saves_verifications() {
     let plain = run(Setup::default(), 400);
     let checkpointed =

@@ -27,7 +27,7 @@
 
 use eesmr_crypto::SigScheme;
 use eesmr_net::SimDuration;
-use eesmr_sim::{BatchPolicy, Protocol, Scenario, StopWhen, Workload};
+use eesmr_sim::{BatchPolicy, FaultSpec, Protocol, Scenario, StopWhen, Workload};
 
 /// One runnable cell of a grid: its position, display label, and the
 /// fully-configured scenario.
@@ -43,8 +43,8 @@ pub struct GridCell {
 }
 
 /// A declarative sweep: the cartesian product of protocol × n × k ×
-/// payload × batch-policy × workload × shard-count × scheme × seed
-/// axes, plus any explicitly-listed scenarios.
+/// payload × batch-policy × workload × shard-count × fault × scheme ×
+/// seed axes, plus any explicitly-listed scenarios.
 ///
 /// Axis defaults match [`Scenario::new`]: protocol `[Eesmr]`, payload
 /// `[16]` bytes, batch policy `[Fixed(64)]`, scheme `[Rsa1024]`, seed
@@ -77,6 +77,7 @@ pub struct ScenarioGrid {
     batch_policies: Vec<BatchPolicy>,
     workloads: Vec<Workload>,
     shards: Vec<usize>,
+    faults: Vec<FaultSpec>,
     schemes: Vec<SigScheme>,
     seeds: Vec<u64>,
     stop: Option<StopWhen>,
@@ -96,6 +97,7 @@ impl std::fmt::Debug for ScenarioGrid {
             .field("batch_policies", &self.batch_policies)
             .field("workloads", &self.workloads)
             .field("shards", &self.shards)
+            .field("faults", &self.faults)
             .field("schemes", &self.schemes)
             .field("seeds", &self.seeds)
             .field("stop", &self.stop)
@@ -173,6 +175,15 @@ impl ScenarioGrid {
         self
     }
 
+    /// Sets the fault axis: each cell runs under the canonical
+    /// [`FaultSpec`] plan sized to its `(n, Δ)` (see `eesmr_sim::faults`).
+    /// When unset, every cell runs honest (and its label stays
+    /// unchanged).
+    pub fn faults(mut self, faults: impl IntoIterator<Item = FaultSpec>) -> Self {
+        self.faults = faults.into_iter().collect();
+        self
+    }
+
     /// Sets the signature-scheme axis.
     pub fn schemes(mut self, schemes: impl IntoIterator<Item = SigScheme>) -> Self {
         self.schemes = schemes.into_iter().collect();
@@ -228,19 +239,21 @@ impl ScenarioGrid {
             * self.batch_policies.len().max(1)
             * self.workloads.len().max(1)
             * self.shards.len().max(1)
+            * self.faults.len().max(1)
             * self.schemes.len()
             * self.seeds.len()
     }
 
     /// Materializes the grid into its deterministic cell ordering:
     /// protocol-major cartesian cells (n, then k, then payload, batch
-    /// policy, workload, shard count, scheme, seed innermost), then the
-    /// explicit scenarios in push order.
+    /// policy, workload, shard count, fault, scheme, seed innermost),
+    /// then the explicit scenarios in push order.
     pub fn build(&self) -> Vec<GridCell> {
         // An unset batch axis means "each protocol's default policy",
         // without marking the policy as explicitly chosen; an unset
         // workload axis keeps the synthetic feed; an unset shards axis
-        // keeps the EESMR_SHARDS default.
+        // keeps the EESMR_SHARDS default; an unset fault axis keeps
+        // every node honest.
         let batches: Vec<Option<BatchPolicy>> = if self.batch_policies.is_empty() {
             vec![None]
         } else {
@@ -256,6 +269,11 @@ impl ScenarioGrid {
         } else {
             self.shards.iter().copied().map(Some).collect()
         };
+        let faults: Vec<Option<FaultSpec>> = if self.faults.is_empty() {
+            vec![None]
+        } else {
+            self.faults.iter().copied().map(Some).collect()
+        };
         let mut cells = Vec::with_capacity(self.len());
         for &protocol in &self.protocols {
             for &n in &self.ns {
@@ -267,32 +285,37 @@ impl ScenarioGrid {
                         for &batch in &batches {
                             for &workload in &workloads {
                                 for &shard_count in &shards {
-                                    for &scheme in &self.schemes {
-                                        for &seed in &self.seeds {
-                                            let mut s = Scenario::new(protocol, n, k)
-                                                .payload(payload)
-                                                .scheme(scheme)
-                                                .seed(seed);
-                                            if let Some(policy) = batch {
-                                                s = s.batch_policy(policy);
+                                    for &fault in &faults {
+                                        for &scheme in &self.schemes {
+                                            for &seed in &self.seeds {
+                                                let mut s = Scenario::new(protocol, n, k)
+                                                    .payload(payload)
+                                                    .scheme(scheme)
+                                                    .seed(seed);
+                                                if let Some(policy) = batch {
+                                                    s = s.batch_policy(policy);
+                                                }
+                                                if let Some(w) = workload {
+                                                    s = s.workload(w);
+                                                }
+                                                if let Some(count) = shard_count {
+                                                    s = s.shards(count);
+                                                }
+                                                if let Some(spec) = fault {
+                                                    s = s.fault_spec(spec);
+                                                }
+                                                if let Some(stop) = self.stop {
+                                                    s = s.stop(stop);
+                                                }
+                                                if let Some(hook) = &self.configure {
+                                                    s = hook(s);
+                                                }
+                                                cells.push(GridCell {
+                                                    index: cells.len(),
+                                                    label: s.label(),
+                                                    scenario: s,
+                                                });
                                             }
-                                            if let Some(w) = workload {
-                                                s = s.workload(w);
-                                            }
-                                            if let Some(count) = shard_count {
-                                                s = s.shards(count);
-                                            }
-                                            if let Some(stop) = self.stop {
-                                                s = s.stop(stop);
-                                            }
-                                            if let Some(hook) = &self.configure {
-                                                s = hook(s);
-                                            }
-                                            cells.push(GridCell {
-                                                index: cells.len(),
-                                                label: s.label(),
-                                                scenario: s,
-                                            });
                                         }
                                     }
                                 }
@@ -368,6 +391,24 @@ mod tests {
         // An unset axis leaves the scenario's env-derived default alone.
         let plain = ScenarioGrid::named("t").nodes([6]).degrees([2]).stop(StopWhen::Blocks(2));
         assert_eq!(plain.len(), 1);
+    }
+
+    #[test]
+    fn fault_axis_multiplies_cells_and_sets_the_spec() {
+        let grid = ScenarioGrid::named("t")
+            .nodes([6])
+            .degrees([2])
+            .faults([FaultSpec::None, FaultSpec::Withhold, FaultSpec::CrashRecovery])
+            .stop(StopWhen::Blocks(2));
+        assert_eq!(grid.len(), 3);
+        let cells = grid.build();
+        assert_eq!(cells[0].scenario.fault_spec, Some(FaultSpec::None));
+        assert_eq!(cells[1].scenario.fault_spec, Some(FaultSpec::Withhold));
+        assert!(cells[1].label.contains("fault=withhold"), "{}", cells[1].label);
+        assert_eq!(cells[2].scenario.cell().fault, FaultSpec::CrashRecovery);
+        // An unset axis leaves every cell honest and unlabeled.
+        let plain = ScenarioGrid::named("t").nodes([6]).degrees([2]).stop(StopWhen::Blocks(2));
+        assert_eq!(plain.build()[0].scenario.fault_spec, None);
     }
 
     #[test]

@@ -162,6 +162,7 @@ impl SuiteReport {
                 "offered_load",
                 "workload",
                 "shards",
+                "fault",
                 "scheme",
                 "seed",
                 "repeats",
@@ -188,6 +189,7 @@ impl SuiteReport {
                 &cell.key.offered_load,
                 &cell.key.workload.map_or_else(|| "none".into(), |w| w.label()),
                 &cell.key.shards,
+                &cell.key.fault.label(),
                 &cell.key.scheme.name(),
                 &cell.key.seed,
                 &cell.runs.len(),
@@ -232,11 +234,12 @@ impl SuiteReport {
                 cell.key.payload_bytes
             ));
             out.push_str(&format!(
-                "\"batch_policy\": {}, \"offered_load\": {}, \"workload\": {}, \"shards\": {}, \"scheme\": {}, \"seed\": {}, \"repeats\": {}, ",
+                "\"batch_policy\": {}, \"offered_load\": {}, \"workload\": {}, \"shards\": {}, \"fault\": {}, \"scheme\": {}, \"seed\": {}, \"repeats\": {}, ",
                 json_string(&cell.key.batch.label()),
                 cell.key.offered_load,
                 cell.key.workload.map_or_else(|| "null".into(), |w| json_string(&w.label())),
                 cell.key.shards,
+                json_string(cell.key.fault.label()),
                 json_string(cell.key.scheme.name()),
                 cell.key.seed,
                 cell.runs.len()

@@ -60,6 +60,37 @@ impl ChannelCost {
             ChannelCost::PerByte { medium } => medium.recv_mj(bytes),
         }
     }
+
+    /// Receiver-side energy (mJ) for scanning a transmission of a message
+    /// the node already holds. On the advertisement channel the first
+    /// decoded packet carries the message identity, so a scanner
+    /// recognizes the duplicate there and abandons the rest of the
+    /// redundant train — one advertisement slot instead of
+    /// `fragments × redundancy`. Connection-oriented and per-byte media
+    /// have no train to abandon: a duplicate transfer is paid in full.
+    pub fn dup_recv_mj(&self, bytes: usize) -> f64 {
+        match self {
+            ChannelCost::BleKcast { model, .. } => model.adv_recv_mj,
+            ChannelCost::BleGatt { .. } | ChannelCost::PerByte { .. } => self.recv_mj(bytes),
+        }
+    }
+
+    /// Receiver-side energy (mJ) for a message that arrives while the
+    /// scanner's radio is already on for another reception. The full
+    /// [`recv_mj`](Self::recv_mj) cost prices a whole scan window (radio
+    /// on for the length of a redundant advertisement train); a second
+    /// train overlapping that window is decoded from the *same* scan, so
+    /// its marginal cost is one decode per fragment, not another full
+    /// window. Connection-oriented and per-byte media have no shared
+    /// scan: every transfer is paid in full.
+    pub fn shared_recv_mj(&self, bytes: usize) -> f64 {
+        match self {
+            ChannelCost::BleKcast { model, .. } => {
+                BleKcastModel::fragments(bytes) as f64 * model.adv_recv_mj
+            }
+            ChannelCost::BleGatt { .. } | ChannelCost::PerByte { .. } => self.recv_mj(bytes),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -61,7 +61,9 @@ pub use channel::ChannelCost;
 // events through [`Context`] without naming `eesmr_trace` themselves.
 pub use eesmr_trace::{EventKind as TraceEventKind, TraceClass, TraceLevel, TraceSet, Tracer};
 pub use message::Message;
-pub use runtime::{Delivery, Fate, Interceptor, NetConfig, NetStats, SimNet};
+pub use runtime::{
+    Delivery, Fate, Interceptor, LinkDrop, LinkFaults, NetConfig, NetStats, Partition, SimNet,
+};
 pub use sched::{CalendarQueue, EventQueue, SchedulerKind};
 pub use shard::{shards_from_env, ShardedNet};
 pub use threads::{ThreadNet, ThreadNetConfig};

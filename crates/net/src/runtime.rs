@@ -93,7 +93,99 @@ pub struct NetConfig {
     /// [`SimNet::take_traces`]). [`TraceLevel::Off`] costs one enum
     /// comparison per candidate event.
     pub trace: TraceLevel,
+    /// Scheduled link-level faults: healing partitions and selective
+    /// per-link drop rules, enforced at transmit time (empty by default).
+    pub link_faults: LinkFaults,
 }
+
+/// A scheduled set of link-level faults the runtime enforces at transmit
+/// time. Both fault families are **pure functions of the sender's local
+/// view** — partitions of `(virtual time, from, to)`, drop rules of that
+/// plus a per-sender keyed draw counter — so sharded runs stay
+/// bit-identical to single-threaded ones (see `crate::shard`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkFaults {
+    /// Healing partitions: while active, every link with exactly one
+    /// endpoint inside the island is severed.
+    pub partitions: Vec<Partition>,
+    /// Probabilistic per-link drop rules.
+    pub drops: Vec<LinkDrop>,
+}
+
+impl LinkFaults {
+    /// Whether no fault is scheduled at all (the common fast path).
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty() && self.drops.is_empty()
+    }
+
+    /// Whether the `from → to` link is severed by an active partition at
+    /// `now_us`: a link crosses the partition boundary iff exactly one
+    /// endpoint is inside the island.
+    pub fn severed(&self, now_us: u64, from: NodeId, to: NodeId) -> bool {
+        self.partitions.iter().any(|p| {
+            now_us >= p.start_us
+                && now_us < p.end_us
+                && (p.island.contains(&from) != p.island.contains(&to))
+        })
+    }
+
+    /// The strongest drop probability (per mille) any active rule applies
+    /// to the `from → to` link at `now_us`; `None` when no rule matches.
+    pub fn drop_permille(&self, now_us: u64, from: NodeId, to: NodeId) -> Option<u16> {
+        self.drops
+            .iter()
+            .filter(|d| {
+                d.from == from
+                    && d.to.is_none_or(|t| t == to)
+                    && now_us >= d.start_us
+                    && now_us < d.end_us
+            })
+            .map(|d| d.permille)
+            .max()
+    }
+
+    /// The time the last scheduled fault window ends (µs); 0 when no
+    /// windows are scheduled. Open-ended (`u64::MAX`) windows never heal.
+    pub fn heal_time_us(&self) -> u64 {
+        let p = self.partitions.iter().map(|p| p.end_us).max().unwrap_or(0);
+        let d = self.drops.iter().map(|d| d.end_us).max().unwrap_or(0);
+        p.max(d)
+    }
+}
+
+/// One healing network partition: during `[start_us, end_us)` the nodes
+/// in `island` can talk among themselves but not across the boundary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Partition {
+    /// Window start (inclusive), µs of virtual time.
+    pub start_us: u64,
+    /// Window end (exclusive), µs; `u64::MAX` for a partition that never
+    /// heals.
+    pub end_us: u64,
+    /// The nodes cut off from the rest of the network during the window.
+    pub island: Vec<NodeId>,
+}
+
+/// One selective per-link drop rule: while active, deliveries on the
+/// matching link(s) are dropped with probability `permille / 1000`,
+/// decided by a keyed draw from the sender's private drop counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDrop {
+    /// The transmitting node the rule applies to.
+    pub from: NodeId,
+    /// The receiving node, or `None` to match every receiver.
+    pub to: Option<NodeId>,
+    /// Drop probability in per mille (1000 = drop everything).
+    pub permille: u16,
+    /// Window start (inclusive), µs of virtual time.
+    pub start_us: u64,
+    /// Window end (exclusive), µs; `u64::MAX` for a permanent rule.
+    pub end_us: u64,
+}
+
+/// Salt mixed into the seed for selective-drop draws, so the drop stream
+/// never aliases the hop-delay stream of the same sender.
+const DROP_SALT: u64 = 0xD20F_5EED_1155_0BAD;
 
 impl NetConfig {
     /// A BLE k-cast network over `topology` with four-nines reliability and
@@ -112,6 +204,7 @@ impl NetConfig {
             seed,
             scheduler: SchedulerKind::from_env(),
             trace: TraceLevel::from_env(),
+            link_faults: LinkFaults::default(),
         }
     }
 
@@ -142,7 +235,8 @@ pub struct NetStats {
     pub flood_relays: u64,
     /// Payload bytes that crossed the air (per k-cast, not per receiver).
     pub bytes_on_air: u64,
-    /// Deliveries suppressed by the interceptor.
+    /// Deliveries suppressed by the interceptor or the link-fault
+    /// schedule ([`LinkFaults`]).
     pub dropped: u64,
 }
 
@@ -252,10 +346,21 @@ pub(crate) struct ShardState<A: Actor> {
     /// the meters, so recorded streams are shard-invariant.
     tracers: Vec<Tracer>,
     seen_floods: Vec<HashSet<u64>>,
+    /// Per-owned-node end of the current receive scan window, µs. The
+    /// first reception in a window pays the full scan
+    /// ([`ChannelCost::recv_mj`]); further receptions before it closes
+    /// share the radio-on time and pay only marginal decode
+    /// ([`ChannelCost::shared_recv_mj`]). Node-local, so scan pricing is
+    /// shard-invariant.
+    scan_until: Vec<u64>,
     /// Per-owned-node event push counters (high bits of the seq key).
     push_ctr: Vec<u64>,
     /// Per-owned-node hop-delay draw counters.
     draw_ctr: Vec<u64>,
+    /// Per-owned-node selective-drop draw counters (separate from
+    /// `draw_ctr` so enabling a drop rule never perturbs the hop-delay
+    /// stream of unrelated deliveries).
+    drop_ctr: Vec<u64>,
     /// Per-owned-node timer-id counters.
     timer_ctr: Vec<u64>,
     cancelled_timers: HashSet<u64>,
@@ -298,8 +403,10 @@ impl<A: Actor> ShardState<A> {
             meters: vec![EnergyMeter::new(); local_n],
             tracers,
             seen_floods: vec![HashSet::new(); local_n],
+            scan_until: vec![0; local_n],
             push_ctr: vec![0; local_n],
             draw_ctr: vec![0; local_n],
+            drop_ctr: vec![0; local_n],
             timer_ctr: vec![0; local_n],
             cancelled_timers: HashSet::new(),
             queue,
@@ -390,19 +497,42 @@ impl<A: Actor> ShardState<A> {
             }
             EventKind::Deliver { from, msg, flood, loopback } => {
                 let size = msg.wire_size();
+                // Duplicate-aware receive pricing: a flood the node has
+                // already decoded once is recognized from the first
+                // advertisement of the train and the rest is abandoned
+                // ([`ChannelCost::dup_recv_mj`]), so relay storms charge
+                // each node one full reception per distinct message, not
+                // per in-edge.
+                let fresh = match &flood {
+                    Some(meta) => {
+                        let local = self.local(node);
+                        self.seen_floods[local].insert(meta.key)
+                    }
+                    None => true,
+                };
                 if !loopback {
-                    let mj = self.cfg.channel.recv_mj(size);
                     let local = self.local(node);
+                    let mj = if !fresh {
+                        self.cfg.channel.dup_recv_mj(size)
+                    } else if time >= self.scan_until[local] {
+                        // First reception in a fresh scan window: price the
+                        // whole radio-on window. Anything else landing
+                        // within one hop-delay quantum shares that scan.
+                        self.scan_until[local] = time + self.cfg.hop_delay_max.as_micros();
+                        self.cfg.channel.recv_mj(size)
+                    } else {
+                        self.cfg.channel.shared_recv_mj(size)
+                    };
                     self.meters[local].charge(EnergyCategory::Recv, mj);
                 } else {
                     self.stats.loopbacks += 1;
                 }
                 match flood {
                     Some(meta) => {
-                        let local = self.local(node);
-                        if !self.seen_floods[local].insert(meta.key) {
+                        if !fresh {
                             return Some(self.now); // duplicate: scanned, not processed
                         }
+                        let local = self.local(node);
                         // Relay once on all out-edges (network-layer gossip).
                         self.transmit(node, &msg, Some(meta), true);
                         let deliver_here = meta.target.is_none_or(|t| t == node);
@@ -501,6 +631,27 @@ impl<A: Actor> ShardState<A> {
             }
             self.stats.bytes_on_air += size as u64;
             for &to in edge.receivers() {
+                // The link-fault schedule first: partitions sever the
+                // link outright; selective drop rules consume one keyed
+                // draw from the sender's private drop counter per
+                // matching delivery. Both decisions are pure functions
+                // of sender-local state, so sharding cannot change them.
+                if !cfg.link_faults.is_empty() {
+                    let now_us = self.now.as_micros();
+                    if cfg.link_faults.severed(now_us, node, to) {
+                        self.stats.dropped += 1;
+                        continue;
+                    }
+                    if let Some(permille) = cfg.link_faults.drop_permille(now_us, node, to) {
+                        let counter = &mut self.drop_ctr[(node / self.shards) as usize];
+                        let draw = keyed_draw(self.cfg.seed ^ DROP_SALT, node, *counter);
+                        *counter += 1;
+                        if draw % 1000 < permille as u64 {
+                            self.stats.dropped += 1;
+                            continue;
+                        }
+                    }
+                }
                 let delivery = Delivery { from: node, to, size, is_flood: flood.is_some() };
                 let fate = match self.interceptor.as_mut() {
                     Some(i) => i(&delivery),
@@ -947,6 +1098,89 @@ mod tests {
         assert_eq!(traces.total_dropped(), 0);
         // Draining leaves the buffers empty.
         assert_eq!(net.take_traces().total_events(), 0);
+    }
+
+    #[test]
+    fn partition_severs_and_heals() {
+        // Island {0} partitioned for the first 20 ms: node 0's flood at
+        // t=0 never escapes. After healing, a re-flood would cross — we
+        // approximate by checking drops were counted and nobody but 0
+        // heard the ping while the window covered the whole run.
+        let mut cfg = NetConfig::ble(topology::ring_kcast(6, 2), 21);
+        cfg.link_faults.partitions.push(Partition { start_us: 0, end_us: 20_000, island: vec![0] });
+        let mut net = SimNet::new(cfg, (0..6).map(|_| TActor::default()).collect::<Vec<_>>());
+        net.run_for(SimDuration::from_millis(10));
+        assert_eq!(net.actor(0).pings, vec![7], "origin loopback still delivers");
+        for id in 1..6 {
+            assert!(net.actor(id).pings.is_empty(), "node {id} is behind the partition");
+        }
+        assert!(net.stats().dropped > 0);
+    }
+
+    #[test]
+    fn partition_is_island_internal_only() {
+        // Island {0, 1}: node 0's flood reaches node 1 (in-island link)
+        // but not nodes 2..5.
+        let mut cfg = NetConfig::ble(topology::ring_kcast(6, 2), 22);
+        cfg.link_faults.partitions.push(Partition {
+            start_us: 0,
+            end_us: u64::MAX,
+            island: vec![0, 1],
+        });
+        let mut net = SimNet::new(cfg, (0..6).map(|_| TActor::default()).collect::<Vec<_>>());
+        net.run_for(SimDuration::from_millis(20));
+        assert_eq!(net.actor(1).pings, vec![7]);
+        for id in 2..6 {
+            assert!(net.actor(id).pings.is_empty(), "node {id}");
+        }
+    }
+
+    #[test]
+    fn selective_drop_is_deterministic_and_total_at_1000_permille() {
+        let run = |permille: u16, seed: u64| {
+            let mut cfg = NetConfig::ble(topology::ring_kcast(6, 2), seed);
+            cfg.link_faults.drops.push(LinkDrop {
+                from: 0,
+                to: None,
+                permille,
+                start_us: 0,
+                end_us: u64::MAX,
+            });
+            let mut net = SimNet::new(cfg, (0..6).map(|_| TActor::default()).collect::<Vec<_>>());
+            net.run_for(SimDuration::from_millis(20));
+            (net.stats().clone(), (0..6).map(|i| net.actor(i).pings.clone()).collect::<Vec<_>>())
+        };
+        // 1000‰ = everything node 0 sends is dropped: its ping never
+        // escapes its own loopback.
+        let (stats, pings) = run(1000, 23);
+        assert!(stats.dropped > 0);
+        assert_eq!(pings[0], vec![7]);
+        assert!(pings[1..].iter().all(Vec::is_empty));
+        // Same seed, same rule ⇒ bit-identical outcome.
+        assert_eq!(run(700, 24), run(700, 24));
+        // 0‰ matches but never drops.
+        let (stats, pings) = run(0, 25);
+        assert_eq!(stats.dropped, 0);
+        assert!(pings.iter().all(|p| p == &vec![7]));
+    }
+
+    #[test]
+    fn link_fault_windows_match_schedule_helpers() {
+        let lf = LinkFaults {
+            partitions: vec![Partition { start_us: 10, end_us: 50, island: vec![1, 2] }],
+            drops: vec![LinkDrop { from: 0, to: Some(3), permille: 500, start_us: 0, end_us: 80 }],
+        };
+        assert!(!lf.is_empty());
+        assert!(lf.severed(10, 1, 3));
+        assert!(lf.severed(49, 0, 2));
+        assert!(!lf.severed(50, 1, 3), "healed at end_us");
+        assert!(!lf.severed(20, 1, 2), "island-internal link survives");
+        assert!(!lf.severed(20, 0, 3), "outside-outside link survives");
+        assert_eq!(lf.drop_permille(0, 0, 3), Some(500));
+        assert_eq!(lf.drop_permille(0, 0, 4), None);
+        assert_eq!(lf.drop_permille(80, 0, 3), None, "rule expired");
+        assert_eq!(lf.heal_time_us(), 80);
+        assert!(LinkFaults::default().is_empty());
     }
 
     #[test]

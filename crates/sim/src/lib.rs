@@ -23,7 +23,7 @@ pub mod faults;
 pub mod report;
 pub mod scenario;
 
-pub use faults::FaultPlan;
+pub use faults::{FaultPlan, FaultSpec};
 pub use report::{NodeEnergy, NodeReport, RunReport, TxLatencyStats};
 pub use scenario::{CellKey, Protocol, Scenario, StopWhen};
 

@@ -23,7 +23,7 @@ use eesmr_net::{
 use eesmr_trace::path::CommitPath;
 use eesmr_workload::Workload;
 
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, FaultSpec};
 use crate::report::{NodeEnergy, NodeReport, RunReport};
 
 /// The protocols the harness can drive.
@@ -78,8 +78,13 @@ pub struct Scenario {
     pub seed: u64,
     /// Signature scheme (default RSA-1024, the paper's pick).
     pub scheme: SigScheme,
-    /// Fault plan.
+    /// Fault plan (used when no [`fault_spec`](Self::fault_spec) is set).
     pub faults: FaultPlan,
+    /// Sweepable fault axis. When set, the tag expands to a canonical
+    /// [`FaultPlan`] sized to `(n, Δ)` at run time — Δ depends on the
+    /// topology, so the expansion cannot happen at build time — and
+    /// overrides [`faults`](Self::faults).
+    pub fault_spec: Option<FaultSpec>,
     /// Stop condition.
     pub stop: StopWhen,
     /// Hard deadline in virtual time.
@@ -166,6 +171,9 @@ pub struct CellKey {
     /// determinism suite enforces it), so sweeping it measures speed,
     /// not results.
     pub shards: usize,
+    /// Fault axis ([`FaultSpec::None`] when the scenario injects no
+    /// swept fault; explicitly-built [`FaultPlan`]s do not key cells).
+    pub fault: FaultSpec,
     /// Run seed.
     pub seed: u64,
 }
@@ -187,6 +195,7 @@ impl Scenario {
             seed: 42,
             scheme: SigScheme::Rsa1024,
             faults: FaultPlan::none(),
+            fault_spec: None,
             stop: StopWhen::Blocks(20),
             deadline: SimDuration::from_millis(120_000),
             streaming: false,
@@ -296,6 +305,22 @@ impl Scenario {
         self
     }
 
+    /// Sets the sweepable fault axis (overrides any explicit plan; the
+    /// tag expands to a sized [`FaultPlan`] at run time).
+    pub fn fault_spec(mut self, spec: FaultSpec) -> Self {
+        self.fault_spec = Some(spec);
+        self
+    }
+
+    /// The fault plan this scenario actually runs with: the swept axis
+    /// expanded against the given Δ, or the explicit plan.
+    pub fn effective_faults(&self, delta: SimDuration) -> FaultPlan {
+        match self.fault_spec {
+            Some(spec) => spec.plan(self.n, delta.as_micros()),
+            None => self.faults.clone(),
+        }
+    }
+
     /// Sets the stop condition.
     pub fn stop(mut self, stop: StopWhen) -> Self {
         self.stop = stop;
@@ -334,6 +359,7 @@ impl Scenario {
             forward_batch: self.forward_batch,
             workload: self.workload,
             shards: self.shards,
+            fault: self.fault_spec.unwrap_or(FaultSpec::None),
             seed: self.seed,
         }
     }
@@ -358,7 +384,9 @@ impl Scenario {
         if self.shards != 1 {
             parts.push(("shards", self.shards.to_string()));
         }
-        if self.faults.count() > 0 {
+        if let Some(spec) = self.fault_spec {
+            parts.push(("fault", spec.label().to_string()));
+        } else if self.faults.count() > 0 {
             parts.push(("faults", self.faults.count().to_string()));
         }
         parts
@@ -422,6 +450,8 @@ impl Scenario {
         net_cfg.scheduler = self.scheduler;
         net_cfg.trace = self.trace;
         let delta = net_cfg.delta();
+        let plan = self.effective_faults(delta);
+        net_cfg.link_faults = plan.link_faults();
         let mut config = Config::new(self.n, delta);
         config.batch_policy = self.effective_batch_policy();
         config.offered_load = self.offered_load;
@@ -439,8 +469,7 @@ impl Scenario {
         }
         let f = config.f;
         let pki = Arc::new(KeyStore::generate(self.n, self.scheme, self.seed));
-        let faults = self.faults.clone();
-        let mut replicas = build_replicas(&config, &pki, |id| faults.eesmr_mode(id));
+        let mut replicas = build_replicas(&config, &pki, |id| plan.eesmr_mode(id));
         if let Some(workload) = &self.workload {
             for (i, replica) in replicas.iter_mut().enumerate() {
                 let source = workload.node_source(i as u32, i, self.n, self.seed);
@@ -449,17 +478,16 @@ impl Scenario {
         }
         let mut net = ShardedNet::new(net_cfg, replicas, self.shards);
 
-        let plan = self.faults.clone();
         match self.stop {
             StopWhen::Elapsed(d) => net.run_until(SimTime::ZERO + d),
             StopWhen::Blocks(b) => {
                 net.run_until_all(self.deadline_time(), |id, r| {
-                    plan.is_faulty(id) || r.committed_height() >= b
+                    plan.is_excused(id) || r.committed_height() >= b
                 });
             }
             StopWhen::ViewReached(v) => {
                 net.run_until_all(self.deadline_time(), |id, r| {
-                    plan.is_faulty(id) || (r.current_view() >= v && r.current_round() >= 3)
+                    plan.is_excused(id) || (r.current_view() >= v && r.current_round() >= 3)
                 });
             }
         }
@@ -471,7 +499,7 @@ impl Scenario {
                 let meter = net.meter(id);
                 NodeReport {
                     id,
-                    faulty: self.faults.is_faulty(id),
+                    faulty: plan.is_faulty(id),
                     is_hub: false,
                     energy: NodeEnergy::from_meter(meter),
                     committed_height: r.committed_height(),
@@ -494,6 +522,8 @@ impl Scenario {
         net_cfg.scheduler = self.scheduler;
         net_cfg.trace = self.trace;
         let delta = net_cfg.delta();
+        let plan = self.effective_faults(delta);
+        net_cfg.link_faults = plan.link_faults();
         let mut config = HsConfig::new(self.n, delta, variant);
         config.batch_policy = self.effective_batch_policy();
         config.offered_load = self.offered_load;
@@ -507,8 +537,7 @@ impl Scenario {
         }
         let f = config.f;
         let pki = Arc::new(KeyStore::generate(self.n, self.scheme, self.seed));
-        let faults = self.faults.clone();
-        let mut replicas = build_hs_replicas(&config, &pki, |id| faults.hs_mode(id));
+        let mut replicas = build_hs_replicas(&config, &pki, |id| plan.hs_mode(id));
         if let Some(workload) = &self.workload {
             for (i, replica) in replicas.iter_mut().enumerate() {
                 let source = workload.node_source(i as u32, i, self.n, self.seed);
@@ -517,17 +546,16 @@ impl Scenario {
         }
         let mut net = ShardedNet::new(net_cfg, replicas, self.shards);
 
-        let plan = self.faults.clone();
         match self.stop {
             StopWhen::Elapsed(d) => net.run_until(SimTime::ZERO + d),
             StopWhen::Blocks(b) => {
                 net.run_until_all(self.deadline_time(), |id, r| {
-                    plan.is_faulty(id) || r.committed_height() >= b
+                    plan.is_excused(id) || r.committed_height() >= b
                 });
             }
             StopWhen::ViewReached(v) => {
                 net.run_until_all(self.deadline_time(), |id, r| {
-                    plan.is_faulty(id) || r.current_view() >= v
+                    plan.is_excused(id) || r.current_view() >= v
                 });
             }
         }
@@ -539,7 +567,7 @@ impl Scenario {
                 let meter = net.meter(id);
                 NodeReport {
                     id,
-                    faulty: self.faults.is_faulty(id),
+                    faulty: plan.is_faulty(id),
                     is_hub: false,
                     energy: NodeEnergy::from_meter(meter),
                     committed_height: r.committed_height(),
@@ -564,11 +592,13 @@ impl Scenario {
         net_cfg.scheduler = self.scheduler;
         net_cfg.trace = self.trace;
         let delta = net_cfg.delta();
+        let plan = self.effective_faults(delta);
+        net_cfg.link_faults = plan.link_faults();
         let mut config = TbConfig::new(self.n, self.payload_bytes, delta * 2);
         config.batch_policy = self.effective_batch_policy();
         config.offered_load = self.offered_load;
         let pki = Arc::new(KeyStore::generate(self.n, self.scheme, self.seed));
-        let mut nodes_v = build_tb_nodes(&config, &pki);
+        let mut nodes_v = build_tb_nodes(&config, &pki, |id| plan.tb_fault(id));
         if let Some(workload) = &self.workload {
             // The externally powered hub (node 0) orders but never
             // originates: spokes 1..n map onto skew slots 0..n-1.
@@ -579,10 +609,15 @@ impl Scenario {
         }
         let mut net = ShardedNet::new(net_cfg, nodes_v, self.shards);
 
+        // View-keyed behaviours translate to permanent silence in the
+        // view-less baseline (see `FaultPlan::tb_fault`), so the excuse
+        // set is computed from the translated fault, not the plan's.
         match self.stop {
             StopWhen::Elapsed(d) => net.run_until(SimTime::ZERO + d),
             StopWhen::Blocks(b) => {
-                net.run_until_all(self.deadline_time(), |_, n| n.committed_height() >= b);
+                net.run_until_all(self.deadline_time(), |id, n| {
+                    plan.tb_is_excused(id) || n.committed_height() >= b
+                });
             }
             StopWhen::ViewReached(_) => {} // no views in the baseline
         }
@@ -594,7 +629,7 @@ impl Scenario {
                 let meter = net.meter(id);
                 NodeReport {
                     id,
-                    faulty: false,
+                    faulty: id != HUB && plan.is_faulty(id),
                     is_hub: id == HUB,
                     energy: NodeEnergy::from_meter(meter),
                     committed_height: r.committed_height(),
@@ -851,6 +886,55 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_follower_reforwards_its_queue_after_heal() {
+        use eesmr_workload::ArrivalProcess;
+        // Node 4 injects client commands like everyone else, but a
+        // partition cuts it off from the (healthy, never-deposed) leader
+        // mid-run, so its forward floods vanish into severed links and
+        // no view change ever fires `requeue_unresolved` for it. The
+        // forward-retry timer is the only rescue: after the heal it must
+        // re-forward the partition-era queue so the commands commit and
+        // the closed loop resumes injecting.
+        let w = Workload::new(ArrivalProcess::Poisson { rate: 4_000 }).closed_loop(4);
+        // Blocks(16) leaves enough healthy run after the heal for the
+        // retry window (32Δ from each command's birth) to elapse and
+        // the resumed loop to cycle a few more waves through commit.
+        let base = Scenario::new(Protocol::Eesmr, 5, 2)
+            .workload(w)
+            .faults(FaultPlan::none().with_partition(5_000, 60_000, [4]))
+            .stop(StopWhen::Blocks(16));
+        let report = base.clone().run();
+        assert!(report.committed_height() >= 16, "{}", report.summary());
+        assert!(report.net.dropped > 0, "the partition severed real traffic");
+        let islanded = &report.nodes[4];
+        assert!(!islanded.faulty, "a partitioned node is a link fault, not a node fault");
+        assert!(
+            islanded.tx_forwarded > islanded.tx_injected,
+            "retries re-forward stranded commands, so forwards ({}) must exceed \
+             injections ({}) — without the retry each command is forwarded at most once",
+            islanded.tx_forwarded,
+            islanded.tx_injected
+        );
+        assert!(
+            islanded.tx_injected >= 10,
+            "only {} injections: the closed loop froze on stranded commands \
+             instead of resuming after the heal",
+            islanded.tx_injected
+        );
+        assert!(
+            islanded.tx_latency_hist.count() + 4 >= islanded.tx_injected,
+            "{} of {} injected commands never committed — re-forwarding after \
+             the heal is broken",
+            islanded.tx_injected - islanded.tx_latency_hist.count(),
+            islanded.tx_injected
+        );
+        // The whole heal-and-reforward path is keyed to node-local state:
+        // sharding the run must reproduce it bit for bit.
+        let sharded = base.shards(2).run();
+        assert_eq!(report, sharded, "partition re-forwarding broke shard determinism");
+    }
+
+    #[test]
     fn forward_batching_cuts_forward_traffic_without_perturbing_determinism() {
         use eesmr_workload::ArrivalProcess;
         // Uniform skew, closed loop, and a silent first leader: every
@@ -959,6 +1043,57 @@ mod tests {
         // Not a sweep axis: same cell, same label.
         assert_eq!(base.clone().trace(TraceLevel::All).cell(), base.cell());
         assert_eq!(base.clone().trace(TraceLevel::All).label(), base.label());
+    }
+
+    #[test]
+    fn fault_axis_is_a_cell_axis_and_label_suffix() {
+        let a = Scenario::new(Protocol::Eesmr, 6, 3);
+        let b = a.clone().fault_spec(FaultSpec::Withhold);
+        assert_ne!(a.cell(), b.cell(), "the fault axis distinguishes grid cells");
+        assert_eq!(a.cell().fault, FaultSpec::None);
+        assert_eq!(b.cell().fault, FaultSpec::Withhold);
+        assert!(b.label().contains("fault=withhold"), "{}", b.label());
+        assert!(!a.label().contains("fault="), "{}", a.label());
+    }
+
+    #[test]
+    fn partition_heals_and_the_islanded_node_catches_up() {
+        let report = Scenario::new(Protocol::Eesmr, 5, 2)
+            .fault_spec(FaultSpec::PartitionHeal)
+            .stop(StopWhen::Blocks(6))
+            .run();
+        // The partitioned node is a link fault, not a node fault: it is
+        // not excused, so reaching the stop target proves it caught up
+        // after the heal.
+        for node in &report.nodes {
+            assert!(!node.faulty, "partitions do not mark nodes faulty");
+            assert!(
+                node.committed_height >= 6,
+                "node {} stuck at {}",
+                node.id,
+                node.committed_height
+            );
+        }
+        assert!(report.net.dropped > 0, "the partition severed real deliveries");
+    }
+
+    #[test]
+    fn crash_recovery_spec_commits_on_every_protocol() {
+        for protocol in
+            [Protocol::Eesmr, Protocol::SyncHotStuff, Protocol::OptSync, Protocol::TrustedBaseline]
+        {
+            let report = Scenario::new(protocol, 5, 2)
+                .fault_spec(FaultSpec::CrashRecovery)
+                .stop(StopWhen::Blocks(3))
+                .run();
+            let crashed = &report.nodes[4];
+            assert!(crashed.faulty, "{protocol:?} marks the crashed node");
+            assert!(
+                crashed.committed_height >= 3,
+                "{protocol:?}: the restarted node only reached {}",
+                crashed.committed_height
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! ⊂ `proto` ⊂ `all` (see [`TraceClass`]).
 //!
 //! On top of the raw stream:
+//! * [`audit`] — replays a merged trace and checks SMR safety (no
+//!   same-height forks, monotone per-node heights) and post-heal
+//!   liveness; the adversarial suites and CI gate on its verdict.
 //! * [`path::CommitPath`] — follows one transaction
 //!   birth→forward→batch→propose→relay→commit through a merged trace and
 //!   reports the per-hop latency breakdown.
@@ -30,6 +33,7 @@
 
 use std::collections::VecDeque;
 
+pub mod audit;
 pub mod hist;
 pub mod path;
 pub mod perfetto;

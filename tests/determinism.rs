@@ -7,8 +7,8 @@
 use eesmr_driver::{Driver, DriverConfig, ScenarioGrid};
 use eesmr_net::SimDuration;
 use eesmr_sim::{
-    ArrivalProcess, FaultPlan, Protocol, RunReport, Scenario, SchedulerKind, Skew, StopWhen,
-    Workload,
+    ArrivalProcess, FaultPlan, FaultSpec, Protocol, RunReport, Scenario, SchedulerKind, Skew,
+    StopWhen, Workload,
 };
 
 /// The bursty, skewed, closed-loop workload the determinism grids use —
@@ -370,6 +370,87 @@ fn traces_are_bit_identical_across_workers() {
     let inline = traced(1);
     assert!(inline.iter().all(|t| t.total_events() > 0));
     assert_eq!(inline, traced(8), "worker count leaked into the traces");
+}
+
+/// Adversarial scenarios for the sharded-equivalence sweep: every fault
+/// behaviour with a wall-clock schedule (healing partition, node churn,
+/// crash-recovery) plus vote withholding — the paths where restart
+/// timers, link-fault checks at transmit time, and repair floods could
+/// conceivably leak a shard layout, worker count, or scheduler choice.
+fn adversarial_scenarios() -> Vec<Scenario> {
+    let mut scenarios: Vec<Scenario> =
+        [FaultSpec::PartitionHeal, FaultSpec::Churn, FaultSpec::Withhold]
+            .into_iter()
+            .flat_map(|spec| {
+                [Protocol::Eesmr, Protocol::SyncHotStuff].into_iter().map(move |protocol| {
+                    Scenario::new(protocol, 6, 3).fault_spec(spec).stop(StopWhen::Blocks(4))
+                })
+            })
+            .collect();
+    scenarios.push(
+        Scenario::new(Protocol::TrustedBaseline, 6, 2)
+            .fault_spec(FaultSpec::CrashRecovery)
+            .stop(StopWhen::Blocks(4)),
+    );
+    // The compound plan: partition-heal + churn + withholding at once.
+    scenarios.push(
+        Scenario::new(Protocol::Eesmr, 6, 3)
+            .faults(
+                FaultPlan::none()
+                    .with_withholder(5, 1)
+                    .with_partition(5_000, 40_000, [4])
+                    .with_crash(3, 10_000, Some(60_000)),
+            )
+            .stop(StopWhen::Blocks(4)),
+    );
+    scenarios
+}
+
+#[test]
+fn adversarial_runs_are_bit_identical_across_shards_and_schedulers() {
+    // The fault model extends the determinism contract: restart timers,
+    // partition/drop checks, and repair replies are all keyed to
+    // node-local state and virtual time, so the shard count and the
+    // scheduler backend must not move a single byte of the report — or a
+    // single event of the commit trace. Every traced run must also
+    // replay safety-clean through the auditor.
+    use eesmr_net::TraceLevel;
+    use eesmr_trace::audit::{audit, AuditConfig};
+    for scenario in adversarial_scenarios() {
+        let base = scenario.trace(TraceLevel::Commit).scheduler(SchedulerKind::Heap);
+        let (reference_report, reference_trace) = base.clone().shards(1).run_traced();
+        assert!(reference_trace.total_events() > 0, "tracing recorded something");
+        let verdict = audit(&reference_trace, &AuditConfig::safety_only());
+        assert!(verdict.is_clean(), "{}: {:?}", base.label(), verdict.violations);
+        for shards in [2usize, 4] {
+            let (report, trace) = base.clone().shards(shards).run_traced();
+            assert_eq!(reference_report, report, "{shards} shards leaked: {}", base.label());
+            assert_eq!(reference_trace, trace, "trace diverged at {shards} shards");
+        }
+        let (report, trace) = base.clone().scheduler(SchedulerKind::Calendar).run_traced();
+        assert_eq!(reference_report, report, "calendar scheduler leaked: {}", base.label());
+        assert_eq!(reference_trace, trace, "trace diverged under the calendar scheduler");
+    }
+}
+
+#[test]
+fn adversarial_runs_are_bit_identical_across_workers() {
+    // Same scenarios through the driver pool: 1 worker ≡ 8 workers,
+    // reports and traces both.
+    use eesmr_net::TraceLevel;
+    let scenarios: Vec<Scenario> =
+        adversarial_scenarios().into_iter().map(|s| s.trace(TraceLevel::Commit)).collect();
+    let run_all = |workers: usize| {
+        Driver::new(DriverConfig::default().workers(workers)).map(&scenarios, |s| s.run_traced())
+    };
+    let inline = run_all(1);
+    let parallel = run_all(8);
+    for (scenario, ((report_a, trace_a), (report_b, trace_b))) in
+        scenarios.iter().zip(inline.iter().zip(&parallel))
+    {
+        assert_eq!(report_a, report_b, "worker count leaked: {}", scenario.label());
+        assert_eq!(trace_a, trace_b, "trace diverged across workers: {}", scenario.label());
+    }
 }
 
 #[test]

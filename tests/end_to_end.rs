@@ -109,14 +109,19 @@ fn eesmr_steady_state_energy_independent_of_n_at_fixed_k() {
 }
 
 #[test]
-fn eesmr_replica_energy_scales_linearly_with_k() {
+fn eesmr_replica_energy_grows_with_k_but_stays_subquadratic() {
+    // Higher k buys higher redundancy (sends and first receptions cost
+    // more), but the extra copies a denser graph delivers are mostly
+    // duplicates, which a scanner abandons after one advertisement
+    // (`ChannelCost::dup_recv_mj`) — so growth in k is real yet well
+    // below proportional.
     let per_node = |k: usize| {
         let r = Scenario::new(Protocol::Eesmr, 10, k).stop(StopWhen::Blocks(10)).run();
         r.node_energy_per_block_mj(4)
     };
     let e2 = per_node(2);
     let e6 = per_node(6);
-    assert!(e6 > e2 * 1.5, "k=6 ({e6:.0} mJ) should cost well above k=2 ({e2:.0} mJ)");
+    assert!(e6 > e2 * 1.2, "k=6 ({e6:.0} mJ) should cost clearly above k=2 ({e2:.0} mJ)");
     assert!(e6 < e2 * 4.0, "growth should be roughly linear, not quadratic");
 }
 

@@ -1,0 +1,84 @@
+//! Pins the §5.7 headline energy ratios to the paper's numbers within an
+//! explicit tolerance band, so model changes that silently walk the
+//! calibration away from the testbed fail loudly here.
+//!
+//! The bands are deliberately asymmetric in spirit: the paper measured
+//! 2.85× (steady) and 2.05× (view change) on real ESP32 boards whose
+//! radios pay a continuous scanning floor the simulator does not model
+//! per-idle-millisecond. The simulator's per-message scan accounting
+//! (see `ChannelCost::{dup_recv_mj, shared_recv_mj}`) lands ≈3.4× and
+//! ≈2.0×; the README "Known deviations" table documents the residual
+//! gap. A regression past the band (for example the ≈7.6× the model
+//! produced before duplicate-scan and shared-window pricing) is a
+//! calibration bug, not noise.
+
+use eesmr_sim::{FaultPlan, Protocol, Scenario, StopWhen};
+
+/// Steady-state §5.7 scenario: n = 13, f = 6 silent followers, leader
+/// correct — the Fig. 3 midpoint the prose quotes.
+fn steady(protocol: Protocol) -> Scenario {
+    let f = 6usize;
+    let silent: Vec<u32> = (2u32..2 + f as u32).collect();
+    Scenario::new(protocol, 13, f + 1)
+        .fault_bound(f)
+        .faults(FaultPlan::silent_nodes(silent))
+        .stop(StopWhen::Blocks(15))
+}
+
+/// View-change scenario: the view-1 leader stays silent, node 1 takes
+/// over after the blame quorum.
+fn view_change(protocol: Protocol) -> Scenario {
+    Scenario::new(protocol, 13, 7)
+        .fault_bound(6)
+        .faults(FaultPlan::silent_leader())
+        .stop(StopWhen::ViewReached(2))
+}
+
+#[test]
+fn steady_state_leader_ratio_tracks_paper_within_band() {
+    const PAPER: f64 = 2.85;
+    const TOLERANCE: f64 = 0.25; // ±25 %: scanning-floor gap, see module doc
+
+    let eesmr = steady(Protocol::Eesmr).run().node_energy_per_block_mj(0);
+    let synchs = steady(Protocol::SyncHotStuff).run().node_energy_per_block_mj(0);
+    let ratio = synchs / eesmr;
+    assert!(
+        (ratio / PAPER - 1.0).abs() <= TOLERANCE,
+        "steady-state SyncHS/EESMR leader ratio {ratio:.2}x strayed from the \
+         paper's {PAPER}x by more than {:.0}%",
+        TOLERANCE * 100.0
+    );
+}
+
+#[test]
+fn view_change_leader_ratio_tracks_paper_within_band() {
+    const PAPER: f64 = 2.05;
+    const TOLERANCE: f64 = 0.20;
+
+    let eesmr = view_change(Protocol::Eesmr).with_paper_optimizations().run().node_energy_mj(1);
+    let synchs = view_change(Protocol::SyncHotStuff).run().node_energy_mj(1);
+    let ratio = eesmr / synchs;
+    assert!(
+        (ratio / PAPER - 1.0).abs() <= TOLERANCE,
+        "view-change EESMR/SyncHS new-leader ratio {ratio:.2}x strayed from \
+         the paper's {PAPER}x by more than {:.0}%",
+        TOLERANCE * 100.0
+    );
+}
+
+#[test]
+fn abstract_savings_at_n10_stay_in_a_sane_envelope() {
+    // The abstract's 64 % figure is the n = 10 BLE setting. Without the
+    // testbed's idle-scanning floor the simulator overshoots (≈84 %), so
+    // this pin only guards the envelope: EESMR must save well over half
+    // the energy, and anything ≳95 % would mean Sync HotStuff costs are
+    // being inflated rather than EESMR savings being real.
+    let eesmr = Scenario::new(Protocol::Eesmr, 10, 5).stop(StopWhen::Blocks(15)).run();
+    let synchs = Scenario::new(Protocol::SyncHotStuff, 10, 5).stop(StopWhen::Blocks(15)).run();
+    let saving = 1.0 - eesmr.energy_per_block_mj() / synchs.energy_per_block_mj();
+    assert!(
+        (0.5..=0.95).contains(&saving),
+        "n=10 steady-state saving {:.0}% left the [50%, 95%] envelope (paper: 64%)",
+        saving * 100.0
+    );
+}

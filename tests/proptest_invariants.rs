@@ -6,6 +6,8 @@ use eesmr_energy::psi::break_even_nu;
 use eesmr_energy::{BleKcastModel, Medium};
 use eesmr_hypergraph::topology::ring_kcast;
 use eesmr_sim::{ArrivalProcess, FaultPlan, Protocol, Scenario, Skew, StopWhen, Workload};
+use eesmr_trace::audit::{audit, AuditConfig};
+use eesmr_trace::TraceLevel;
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------
@@ -267,5 +269,82 @@ proptest! {
             .stop(StopWhen::Blocks(2))
             .run();
         prop_assert!(report.committed_height() >= 2, "stuck: {}", report.summary());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace-audited adversarial properties (fewer cases — each case runs a
+// whole simulation and replays its merged trace through the auditor).
+// ---------------------------------------------------------------------
+
+const AUDITED_PROTOCOLS: [Protocol; 4] =
+    [Protocol::Eesmr, Protocol::SyncHotStuff, Protocol::OptSync, Protocol::TrustedBaseline];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under any node-fault mix that respects the tolerance threshold
+    /// (at most 2 faulty of n = 7 at k = 3), every protocol's traced run
+    /// must audit safety-clean: no two nodes commit different blocks at
+    /// the same height, and no node's committed height ever rewinds.
+    #[test]
+    fn random_fault_plans_audit_safety_clean(
+        seed in 0u64..1000,
+        proto_ix in 0usize..4,
+        behaviors in prop::collection::vec(0usize..5, 1..3),
+        restart_scale in 2u64..8,
+    ) {
+        let protocol = AUDITED_PROTOCOLS[proto_ix];
+        // Afflict trailing nodes (6, then 5) so the view-1 leader stays
+        // honest and the faulty count stays inside every threshold.
+        let mut plan = FaultPlan::none();
+        for (i, b) in behaviors.iter().enumerate() {
+            let node = (6 - i) as u32;
+            plan = match b {
+                0 => plan.with_silent(node, 1),
+                1 => plan.with_withholder(node, 1),
+                2 => plan.with_storm(node, 1, 2),
+                3 => plan.with_crash(node, 5_000, Some(5_000 * restart_scale)),
+                _ => plan.with_crash(node, 5_000, None),
+            };
+        }
+        let (report, traces) = Scenario::new(protocol, 7, 3)
+            .seed(seed)
+            .faults(plan)
+            .stop(StopWhen::Blocks(3))
+            .trace(TraceLevel::Commit)
+            .run_traced();
+        let verdict = audit(&traces, &AuditConfig::safety_only());
+        prop_assert!(verdict.is_clean(), "{}: {:?}", report.summary(), verdict.violations);
+        prop_assert!(verdict.commits > 0, "nobody committed: {}", report.summary());
+    }
+
+    /// Random link-level schedules — a healing partition plus a lossy
+    /// egress window on the islanded node — never threaten safety on any
+    /// protocol: the runtime drops or delays messages, it never forges
+    /// them, so committed logs still agree.
+    #[test]
+    fn random_link_schedules_audit_safety_clean(
+        seed in 0u64..1000,
+        proto_ix in 0usize..4,
+        island in 1u32..7,
+        start_ms in 0u64..30,
+        len_ms in 1u64..40,
+        permille in 0u16..1001,
+    ) {
+        let protocol = AUDITED_PROTOCOLS[proto_ix];
+        let start_us = start_ms * 1_000;
+        let plan = FaultPlan::none()
+            .with_partition(start_us, start_us + len_ms * 1_000, [island])
+            .with_drop(island, None, permille, 0, start_us);
+        let (report, traces) = Scenario::new(protocol, 7, 3)
+            .seed(seed)
+            .faults(plan)
+            .stop(StopWhen::Blocks(3))
+            .trace(TraceLevel::Commit)
+            .run_traced();
+        let verdict = audit(&traces, &AuditConfig::safety_only());
+        prop_assert!(verdict.is_clean(), "{}: {:?}", report.summary(), verdict.violations);
+        prop_assert!(verdict.commits > 0, "nobody committed: {}", report.summary());
     }
 }
