@@ -317,6 +317,21 @@ impl Message for HsMsg {
         ])
         .to_u64()
     }
+
+    fn phase(&self) -> eesmr_energy::EnergyPhase {
+        use eesmr_energy::EnergyPhase;
+        match &self.payload {
+            HsPayload::Propose { .. } => EnergyPhase::Propose,
+            HsPayload::Vote { .. } => EnergyPhase::Vote,
+            HsPayload::Blame { .. } | HsPayload::BlameQc(_) => EnergyPhase::ViewChange,
+            HsPayload::Status { .. } => EnergyPhase::Status,
+            HsPayload::Forward { .. } => EnergyPhase::Forward,
+            HsPayload::SyncRequest { .. }
+            | HsPayload::SyncResponse { .. }
+            | HsPayload::Repair { .. }
+            | HsPayload::RepairReply { .. } => EnergyPhase::Sync,
+        }
+    }
 }
 
 /// Timer tokens.
@@ -586,6 +601,11 @@ impl HsReplica {
         self.txpool.tx_latencies()
     }
 
+    /// High-water mark of the pending-command backlog over the run.
+    pub fn peak_backlog(&self) -> usize {
+        self.txpool.peak_backlog()
+    }
+
     /// One arrival event: inject, re-arm, and either propose the fresh
     /// backlog (leader) or forward it to the proposer (everyone else).
     fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
@@ -733,6 +753,7 @@ impl HsReplica {
         };
         let want = self.batcher.next_size(self.txpool.backlog(), self.config.batch_policy);
         let batch = self.txpool.next_batch(want);
+        self.metrics.record_batch_fill(batch.len(), self.config.batch_policy.max_size());
         let block = Block::extending(&parent, self.v_cur, parent.height + 1, batch);
         ctx.meter().charge_hash(block.wire_size());
         if ctx.traces(TraceClass::Commit) {
@@ -1404,6 +1425,18 @@ impl Actor for HsReplica {
                 self.forward_backlog(ctx);
             }
             HsTimer::Restart => self.on_restart(ctx),
+        }
+    }
+
+    fn gauges(&self) -> eesmr_net::ActorGauges {
+        // Node-local state only — the telemetry determinism contract.
+        // Sync HotStuff has no forward-retry timer, so that gauge stays 0.
+        eesmr_net::ActorGauges {
+            tx_in_flight: self.txpool.in_flight() as u64,
+            pool_backlog: self.txpool.backlog() as u64,
+            forward_retries: self.metrics.forward_retries,
+            batch_fill_pct: self.metrics.last_batch_fill_pct as f64,
+            view: self.v_cur,
         }
     }
 }

@@ -182,6 +182,17 @@ impl Message for TbMsg {
         Digest::of_parts(&[&self.signer.to_le_bytes(), self.payload.signing_digest().as_bytes()])
             .to_u64()
     }
+
+    fn phase(&self) -> eesmr_energy::EnergyPhase {
+        use eesmr_energy::EnergyPhase;
+        match &self.payload {
+            // Spoke uploads feed the hub's next proposal; the hub's
+            // ordered block is the commit announcement.
+            TbPayload::Request { .. } => EnergyPhase::Propose,
+            TbPayload::Ordered { .. } => EnergyPhase::Commit,
+            TbPayload::Repair { .. } | TbPayload::RepairReply { .. } => EnergyPhase::Sync,
+        }
+    }
 }
 
 /// Timer tokens.
@@ -329,6 +340,11 @@ impl TbNode {
         self.txpool.tx_latencies()
     }
 
+    /// High-water mark of the pending-command backlog over the run.
+    pub fn peak_backlog(&self) -> usize {
+        self.txpool.peak_backlog()
+    }
+
     /// One arrival event: inject, re-arm, and upload the fresh backlog
     /// to the hub.
     fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
@@ -354,6 +370,7 @@ impl TbNode {
         if batch.is_empty() && self.workload.is_some() {
             return;
         }
+        self.metrics.record_batch_fill(batch.len(), self.config.batch_policy.max_size());
         let seq = self.upload_seq;
         self.upload_seq += 1;
         if ctx.traces(TraceClass::Commit) {
@@ -597,6 +614,23 @@ impl Actor for TbNode {
                 self.repair_inflight = false;
                 self.request_repair(ctx);
             }
+        }
+    }
+
+    fn gauges(&self) -> eesmr_net::ActorGauges {
+        // Node-local state only — the telemetry determinism contract.
+        // The hub's ordering queue counts as its backlog; spokes report
+        // their txpool. No forward-retry machinery in this baseline.
+        eesmr_net::ActorGauges {
+            tx_in_flight: self.txpool.in_flight() as u64,
+            pool_backlog: if self.is_hub() {
+                self.pending.len() as u64
+            } else {
+                self.txpool.backlog() as u64
+            },
+            forward_retries: self.metrics.forward_retries,
+            batch_fill_pct: self.metrics.last_batch_fill_pct as f64,
+            view: 1,
         }
     }
 }

@@ -11,7 +11,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use eesmr_bench::hotpath::{run_storm, StormSpec};
-use eesmr_net::TraceLevel;
+use eesmr_net::{MetricsConfig, TraceLevel};
 
 fn bench_spine_headline(c: &mut Criterion) {
     let arc = StormSpec::headline(false);
@@ -45,6 +45,7 @@ fn bench_commands_sweep(c: &mut Criterion) {
                 shards: 1,
                 deep_clone,
                 trace: TraceLevel::Off,
+                metrics: MetricsConfig::off(),
             };
             group.bench_function(spec.label(), |b| b.iter(|| black_box(run_storm(&spec))));
         }
@@ -66,6 +67,7 @@ fn bench_payload_sweep(c: &mut Criterion) {
                 shards: 1,
                 deep_clone,
                 trace: TraceLevel::Off,
+                metrics: MetricsConfig::off(),
             };
             group.bench_function(spec.label(), |b| b.iter(|| black_box(run_storm(&spec))));
         }

@@ -18,13 +18,21 @@
 //! `EESMR_QUICK=1` shrinks the storm budget and repetition count for
 //! the CI smoke run. Each cell is measured several times and the best
 //! run kept, damping scheduler noise.
+//!
+//! Besides the spine cells, the snapshot prices the observability
+//! surfaces: the headline cell re-runs with full tracing and with
+//! `eesmr-metrics` gauge sampling on, and a final self-profiled pass
+//! (excluded from all throughput numbers) records where the simulator's
+//! wall clock goes (`profile_pct` in the JSON; `EESMR_PROFILE=1` also
+//! writes the folded-stacks rendering next to it).
 
 use std::fs;
 use std::process::Command as Shell;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use eesmr_bench::hotpath::{run_storm, StormSpec};
-use eesmr_net::TraceLevel;
+use eesmr_metrics::{profile_reset, profile_snapshot, set_profiling, ProfPhase, ProfileSnapshot};
+use eesmr_net::{MetricsConfig, TraceLevel};
 
 /// The floor the acceptance bar sets for Arc-vs-deep speedup.
 const MIN_SPEEDUP: f64 = 1.5;
@@ -64,6 +72,8 @@ struct Snapshot {
     arc_events_per_sec: f64,
     deep_events_per_sec: f64,
     trace_all_events_per_sec: f64,
+    metrics_on_events_per_sec: f64,
+    profile: ProfileSnapshot,
     cells: Vec<(StormSpec, f64, u64)>,
 }
 
@@ -76,6 +86,12 @@ impl Snapshot {
     /// `(off - all) / off`. Negative values are scheduler noise.
     fn trace_overhead(&self) -> f64 {
         (self.arc_events_per_sec - self.trace_all_events_per_sec) / self.arc_events_per_sec
+    }
+
+    /// Fractional slowdown of the headline cell with gauge sampling on,
+    /// same convention as [`trace_overhead`](Snapshot::trace_overhead).
+    fn metrics_overhead(&self) -> f64 {
+        (self.arc_events_per_sec - self.metrics_on_events_per_sec) / self.arc_events_per_sec
     }
 
     fn to_json(&self) -> String {
@@ -96,8 +112,24 @@ impl Snapshot {
             "    \"trace_all_events_per_sec\": {:.1},\n",
             self.trace_all_events_per_sec
         ));
-        out.push_str(&format!("    \"trace_overhead\": {:.3}\n", self.trace_overhead()));
+        out.push_str(&format!("    \"trace_overhead\": {:.3},\n", self.trace_overhead()));
+        out.push_str(&format!(
+            "    \"metrics_off_events_per_sec\": {:.1},\n",
+            self.arc_events_per_sec
+        ));
+        out.push_str(&format!(
+            "    \"metrics_on_events_per_sec\": {:.1},\n",
+            self.metrics_on_events_per_sec
+        ));
+        out.push_str(&format!("    \"metrics_overhead\": {:.3}\n", self.metrics_overhead()));
         out.push_str("  },\n");
+        out.push_str("  \"profile_pct\": {\n");
+        let phases: Vec<String> = ProfPhase::ALL
+            .iter()
+            .map(|&p| format!("    \"{}\": {:.1}", p.as_str(), self.profile.pct(p)))
+            .collect();
+        out.push_str(&phases.join(",\n"));
+        out.push_str("\n  },\n");
         out.push_str("  \"results\": [\n");
         let rows: Vec<String> = self
             .cells
@@ -154,6 +186,20 @@ fn take_snapshot() -> Snapshot {
     eprintln!("measuring {} (reps={reps})...", traced_spec.label());
     let (trace_all_eps, deliveries) = measure(&traced_spec, reps);
     cells.push((traced_spec, trace_all_eps, deliveries));
+    let sampled_spec =
+        StormSpec { budget, metrics: MetricsConfig::on(), ..StormSpec::headline(false) };
+    eprintln!("measuring {} (reps={reps})...", sampled_spec.label());
+    let (metrics_on_eps, deliveries) = measure(&sampled_spec, reps);
+    cells.push((sampled_spec, metrics_on_eps, deliveries));
+    // One extra self-profiled pass, excluded from every throughput
+    // number above (the phase timers themselves cost a few percent):
+    // it only feeds the `profile_pct` breakdown and the folded stacks.
+    eprintln!("profiling {}...", StormSpec::headline(false).label());
+    set_profiling(true);
+    profile_reset();
+    run_storm(&StormSpec { budget, ..StormSpec::headline(false) });
+    let profile = profile_snapshot();
+    set_profiling(false);
     let recorded_unix =
         SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
     Snapshot {
@@ -163,6 +209,8 @@ fn take_snapshot() -> Snapshot {
         arc_events_per_sec: arc_eps,
         deep_events_per_sec: deep_eps,
         trace_all_events_per_sec: trace_all_eps,
+        metrics_on_events_per_sec: metrics_on_eps,
+        profile,
         cells,
     }
 }
@@ -260,13 +308,27 @@ fn emit() -> i32 {
     let path = format!("BENCH_{}.json", snap.sha);
     println!(
         "arc: {:.0} events/s  deep-clone: {:.0} events/s  speedup: {:.2}x  \
-         trace-all: {:.0} events/s  trace overhead: {:.1}%",
+         trace-all: {:.0} events/s  trace overhead: {:.1}%  metrics overhead: {:.1}%",
         snap.arc_events_per_sec,
         snap.deep_events_per_sec,
         snap.speedup(),
         snap.trace_all_events_per_sec,
-        snap.trace_overhead() * 100.0
+        snap.trace_overhead() * 100.0,
+        snap.metrics_overhead() * 100.0
     );
+    println!("profile: {}", snap.profile.summary());
+    // EESMR_PROFILE also asks for the flamegraph-ready rendering of the
+    // profiled pass, next to the JSON.
+    if matches!(
+        std::env::var("EESMR_PROFILE").as_deref().map(str::trim),
+        Ok("1") | Ok("true") | Ok("on")
+    ) {
+        let folded_path = format!("BENCH_{}.folded", snap.sha);
+        match fs::write(&folded_path, snap.profile.folded()) {
+            Ok(()) => println!("wrote {folded_path}"),
+            Err(err) => eprintln!("bench_trajectory: cannot write {folded_path}: {err}"),
+        }
+    }
     match fs::write(&path, snap.to_json()) {
         Ok(()) => {
             println!("wrote {path}");

@@ -11,9 +11,10 @@
 //! shrinks it to smoke size. Measured-vs-paper context lives in the
 //! README's "Known deviations" subsection.
 
-use eesmr_bench::Csv;
+use eesmr_bench::{print_table, Csv};
 use eesmr_driver::{Driver, ScenarioGrid};
-use eesmr_net::{TraceClass, TraceLevel};
+use eesmr_energy::EnergyClass;
+use eesmr_net::{MetricsConfig, TraceClass, TraceLevel};
 use eesmr_sim::{ArrivalProcess, FaultPlan, Protocol, Scenario, StopWhen, Workload};
 
 fn main() {
@@ -106,6 +107,7 @@ fn main() {
         let (report, traces) = Scenario::new(Protocol::Eesmr, 5, 2)
             .workload(w)
             .trace(trace)
+            .metrics(MetricsConfig::from_env())
             .stop(StopWhen::Blocks(5))
             .run_traced();
         println!(
@@ -114,9 +116,43 @@ fn main() {
             traces.total_events(),
             traces.total_dropped()
         );
+        if report.trace_dropped_total() > 0 {
+            eprintln!(
+                "WARNING: {} trace events were dropped by full per-node rings; \
+                 lower the trace level or widen the ring to keep full coverage",
+                report.trace_dropped_total()
+            );
+        }
         match &report.commit_path {
             Some(path) => print!("{}", path.render()),
             None => println!("no committed workload transaction to trace"),
         }
+        print_energy_by_class(&report);
     }
+}
+
+/// The §5.7-style per-node energy breakdown: every mJ the attribution
+/// ledger tagged by [`EnergyClass`], one row per node. Each row's class
+/// cells sum to the node's meter total to the µJ (the determinism suite
+/// pins this), so the table is an exact decomposition, not an estimate.
+fn print_energy_by_class(report: &eesmr_sim::RunReport) {
+    if report.energy_attr.iter().all(|attr| attr.is_empty()) {
+        return;
+    }
+    let mut headers: Vec<String> = vec!["node".into()];
+    headers.extend(EnergyClass::ALL.iter().map(|c| format!("{} (mJ)", c.as_str())));
+    headers.push("total (mJ)".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = report
+        .nodes
+        .iter()
+        .filter_map(|node| {
+            let attr = report.energy_attr.get(node.id as usize)?;
+            let mut row = vec![format!("{}", node.id)];
+            row.extend(EnergyClass::ALL.iter().map(|&c| format!("{:.3}", attr.class_mj(c))));
+            row.push(format!("{:.3}", node.energy.total_mj()));
+            Some(row)
+        })
+        .collect();
+    print_table("per-node energy by class (§5.7 breakdown)", &header_refs, &rows);
 }

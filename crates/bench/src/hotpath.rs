@@ -18,7 +18,9 @@ use std::time::Instant;
 
 use eesmr_core::{set_deep_clone_spine, Block, Command};
 use eesmr_hypergraph::topology::ring_kcast;
-use eesmr_net::{Actor, Context, Message, NetConfig, NodeId, ShardedNet, SimDuration, TraceLevel};
+use eesmr_net::{
+    Actor, Context, Message, MetricsConfig, NetConfig, NodeId, ShardedNet, SimDuration, TraceLevel,
+};
 
 /// A flooded proposal: a block of commands plus a dedup key. Cloned by
 /// the runtime once per receiver per hop — the spine's hot path.
@@ -90,6 +92,9 @@ pub struct StormSpec {
     /// Structured-event trace level the runtime records at, so the
     /// trajectory can price tracing against the untraced hot path.
     pub trace: TraceLevel,
+    /// Time-series sampling config, so the trajectory can price the
+    /// `eesmr-metrics` gauge sampler against the unsampled hot path.
+    pub metrics: MetricsConfig,
 }
 
 impl StormSpec {
@@ -105,11 +110,12 @@ impl StormSpec {
             shards: 1,
             deep_clone,
             trace: TraceLevel::Off,
+            metrics: MetricsConfig::off(),
         }
     }
 
     /// A short label naming the cell, e.g. `n128_c16_p32_s1_arc`
-    /// (a `_tr<level>` suffix marks traced cells).
+    /// (`_tr<level>` marks traced cells, `_m` metrics-sampled ones).
     pub fn label(&self) -> String {
         let mut label = format!(
             "n{}_c{}_p{}_s{}_{}",
@@ -121,6 +127,9 @@ impl StormSpec {
         );
         if self.trace != TraceLevel::Off {
             label.push_str(&format!("_tr{}", self.trace.name()));
+        }
+        if self.metrics.enabled {
+            label.push_str("_m");
         }
         label
     }
@@ -172,6 +181,7 @@ pub fn run_storm(spec: &StormSpec) -> StormResult {
         .collect::<Vec<_>>();
     let mut cfg = NetConfig::ble(ring_kcast(spec.n, spec.k), 7);
     cfg.trace = spec.trace;
+    cfg.metrics = spec.metrics;
     set_deep_clone_spine(spec.deep_clone);
     let mut net = ShardedNet::new(cfg, actors, spec.shards);
     let started = Instant::now();
@@ -201,17 +211,22 @@ mod tests {
             shards: 1,
             deep_clone: false,
             trace: TraceLevel::Off,
+            metrics: MetricsConfig::off(),
         };
         let arc = run_storm(&base);
         let deep = run_storm(&StormSpec { deep_clone: true, ..base });
         let sharded = run_storm(&StormSpec { shards: 2, ..base });
         let traced = run_storm(&StormSpec { trace: TraceLevel::All, ..base });
+        let sampled = run_storm(&StormSpec { metrics: MetricsConfig::on(), ..base });
         assert_eq!(arc.fingerprint(), deep.fingerprint(), "spine mode changed behavior");
         assert_eq!(arc.fingerprint(), sharded.fingerprint(), "sharding changed behavior");
         assert_eq!(arc.fingerprint(), traced.fingerprint(), "tracing changed behavior");
+        assert_eq!(arc.fingerprint(), sampled.fingerprint(), "metrics sampling changed behavior");
         assert!(arc.deliveries > 0, "the storm actually ran");
         assert!(arc.commands_heard >= 4 * arc.heard, "payloads survived the hops");
         let traced_spec = StormSpec { trace: TraceLevel::All, ..base };
         assert!(traced_spec.label().ends_with("_trall"), "{}", traced_spec.label());
+        let sampled_spec = StormSpec { metrics: MetricsConfig::on(), ..base };
+        assert!(sampled_spec.label().ends_with("_m"), "{}", sampled_spec.label());
     }
 }

@@ -114,6 +114,15 @@ impl Message for BbMsg {
         ])
         .to_u64()
     }
+
+    fn phase(&self) -> eesmr_energy::EnergyPhase {
+        use eesmr_energy::EnergyPhase;
+        match &self.payload {
+            BbPayload::Value { .. } => EnergyPhase::Propose,
+            BbPayload::CommitVote { .. } => EnergyPhase::Vote,
+            BbPayload::Terminate { .. } => EnergyPhase::Commit,
+        }
+    }
 }
 
 /// Timer tokens.

@@ -40,6 +40,15 @@ impl BatchPolicy {
     /// The paper's default: a fixed 64-command cap.
     pub const DEFAULT: BatchPolicy = BatchPolicy::Fixed(64);
 
+    /// The largest batch this policy can ever cut — the denominator of
+    /// the batch-fill-percent gauge and report columns.
+    pub fn max_size(&self) -> usize {
+        match self {
+            BatchPolicy::Fixed(max) => *max,
+            BatchPolicy::Adaptive { max, .. } => *max,
+        }
+    }
+
     /// A short label for scenario names and report rows, e.g. `fixed64`
     /// or `adaptive4..256@80%`.
     pub fn label(&self) -> String {

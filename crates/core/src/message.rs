@@ -445,6 +445,22 @@ impl eesmr_net::Message for SignedMsg {
         ])
         .to_u64()
     }
+
+    fn phase(&self) -> eesmr_energy::EnergyPhase {
+        use eesmr_energy::EnergyPhase;
+        match self.payload.kind() {
+            MsgKind::Propose | MsgKind::NewViewProposal => EnergyPhase::Propose,
+            MsgKind::NewViewVote | MsgKind::HsVote | MsgKind::Certify => EnergyPhase::Vote,
+            MsgKind::CommitUpdate | MsgKind::CommitQc => EnergyPhase::Commit,
+            MsgKind::Blame | MsgKind::BlameQc => EnergyPhase::ViewChange,
+            MsgKind::LockStatus => EnergyPhase::Status,
+            MsgKind::Forward => EnergyPhase::Forward,
+            MsgKind::SyncRequest
+            | MsgKind::SyncResponse
+            | MsgKind::Repair
+            | MsgKind::RepairReply => EnergyPhase::Sync,
+        }
+    }
 }
 
 #[cfg(test)]

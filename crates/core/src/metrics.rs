@@ -34,6 +34,18 @@ pub struct Metrics {
     /// Client commands this node forwarded to a proposer (it was not
     /// the leader when they were queued).
     pub tx_forwarded: u64,
+    /// Forward-retry rescues: times the stale-command timer found
+    /// unresolved commands and re-forwarded (or re-proposed) them.
+    pub forward_retries: u64,
+    /// Fill of the most recent proposed batch, percent of the batch
+    /// policy's maximum size (integer percent, so sampling it is
+    /// bit-deterministic).
+    pub last_batch_fill_pct: u64,
+    /// Sum of per-proposal fill percentages (numerator of the mean fill
+    /// reported per run; all-integer, so worker/shard invariant).
+    pub batch_fill_pct_sum: u64,
+    /// Proposals made (batches cut) — denominator of the mean fill.
+    pub batches_proposed: u64,
     /// Commit latencies (relay → commit, microseconds) for locally-timed
     /// blocks, as a streaming histogram: O(buckets) memory for
     /// arbitrarily long runs, exact count/sum/min/max, ≲3% bucket
@@ -42,6 +54,22 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// Records the fill of a freshly cut batch: `len` commands against
+    /// the batch policy's maximum `max`. Integer percent so the running
+    /// sum (and the gauge sampled from it) is bit-deterministic.
+    pub fn record_batch_fill(&mut self, len: usize, max: usize) {
+        let pct = (len.saturating_mul(100) / max.max(1)) as u64;
+        self.last_batch_fill_pct = pct;
+        self.batch_fill_pct_sum += pct;
+        self.batches_proposed += 1;
+    }
+
+    /// Mean fill percentage across all proposals, if any batch was cut.
+    pub fn mean_batch_fill_pct(&self) -> Option<f64> {
+        (self.batches_proposed > 0)
+            .then(|| self.batch_fill_pct_sum as f64 / self.batches_proposed as f64)
+    }
+
     /// Records one relay→commit latency sample.
     pub fn record_commit_latency(&mut self, d: SimDuration) {
         self.commit_latencies.record(d.as_micros());

@@ -22,7 +22,9 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use eesmr_crypto::{Digest, KeyStore, Signature};
-use eesmr_net::{Actor, Context, NodeId, SimTime, TimerId, TraceClass, TraceEventKind};
+use eesmr_net::{
+    Actor, ActorGauges, Context, NodeId, SimTime, TimerId, TraceClass, TraceEventKind,
+};
 
 use crate::block::{Block, BlockStore, Command};
 use crate::config::{Config, FaultMode, Pacing};
@@ -284,6 +286,11 @@ impl Replica {
         self.txpool.tx_latencies()
     }
 
+    /// High-water mark of the pending-command backlog over the run.
+    pub fn peak_backlog(&self) -> usize {
+        self.txpool.peak_backlog()
+    }
+
     /// The configuration.
     pub fn config(&self) -> &Config {
         &self.config
@@ -510,6 +517,7 @@ impl Replica {
         }
         let age_us = self.config.delta.as_micros() * Self::FORWARD_RETRY_MULTIPLE;
         if self.txpool.requeue_stale(ctx.now().as_micros(), age_us) {
+            self.metrics.forward_retries += 1;
             if self.is_leader() {
                 self.try_propose(ctx);
             } else {
@@ -564,6 +572,7 @@ impl Replica {
             self.store.get(&self.b_lock).expect("locked block is always present locally").clone();
         let want = self.batcher.next_size(self.txpool.backlog(), self.config.batch_policy);
         let batch = self.txpool.next_batch(want);
+        self.metrics.record_batch_fill(batch.len(), self.config.batch_policy.max_size());
         let block = Block::extending(&parent, self.v_cur, round, batch);
         ctx.meter().charge_hash(block.wire_size());
         if ctx.traces(TraceClass::Commit) {
@@ -981,6 +990,19 @@ impl Actor for Replica {
             }
             TimerToken::ForwardRetry => self.on_forward_retry(ctx),
             TimerToken::Restart => self.on_restart(ctx),
+        }
+    }
+
+    fn gauges(&self) -> ActorGauges {
+        // Every value is read from this replica's own state, so the
+        // sampled series is invariant across shard/worker/scheduler
+        // choices (the telemetry determinism contract).
+        ActorGauges {
+            tx_in_flight: self.txpool.in_flight() as u64,
+            pool_backlog: self.txpool.backlog() as u64,
+            forward_retries: self.metrics.forward_retries,
+            batch_fill_pct: self.metrics.last_batch_fill_pct as f64,
+            view: self.v_cur,
         }
     }
 }

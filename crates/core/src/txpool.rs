@@ -73,6 +73,10 @@ pub struct TxPool {
     /// End-to-end (birth → local commit) latencies of settled workload
     /// transactions, in microseconds, as a streaming histogram.
     tx_latencies: LogHistogram,
+    /// High-water mark of `pending.len()` over the pool's lifetime —
+    /// the peak backlog reported per run. Updated at every enqueue
+    /// (submission and requeue), which is where the queue can only grow.
+    peak_pending: usize,
 }
 
 impl TxPool {
@@ -85,6 +89,7 @@ impl TxPool {
             next_seq: 0,
             births: Vec::new(),
             tx_latencies: LogHistogram::new(),
+            peak_pending: 0,
         }
     }
 
@@ -111,6 +116,7 @@ impl TxPool {
     /// Queues a client command.
     pub fn submit(&mut self, cmd: Command) {
         self.pending.push_back(cmd);
+        self.peak_pending = self.peak_pending.max(self.pending.len());
     }
 
     /// Queues a workload transaction born at `now_us`, tracking it until
@@ -118,6 +124,7 @@ impl TxPool {
     pub fn submit_at(&mut self, cmd: Command, now_us: u64) {
         self.births.push(Birth { cmd: cmd.clone(), born_us: now_us, retry_after_us: 0 });
         self.pending.push_back(cmd);
+        self.peak_pending = self.peak_pending.max(self.pending.len());
     }
 
     /// Workload transactions born here and not yet committed (the
@@ -173,6 +180,7 @@ impl TxPool {
             .map(|b| b.cmd.clone())
             .collect();
         self.pending.extend(lost);
+        self.peak_pending = self.peak_pending.max(self.pending.len());
     }
 
     /// Whether any birth-tracked workload transaction is in flight but
@@ -226,6 +234,7 @@ impl TxPool {
         }
         let restored = !lost.is_empty();
         self.pending.extend(lost);
+        self.peak_pending = self.peak_pending.max(self.pending.len());
         restored
     }
 
@@ -260,6 +269,12 @@ impl TxPool {
         } else {
             0
         }
+    }
+
+    /// High-water mark of the real queued-command backlog over the
+    /// pool's lifetime (synthetic generation not counted).
+    pub fn peak_backlog(&self) -> usize {
+        self.peak_pending
     }
 
     /// Takes the next batch of at most `max` commands for a proposal.

@@ -54,6 +54,19 @@ pub struct CellStats {
     pub view_changes: Summary,
     /// Committed height (min over correct nodes, per repeat).
     pub committed_height: Summary,
+    /// Peak pending-command backlog (max over correct nodes, per repeat).
+    pub peak_backlog: Summary,
+    /// Mean proposed-batch fill, percent of the policy max (`None` if no
+    /// repeat proposed a batch).
+    pub mean_batch_fill_pct: Option<Summary>,
+    /// Forward-retry rescues (sum over correct nodes, per repeat).
+    pub forward_retries: Summary,
+    /// Trace events dropped at `Tracer` ring capacity (sum over nodes,
+    /// per repeat; 0 when the suite ran untraced).
+    pub trace_dropped: Summary,
+    /// Correct-node energy per attribution class, mJ, in
+    /// [`EnergyClass::ALL`](eesmr_energy::EnergyClass) order.
+    pub energy_by_class_mj: [Summary; eesmr_energy::N_ENERGY_CLASS],
 }
 
 impl CellStats {
@@ -69,6 +82,9 @@ impl CellStats {
         let tx_stats: Vec<_> = runs.iter().filter_map(|r| r.tx_latency_stats()).collect();
         let tx_p50: Vec<f64> = tx_stats.iter().map(|s| s.p50_us as f64).collect();
         let tx_p99: Vec<f64> = tx_stats.iter().map(|s| s.p99_us as f64).collect();
+        let fills: Vec<f64> = runs.iter().filter_map(|r| r.mean_batch_fill_pct()).collect();
+        let energy_by_class_mj =
+            std::array::from_fn(|i| Summary::of(&collect(&|r| r.energy_by_class_mj()[i])).unwrap());
         CellStats {
             energy_per_block_mj: Summary::of(&collect(&|r| r.energy_per_block_mj())).unwrap(),
             total_correct_energy_mj: Summary::of(&collect(&|r| r.total_correct_energy_mj()))
@@ -78,6 +94,11 @@ impl CellStats {
             tx_latency_p99_us: Summary::of(&tx_p99),
             view_changes: Summary::of(&collect(&|r| r.view_changes() as f64)).unwrap(),
             committed_height: Summary::of(&collect(&|r| r.committed_height() as f64)).unwrap(),
+            peak_backlog: Summary::of(&collect(&|r| r.peak_backlog() as f64)).unwrap(),
+            mean_batch_fill_pct: Summary::of(&fills),
+            forward_retries: Summary::of(&collect(&|r| r.forward_retries() as f64)).unwrap(),
+            trace_dropped: Summary::of(&collect(&|r| r.trace_dropped_total() as f64)).unwrap(),
+            energy_by_class_mj,
         }
     }
 }
@@ -150,59 +171,72 @@ impl SuiteReport {
     /// Writes the per-cell summary CSV (`<name>.suite.csv`) under
     /// [`out_dir`], sharing the [`Csv`] writer with the figure binaries.
     pub fn write_csv(&self) -> PathBuf {
-        let mut csv = Csv::create(
-            &format!("{}.suite", self.name),
-            &[
-                "label",
-                "protocol",
-                "n",
-                "k",
-                "payload_bytes",
-                "batch_policy",
-                "offered_load",
-                "workload",
-                "shards",
-                "fault",
-                "scheme",
-                "seed",
-                "repeats",
-                "committed_height",
-                "view_changes",
-                "energy_per_block_mj_mean",
-                "energy_per_block_mj_min",
-                "energy_per_block_mj_max",
-                "total_energy_mj_mean",
-                "commit_latency_us_mean",
-                "tx_latency_p50_us_mean",
-                "tx_latency_p99_us_mean",
-            ],
-        );
+        let mut header = vec![
+            "label",
+            "protocol",
+            "n",
+            "k",
+            "payload_bytes",
+            "batch_policy",
+            "offered_load",
+            "workload",
+            "shards",
+            "fault",
+            "scheme",
+            "seed",
+            "repeats",
+            "committed_height",
+            "view_changes",
+            "energy_per_block_mj_mean",
+            "energy_per_block_mj_min",
+            "energy_per_block_mj_max",
+            "total_energy_mj_mean",
+            "commit_latency_us_mean",
+            "tx_latency_p50_us_mean",
+            "tx_latency_p99_us_mean",
+            "peak_backlog_mean",
+            "mean_batch_fill_pct",
+            "forward_retries_mean",
+            "trace_dropped_mean",
+        ];
+        let class_headers: Vec<String> = eesmr_energy::EnergyClass::ALL
+            .iter()
+            .map(|c| format!("energy_{}_mj_mean", c.as_str()))
+            .collect();
+        header.extend(class_headers.iter().map(String::as_str));
+        let mut csv = Csv::create(&format!("{}.suite", self.name), &header);
         for cell in &self.cells {
             let s = &cell.stats;
-            csv.rowd(&[
-                &cell.label,
-                &cell.report().protocol,
-                &cell.key.n,
-                &cell.key.k,
-                &cell.key.payload_bytes,
-                &cell.key.batch.label(),
-                &cell.key.offered_load,
-                &cell.key.workload.map_or_else(|| "none".into(), |w| w.label()),
-                &cell.key.shards,
-                &cell.key.fault.label(),
-                &cell.key.scheme.name(),
-                &cell.key.seed,
-                &cell.runs.len(),
-                &s.committed_height.mean,
-                &s.view_changes.mean,
-                &s.energy_per_block_mj.mean,
-                &s.energy_per_block_mj.min,
-                &s.energy_per_block_mj.max,
-                &s.total_correct_energy_mj.mean,
-                &s.commit_latency_us.map_or_else(|| "".into(), |l| l.mean.to_string()),
-                &s.tx_latency_p50_us.map_or_else(|| "".into(), |l| l.mean.to_string()),
-                &s.tx_latency_p99_us.map_or_else(|| "".into(), |l| l.mean.to_string()),
-            ]);
+            let mut row: Vec<String> = vec![
+                cell.label.clone(),
+                cell.report().protocol.to_string(),
+                cell.key.n.to_string(),
+                cell.key.k.to_string(),
+                cell.key.payload_bytes.to_string(),
+                cell.key.batch.label(),
+                cell.key.offered_load.to_string(),
+                cell.key.workload.map_or_else(|| "none".into(), |w| w.label()),
+                cell.key.shards.to_string(),
+                cell.key.fault.label().to_string(),
+                cell.key.scheme.name().to_string(),
+                cell.key.seed.to_string(),
+                cell.runs.len().to_string(),
+                s.committed_height.mean.to_string(),
+                s.view_changes.mean.to_string(),
+                s.energy_per_block_mj.mean.to_string(),
+                s.energy_per_block_mj.min.to_string(),
+                s.energy_per_block_mj.max.to_string(),
+                s.total_correct_energy_mj.mean.to_string(),
+                s.commit_latency_us.map_or_else(String::new, |l| l.mean.to_string()),
+                s.tx_latency_p50_us.map_or_else(String::new, |l| l.mean.to_string()),
+                s.tx_latency_p99_us.map_or_else(String::new, |l| l.mean.to_string()),
+                s.peak_backlog.mean.to_string(),
+                s.mean_batch_fill_pct.map_or_else(String::new, |l| l.mean.to_string()),
+                s.forward_retries.mean.to_string(),
+                s.trace_dropped.mean.to_string(),
+            ];
+            row.extend(s.energy_by_class_mj.iter().map(|c| c.mean.to_string()));
+            csv.row(&row);
         }
         csv.path().clone()
     }
@@ -262,10 +296,29 @@ impl SuiteReport {
                 s.commit_latency_us.as_ref().map_or_else(|| "null".into(), json_summary)
             ));
             out.push_str(&format!(
-                "\"tx_latency_p50_us\": {}, \"tx_latency_p99_us\": {}",
+                "\"tx_latency_p50_us\": {}, \"tx_latency_p99_us\": {}, ",
                 s.tx_latency_p50_us.as_ref().map_or_else(|| "null".into(), json_summary),
                 s.tx_latency_p99_us.as_ref().map_or_else(|| "null".into(), json_summary)
             ));
+            out.push_str(&format!(
+                "\"peak_backlog\": {}, \"mean_batch_fill_pct\": {}, \"forward_retries\": {}, \"trace_dropped\": {}, ",
+                json_summary(&s.peak_backlog),
+                s.mean_batch_fill_pct.as_ref().map_or_else(|| "null".into(), json_summary),
+                json_summary(&s.forward_retries),
+                json_summary(&s.trace_dropped)
+            ));
+            out.push_str("\"energy_by_class_mj\": {");
+            for (ci, class) in eesmr_energy::EnergyClass::ALL.into_iter().enumerate() {
+                if ci > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "\"{}\": {}",
+                    class.as_str(),
+                    json_f64(s.energy_by_class_mj[ci].mean)
+                ));
+            }
+            out.push('}');
             out.push_str(if i + 1 < self.cells.len() { "},\n" } else { "}\n" });
         }
         out.push_str("  ]\n}\n");

@@ -49,4 +49,7 @@ pub mod psi;
 pub use ble::{BleGattModel, BleKcastModel, ADV_PAYLOAD_BYTES};
 pub use feasible::{FeasibleCell, FeasibleRegion};
 pub use medium::Medium;
-pub use meter::{EnergyCategory, EnergyMeter, HASH_MJ_PER_BYTE};
+pub use meter::{
+    EnergyAttribution, EnergyCategory, EnergyClass, EnergyMeter, EnergyPhase, HASH_MJ_PER_BYTE,
+    N_ENERGY_CLASS, N_ENERGY_PHASE,
+};

@@ -66,6 +66,231 @@ impl fmt::Display for EnergyCategory {
     }
 }
 
+/// Protocol phase an energy charge is attributed to.
+///
+/// The runtime stamps each actor invocation with the phase of the message
+/// being processed (via `Message::phase()` in `eesmr-net`), so compute
+/// charges made inside the handler — signatures, verifications, hashing —
+/// land in the phase that caused them without the protocol code naming
+/// phases at every charge site. Timer-driven work (pacing proposals,
+/// retransmits) is attributed to [`EnergyPhase::Timer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EnergyPhase {
+    /// Block proposal dissemination.
+    Propose,
+    /// Voting / acknowledgement traffic.
+    Vote,
+    /// Commit / decide announcements.
+    Commit,
+    /// View-change and new-view machinery.
+    ViewChange,
+    /// Status / heartbeat / wish traffic.
+    Status,
+    /// Client-command forwarding to the proposer.
+    Forward,
+    /// State sync / repair traffic.
+    Sync,
+    /// Timer-driven local work (pacing, retransmit checks).
+    Timer,
+    /// Anything not tagged with a more specific phase.
+    #[default]
+    Other,
+}
+
+/// Number of [`EnergyPhase`] variants (matrix dimension).
+pub const N_ENERGY_PHASE: usize = 9;
+
+impl EnergyPhase {
+    /// All phases, in display order.
+    pub const ALL: [EnergyPhase; N_ENERGY_PHASE] = [
+        EnergyPhase::Propose,
+        EnergyPhase::Vote,
+        EnergyPhase::Commit,
+        EnergyPhase::ViewChange,
+        EnergyPhase::Status,
+        EnergyPhase::Forward,
+        EnergyPhase::Sync,
+        EnergyPhase::Timer,
+        EnergyPhase::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            EnergyPhase::Propose => 0,
+            EnergyPhase::Vote => 1,
+            EnergyPhase::Commit => 2,
+            EnergyPhase::ViewChange => 3,
+            EnergyPhase::Status => 4,
+            EnergyPhase::Forward => 5,
+            EnergyPhase::Sync => 6,
+            EnergyPhase::Timer => 7,
+            EnergyPhase::Other => 8,
+        }
+    }
+
+    /// Stable lowercase label (Prometheus label value, CSV column stem).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EnergyPhase::Propose => "propose",
+            EnergyPhase::Vote => "vote",
+            EnergyPhase::Commit => "commit",
+            EnergyPhase::ViewChange => "view_change",
+            EnergyPhase::Status => "status",
+            EnergyPhase::Forward => "forward",
+            EnergyPhase::Sync => "sync",
+            EnergyPhase::Timer => "timer",
+            EnergyPhase::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for EnergyPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Fine-grained class of an energy charge — the receive classes split the
+/// paper's scan-aware pricing (PR 8) into its constituent paths, so the
+/// breakdown table can show *why* a node's radio budget went where it did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EnergyClass {
+    /// Radio transmission (advertisement train / connection payload).
+    Send,
+    /// Fresh reception that opened a full scan window (BLE k-cast).
+    RecvScan,
+    /// Fresh reception priced as decode only (connection-oriented media,
+    /// or any medium without a scanning radio model).
+    RecvDecode,
+    /// Duplicate flood abandoned after one advertisement slot.
+    DupAbandoned,
+    /// Reception that piggybacked on an already-open scan window.
+    SharedScan,
+    /// Signature generation.
+    Sign,
+    /// Signature verification.
+    Verify,
+    /// Hashing.
+    #[default]
+    Hash,
+}
+
+/// Number of [`EnergyClass`] variants (matrix dimension).
+pub const N_ENERGY_CLASS: usize = 8;
+
+impl EnergyClass {
+    /// All classes, in display order.
+    pub const ALL: [EnergyClass; N_ENERGY_CLASS] = [
+        EnergyClass::Send,
+        EnergyClass::RecvScan,
+        EnergyClass::RecvDecode,
+        EnergyClass::DupAbandoned,
+        EnergyClass::SharedScan,
+        EnergyClass::Sign,
+        EnergyClass::Verify,
+        EnergyClass::Hash,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            EnergyClass::Send => 0,
+            EnergyClass::RecvScan => 1,
+            EnergyClass::RecvDecode => 2,
+            EnergyClass::DupAbandoned => 3,
+            EnergyClass::SharedScan => 4,
+            EnergyClass::Sign => 5,
+            EnergyClass::Verify => 6,
+            EnergyClass::Hash => 7,
+        }
+    }
+
+    /// Stable lowercase label (Prometheus label value, CSV column stem).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EnergyClass::Send => "send",
+            EnergyClass::RecvScan => "recv_scan",
+            EnergyClass::RecvDecode => "recv_decode",
+            EnergyClass::DupAbandoned => "dup_abandoned",
+            EnergyClass::SharedScan => "shared_scan",
+            EnergyClass::Sign => "sign",
+            EnergyClass::Verify => "verify",
+            EnergyClass::Hash => "hash",
+        }
+    }
+
+    /// The class an untagged charge in `category` falls into. Receive
+    /// charges default to [`EnergyClass::RecvDecode`]; callers that know
+    /// the scan-aware pricing path use [`EnergyMeter::charge_as`].
+    pub fn of_category(category: EnergyCategory) -> EnergyClass {
+        match category {
+            EnergyCategory::Send => EnergyClass::Send,
+            EnergyCategory::Recv => EnergyClass::RecvDecode,
+            EnergyCategory::Sign => EnergyClass::Sign,
+            EnergyCategory::Verify => EnergyClass::Verify,
+            EnergyCategory::Hash => EnergyClass::Hash,
+        }
+    }
+}
+
+impl fmt::Display for EnergyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Snapshot of a meter's per-(phase × class) attribution matrix, in mJ.
+///
+/// Every millijoule charged to the meter lands in exactly one cell, so
+/// marginalising over phases recovers the class totals and summing the
+/// whole matrix recovers [`EnergyMeter::total_mj`] (to floating-point
+/// rounding, far below the µJ the reports print).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyAttribution {
+    matrix: [[f64; N_ENERGY_CLASS]; N_ENERGY_PHASE],
+}
+
+impl Default for EnergyAttribution {
+    fn default() -> Self {
+        Self { matrix: [[0.0; N_ENERGY_CLASS]; N_ENERGY_PHASE] }
+    }
+}
+
+impl EnergyAttribution {
+    /// Energy attributed to `(phase, class)`, mJ.
+    pub fn mj(&self, phase: EnergyPhase, class: EnergyClass) -> f64 {
+        self.matrix[phase.index()][class.index()]
+    }
+
+    /// Energy attributed to `class` across all phases, mJ.
+    pub fn class_mj(&self, class: EnergyClass) -> f64 {
+        self.matrix.iter().map(|row| row[class.index()]).sum()
+    }
+
+    /// Energy attributed to `phase` across all classes, mJ.
+    pub fn phase_mj(&self, phase: EnergyPhase) -> f64 {
+        self.matrix[phase.index()].iter().sum()
+    }
+
+    /// Sum of the whole matrix, mJ — equals the meter's total.
+    pub fn total_mj(&self) -> f64 {
+        self.matrix.iter().flatten().sum()
+    }
+
+    /// True if no energy has been attributed.
+    pub fn is_empty(&self) -> bool {
+        self.matrix.iter().flatten().all(|&v| v == 0.0)
+    }
+
+    /// Adds another attribution into this one.
+    pub fn absorb(&mut self, other: &EnergyAttribution) {
+        for (p, row) in other.matrix.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                self.matrix[p][c] += v;
+            }
+        }
+    }
+}
+
 /// Accumulates energy (mJ) and operation counts per category.
 ///
 /// # Examples
@@ -85,6 +310,8 @@ impl fmt::Display for EnergyCategory {
 pub struct EnergyMeter {
     mj: [f64; 5],
     counts: [u64; 5],
+    phase: EnergyPhase,
+    attr: EnergyAttribution,
 }
 
 impl EnergyMeter {
@@ -94,10 +321,43 @@ impl EnergyMeter {
     }
 
     /// Charges `mj` millijoules to `category` and counts one operation.
+    /// Attributed to the active [`EnergyPhase`] and the category's
+    /// default [`EnergyClass`].
     pub fn charge(&mut self, category: EnergyCategory, mj: f64) {
+        self.charge_as(category, EnergyClass::of_category(category), self.phase, mj);
+    }
+
+    /// Charges `mj` millijoules to `category`, attributed to an explicit
+    /// `(phase, class)` cell — the scan-aware receive paths use this to
+    /// split [`EnergyCategory::Recv`] into its pricing classes.
+    pub fn charge_as(
+        &mut self,
+        category: EnergyCategory,
+        class: EnergyClass,
+        phase: EnergyPhase,
+        mj: f64,
+    ) {
         debug_assert!(mj >= 0.0, "energy cannot be negative");
         self.mj[category.index()] += mj;
         self.counts[category.index()] += 1;
+        self.attr.matrix[phase.index()][class.index()] += mj;
+    }
+
+    /// Sets the phase that subsequent untagged charges are attributed to.
+    /// The runtime stamps this per actor invocation; protocol code never
+    /// needs to call it.
+    pub fn set_phase(&mut self, phase: EnergyPhase) {
+        self.phase = phase;
+    }
+
+    /// The phase subsequent untagged charges are attributed to.
+    pub fn phase(&self) -> EnergyPhase {
+        self.phase
+    }
+
+    /// Snapshot of the per-(phase × class) attribution matrix.
+    pub fn attribution(&self) -> &EnergyAttribution {
+        &self.attr
     }
 
     /// Charges one signature generation under `scheme`.
@@ -137,6 +397,7 @@ impl EnergyMeter {
             self.mj[i] += other.mj[i];
             self.counts[i] += other.counts[i];
         }
+        self.attr.absorb(&other.attr);
     }
 
     /// Resets all counters to zero.
@@ -151,6 +412,12 @@ impl EnergyMeter {
         for i in 0..self.mj.len() {
             out.mj[i] = (self.mj[i] - baseline.mj[i]).max(0.0);
             out.counts[i] = self.counts[i].saturating_sub(baseline.counts[i]);
+        }
+        for p in 0..N_ENERGY_PHASE {
+            for c in 0..N_ENERGY_CLASS {
+                out.attr.matrix[p][c] =
+                    (self.attr.matrix[p][c] - baseline.attr.matrix[p][c]).max(0.0);
+            }
         }
         out
     }
@@ -244,5 +511,64 @@ mod tests {
         let s = m.to_string();
         assert!(s.contains("1.25"));
         assert!(s.contains("send"));
+    }
+
+    #[test]
+    fn attribution_classes_sum_exactly_to_category_totals() {
+        // Every mJ charged lands in exactly one (phase, class) cell, so
+        // the class marginals must recover the category ledger — the
+        // "no double-charging" invariant the headline table relies on.
+        let mut m = EnergyMeter::new();
+        m.set_phase(EnergyPhase::Propose);
+        m.charge_sign(SigScheme::Rsa1024);
+        m.charge_hash(512);
+        m.charge_as(EnergyCategory::Recv, EnergyClass::RecvScan, EnergyPhase::Propose, 7.5);
+        m.set_phase(EnergyPhase::Vote);
+        m.charge_verify(SigScheme::Rsa1024);
+        m.charge(EnergyCategory::Send, 5.3);
+        m.charge_as(EnergyCategory::Recv, EnergyClass::DupAbandoned, EnergyPhase::Vote, 0.4);
+        m.charge_as(EnergyCategory::Recv, EnergyClass::SharedScan, EnergyPhase::Other, 1.1);
+
+        let a = m.attribution();
+        let recv_classes = a.class_mj(EnergyClass::RecvScan)
+            + a.class_mj(EnergyClass::RecvDecode)
+            + a.class_mj(EnergyClass::DupAbandoned)
+            + a.class_mj(EnergyClass::SharedScan);
+        assert!((recv_classes - m.mj(EnergyCategory::Recv)).abs() < 1e-9);
+        assert!((a.class_mj(EnergyClass::Send) - m.mj(EnergyCategory::Send)).abs() < 1e-9);
+        assert!((a.class_mj(EnergyClass::Sign) - m.mj(EnergyCategory::Sign)).abs() < 1e-9);
+        assert!((a.class_mj(EnergyClass::Verify) - m.mj(EnergyCategory::Verify)).abs() < 1e-9);
+        assert!((a.class_mj(EnergyClass::Hash) - m.mj(EnergyCategory::Hash)).abs() < 1e-9);
+        assert!((a.total_mj() - m.total_mj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attribution_phases_follow_the_active_phase() {
+        let mut m = EnergyMeter::new();
+        m.set_phase(EnergyPhase::ViewChange);
+        m.charge(EnergyCategory::Hash, 2.0);
+        m.set_phase(EnergyPhase::Other);
+        m.charge(EnergyCategory::Hash, 3.0);
+        let a = m.attribution();
+        assert_eq!(a.mj(EnergyPhase::ViewChange, EnergyClass::Hash), 2.0);
+        assert_eq!(a.mj(EnergyPhase::Other, EnergyClass::Hash), 3.0);
+        assert_eq!(a.phase_mj(EnergyPhase::ViewChange), 2.0);
+    }
+
+    #[test]
+    fn attribution_survives_absorb_and_since() {
+        let mut a = EnergyMeter::new();
+        a.set_phase(EnergyPhase::Propose);
+        a.charge(EnergyCategory::Send, 1.0);
+        let snap = a.clone();
+        let mut b = EnergyMeter::new();
+        b.set_phase(EnergyPhase::Vote);
+        b.charge(EnergyCategory::Send, 2.0);
+        a.absorb(&b);
+        assert_eq!(a.attribution().mj(EnergyPhase::Propose, EnergyClass::Send), 1.0);
+        assert_eq!(a.attribution().mj(EnergyPhase::Vote, EnergyClass::Send), 2.0);
+        let d = a.since(&snap);
+        assert_eq!(d.attribution().mj(EnergyPhase::Propose, EnergyClass::Send), 0.0);
+        assert_eq!(d.attribution().mj(EnergyPhase::Vote, EnergyClass::Send), 2.0);
     }
 }

@@ -1,0 +1,243 @@
+//! Renders (or validates) a run's telemetry export.
+//!
+//! ```text
+//! metrics_report <metrics.json>            # per-node sparkline/table summary
+//! metrics_report --validate <metrics.prom> # CI: parse Prometheus text and
+//!                                          # check class sums == totals
+//! ```
+//!
+//! The JSON reader is dependency-free: it scans the line-oriented
+//! `eesmr-metrics/v1` layout written by `eesmr_metrics::export::json`.
+
+use std::fs;
+use std::process::ExitCode;
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Gauges shown in the table, in order.
+const GAUGES: [&str; 7] = [
+    "tx_in_flight",
+    "pool_backlog",
+    "forward_retries",
+    "batch_fill_pct",
+    "queue_events",
+    "energy_rate_mj_per_s",
+    "view",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, path] if flag == "--validate" => validate_prometheus(path),
+        [path] => render_json(path),
+        _ => {
+            eprintln!(
+                "usage: metrics_report <metrics.json> | metrics_report --validate <metrics.prom>"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn read(path: &str) -> Option<String> {
+    match fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("metrics_report: cannot read {path}: {e}");
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------- JSON view
+
+fn render_json(path: &str) -> ExitCode {
+    let Some(text) = read(path) else {
+        return ExitCode::FAILURE;
+    };
+    if !text.contains("eesmr-metrics/v1") {
+        eprintln!("metrics_report: {path} is not an eesmr-metrics/v1 export");
+        return ExitCode::FAILURE;
+    }
+    let dt_us = extract_num(&text, "dt_us").unwrap_or(0.0);
+    println!("metrics export {path} (dt = {} µs)", dt_us as u64);
+    let mut nodes = 0usize;
+    for chunk in node_chunks(&text) {
+        let Some(node) = extract_num(chunk, "node") else {
+            continue;
+        };
+        nodes += 1;
+        let dropped = extract_num(chunk, "dropped").unwrap_or(0.0) as u64;
+        let samples = extract_array(chunk, "t_us").len();
+        println!("\nnode {} — {samples} samples, {dropped} dropped", node as u64);
+        println!("  {:<22} {:>12} {:>12}  trend", "gauge", "last", "peak");
+        for gauge in GAUGES {
+            let series = extract_array(chunk, gauge);
+            if series.is_empty() {
+                continue;
+            }
+            let last = *series.last().unwrap();
+            let peak = series.iter().cloned().fold(f64::MIN, f64::max);
+            println!("  {:<22} {:>12.2} {:>12.2}  {}", gauge, last, peak, sparkline(&series));
+        }
+        if let Some(energy) = object_slice(chunk, "by_class") {
+            let total = extract_num(chunk, "total_mj").unwrap_or(0.0);
+            let mut parts = Vec::new();
+            for (name, mj) in object_pairs(energy) {
+                if mj > 0.0 {
+                    parts.push(format!("{name} {mj:.2}"));
+                }
+            }
+            println!("  energy {total:.2} mJ = {}", parts.join(" + "));
+        }
+    }
+    if nodes == 0 {
+        eprintln!("metrics_report: no node series in {path} (was EESMR_METRICS=1 set?)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn sparkline(series: &[f64]) -> String {
+    // Downsample long series to a terminal-friendly width.
+    const WIDTH: usize = 48;
+    let lo = series.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = series.iter().cloned().fold(f64::MIN, f64::max);
+    let span = (hi - lo).max(f64::EPSILON);
+    let step = series.len().div_ceil(WIDTH).max(1);
+    series
+        .chunks(step)
+        .map(|chunk| {
+            let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            let idx = ((mean - lo) / span * (SPARK.len() - 1) as f64).round() as usize;
+            SPARK[idx.min(SPARK.len() - 1)]
+        })
+        .collect()
+}
+
+/// Splits the export into per-node chunks (everything from one `"node":`
+/// key to the next).
+fn node_chunks(text: &str) -> Vec<&str> {
+    let mut chunks = Vec::new();
+    let mut starts: Vec<usize> = text.match_indices("\"node\":").map(|(i, _)| i).collect();
+    starts.push(text.len());
+    for w in starts.windows(2) {
+        chunks.push(&text[w[0]..w[1]]);
+    }
+    chunks
+}
+
+/// First `"key": <number>` occurrence in `chunk`.
+fn extract_num(chunk: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = chunk.find(&pat)? + pat.len();
+    let rest = chunk[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// First `"key": [ ... ]` array in `chunk`, parsed as numbers.
+fn extract_array(chunk: &str, key: &str) -> Vec<f64> {
+    let pat = format!("\"{key}\": [");
+    let Some(at) = chunk.find(&pat) else {
+        return Vec::new();
+    };
+    let rest = &chunk[at + pat.len()..];
+    let Some(end) = rest.find(']') else {
+        return Vec::new();
+    };
+    rest[..end].split(',').filter_map(|v| v.trim().parse().ok()).collect()
+}
+
+/// The `{ ... }` body following `"key":`, if present.
+fn object_slice<'a>(chunk: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": {{");
+    let at = chunk.find(&pat)? + pat.len();
+    let rest = &chunk[at..];
+    Some(&rest[..rest.find('}')?])
+}
+
+/// `"name": number` pairs inside an object body.
+fn object_pairs(body: &str) -> Vec<(String, f64)> {
+    body.split(',')
+        .filter_map(|pair| {
+            let (name, value) = pair.split_once(':')?;
+            let name = name.trim().trim_matches('"').to_string();
+            let value = value.trim().parse().ok()?;
+            Some((name, value))
+        })
+        .collect()
+}
+
+// ------------------------------------------------------- Prometheus checker
+
+fn validate_prometheus(path: &str) -> ExitCode {
+    let Some(text) = read(path) else {
+        return ExitCode::FAILURE;
+    };
+    // node -> (sum of class cells, total)
+    let mut class_sums: Vec<(String, f64)> = Vec::new();
+    let mut totals: Vec<(String, f64)> = Vec::new();
+    let mut metric_lines = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Exposition format: `name{labels} value` or `name value`.
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            eprintln!("metrics_report: line {}: no value: {line}", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            eprintln!("metrics_report: line {}: non-numeric value: {line}", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        let name = series.split('{').next().unwrap_or(series);
+        if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+            eprintln!("metrics_report: line {}: bad metric name: {name}", lineno + 1);
+            return ExitCode::FAILURE;
+        }
+        metric_lines += 1;
+        let node = label_value(series, "node").unwrap_or_default();
+        if name == "eesmr_energy_class_mj" {
+            match class_sums.iter_mut().find(|(n, _)| *n == node) {
+                Some((_, sum)) => *sum += value,
+                None => class_sums.push((node, value)),
+            }
+        } else if name == "eesmr_energy_total_mj" {
+            totals.push((node, value));
+        }
+    }
+    if metric_lines == 0 {
+        eprintln!("metrics_report: {path} contains no metric samples");
+        return ExitCode::FAILURE;
+    }
+    if totals.is_empty() {
+        eprintln!("metrics_report: {path} has no eesmr_energy_total_mj series");
+        return ExitCode::FAILURE;
+    }
+    // The breakdown must reconstruct the ledger to the µJ (1e-3 mJ).
+    for (node, total) in &totals {
+        let sum = class_sums.iter().find(|(n, _)| n == node).map(|(_, s)| *s).unwrap_or(0.0);
+        if (sum - total).abs() > 1e-3 {
+            eprintln!("metrics_report: node {node}: class sum {sum} mJ != total {total} mJ");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "metrics_report: {path} OK — {metric_lines} samples, {} nodes, class sums match totals to the µJ",
+        totals.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Value of `label="..."` inside a series name, if present.
+fn label_value(series: &str, label: &str) -> Option<String> {
+    let pat = format!("{label}=\"");
+    let at = series.find(&pat)? + pat.len();
+    let rest = &series[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}

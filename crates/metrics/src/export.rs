@@ -1,0 +1,174 @@
+//! Prometheus text-format and JSON renderers for a run's telemetry.
+//!
+//! Both renderers take the sampled [`MetricsSet`] plus the per-node
+//! energy attribution (matrix, total) pairs from the run's meters, so a
+//! single `EESMR_METRICS_OUT` file carries the time series *and* the
+//! energy-by-class ledger. The extension picks the format: `.prom`/`.txt`
+//! renders Prometheus text (final gauge values — Prometheus is a
+//! point-in-time exposition format), anything else renders JSON with the
+//! full series (consumed by the `metrics_report` binary).
+
+use std::fmt::Write as _;
+
+use eesmr_energy::{EnergyAttribution, EnergyClass, EnergyPhase};
+
+use crate::series::{GaugeKind, MetricsSet};
+
+/// Schema tag stamped into the JSON export.
+pub const JSON_SCHEMA: &str = "eesmr-metrics/v1";
+
+/// Renders the final gauge values and the energy ledger in Prometheus
+/// text exposition format. `energy[i]` is node `i`'s `(attribution,
+/// total_mj)`; the class marginals of each matrix sum to the total, which
+/// the `metrics_report --validate` CI step re-checks after a round-trip.
+pub fn prometheus(set: &MetricsSet, energy: &[(EnergyAttribution, f64)]) -> String {
+    let mut out = String::new();
+    for gauge in GaugeKind::ALL {
+        let name = format!("eesmr_{}", gauge.as_str());
+        let _ = writeln!(out, "# HELP {name} Final sampled value per node.");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for (node, series) in set.nodes.iter().enumerate() {
+            if let Some(sample) = series.last() {
+                let _ = writeln!(out, "{name}{{node=\"{node}\"}} {}", sample.value(gauge));
+            }
+        }
+    }
+    let _ =
+        writeln!(out, "# HELP eesmr_metrics_dropped_samples Samples evicted by the per-node ring.");
+    let _ = writeln!(out, "# TYPE eesmr_metrics_dropped_samples counter");
+    for (node, series) in set.nodes.iter().enumerate() {
+        let _ =
+            writeln!(out, "eesmr_metrics_dropped_samples{{node=\"{node}\"}} {}", series.dropped());
+    }
+
+    let _ = writeln!(out, "# HELP eesmr_energy_class_mj Energy attributed per class, mJ.");
+    let _ = writeln!(out, "# TYPE eesmr_energy_class_mj gauge");
+    for (node, (attr, _)) in energy.iter().enumerate() {
+        for class in EnergyClass::ALL {
+            let _ = writeln!(
+                out,
+                "eesmr_energy_class_mj{{node=\"{node}\",class=\"{class}\"}} {}",
+                attr.class_mj(class)
+            );
+        }
+    }
+    let _ = writeln!(out, "# HELP eesmr_energy_phase_mj Energy attributed per protocol phase, mJ.");
+    let _ = writeln!(out, "# TYPE eesmr_energy_phase_mj gauge");
+    for (node, (attr, _)) in energy.iter().enumerate() {
+        for phase in EnergyPhase::ALL {
+            let _ = writeln!(
+                out,
+                "eesmr_energy_phase_mj{{node=\"{node}\",phase=\"{phase}\"}} {}",
+                attr.phase_mj(phase)
+            );
+        }
+    }
+    let _ = writeln!(out, "# HELP eesmr_energy_total_mj Total node energy, mJ.");
+    let _ = writeln!(out, "# TYPE eesmr_energy_total_mj gauge");
+    for (node, (_, total)) in energy.iter().enumerate() {
+        let _ = writeln!(out, "eesmr_energy_total_mj{{node=\"{node}\"}} {total}");
+    }
+    out
+}
+
+/// Renders the full series plus the energy ledger as JSON
+/// (`eesmr-metrics/v1`). Arrays stay on one line so the dependency-free
+/// reader in `metrics_report` can scan them.
+pub fn json(set: &MetricsSet, energy: &[(EnergyAttribution, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{JSON_SCHEMA}\",");
+    let _ = writeln!(out, "  \"dt_us\": {},", set.dt_us);
+    let _ = writeln!(out, "  \"nodes\": [");
+    let n = set.nodes.len();
+    for (node, series) in set.nodes.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"node\": {node},");
+        let _ = writeln!(out, "      \"dropped\": {},", series.dropped());
+        let t: Vec<String> = series.samples().map(|s| s.t_us.to_string()).collect();
+        let _ = writeln!(out, "      \"t_us\": [{}],", t.join(","));
+        let _ = writeln!(out, "      \"series\": {{");
+        for (gi, gauge) in GaugeKind::ALL.iter().enumerate() {
+            let vals: Vec<String> =
+                series.samples().map(|s| format!("{}", s.value(*gauge))).collect();
+            let comma = if gi + 1 < GaugeKind::ALL.len() { "," } else { "" };
+            let _ = writeln!(out, "        \"{}\": [{}]{comma}", gauge.as_str(), vals.join(","));
+        }
+        let _ = writeln!(out, "      }},");
+        if let Some((attr, total)) = energy.get(node) {
+            let by_class: Vec<String> = EnergyClass::ALL
+                .iter()
+                .map(|&c| format!("\"{c}\": {}", attr.class_mj(c)))
+                .collect();
+            let by_phase: Vec<String> = EnergyPhase::ALL
+                .iter()
+                .map(|&p| format!("\"{p}\": {}", attr.phase_mj(p)))
+                .collect();
+            let _ = writeln!(
+                out,
+                "      \"energy\": {{ \"total_mj\": {total}, \"by_class\": {{ {} }}, \"by_phase\": {{ {} }} }}",
+                by_class.join(", "),
+                by_phase.join(", ")
+            );
+        } else {
+            let _ = writeln!(out, "      \"energy\": null");
+        }
+        let comma = if node + 1 < n { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MetricsConfig;
+    use crate::series::{ActorGauges, MetricsRecorder};
+    use eesmr_energy::{EnergyCategory, EnergyMeter};
+
+    fn sampled_set() -> (MetricsSet, Vec<(EnergyAttribution, f64)>) {
+        let cfg = MetricsConfig::on();
+        let mut nodes = Vec::new();
+        let mut energy = Vec::new();
+        for node in 0..2u64 {
+            let mut rec = MetricsRecorder::new(&cfg);
+            let gauges = ActorGauges { pool_backlog: node + 1, view: 1, ..ActorGauges::default() };
+            rec.sample_up_to(cfg.dt_us * 2, &gauges, 3.0);
+            nodes.push(rec.finish());
+            let mut meter = EnergyMeter::new();
+            meter.charge(EnergyCategory::Send, 1.5 * (node + 1) as f64);
+            meter.charge_hash(10);
+            energy.push((meter.attribution().clone(), meter.total_mj()));
+        }
+        (MetricsSet { dt_us: cfg.dt_us, nodes }, energy)
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let (set, energy) = sampled_set();
+        let text = prometheus(&set, &energy);
+        assert!(text.contains("# TYPE eesmr_pool_backlog gauge"));
+        assert!(text.contains("eesmr_pool_backlog{node=\"1\"} 2"));
+        assert!(text.contains("eesmr_energy_class_mj{node=\"0\",class=\"send\"} 1.5"));
+        assert!(text.contains("eesmr_energy_total_mj{node=\"0\"}"));
+        // Every non-comment line is `name{labels} value` with a numeric value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            value.parse::<f64>().expect("metric value parses");
+        }
+    }
+
+    #[test]
+    fn json_round_trips_class_sums() {
+        let (set, energy) = sampled_set();
+        let text = json(&set, &energy);
+        assert!(text.contains("\"schema\": \"eesmr-metrics/v1\""));
+        assert!(text.contains("\"pool_backlog\": [1,1]"));
+        // Class marginals in the export sum to the exported total.
+        let (attr, total) = &energy[0];
+        let class_sum: f64 = EnergyClass::ALL.iter().map(|&c| attr.class_mj(c)).sum();
+        assert!((class_sum - total).abs() < 1e-9);
+    }
+}

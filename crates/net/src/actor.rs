@@ -2,6 +2,7 @@
 //! through which they interact with the simulated network.
 
 use eesmr_energy::EnergyMeter;
+use eesmr_metrics::ActorGauges;
 use eesmr_trace::{EventKind as TraceEventKind, TraceClass, Tracer};
 
 use crate::message::Message;
@@ -49,6 +50,16 @@ pub trait Actor {
 
     /// Called when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, token: Self::Timer, ctx: &mut Context<'_, Self::Msg, Self::Timer>);
+
+    /// Gauge values the metrics sampler reads on each cadence boundary
+    /// (see `eesmr-metrics`). **Shard-safety rule:** values must come from
+    /// this replica's own state only — never from the scheduler, the
+    /// topology-wide view, or another node — so sampled series stay
+    /// bit-identical across shard and worker counts. The default reports
+    /// all-zero gauges for actors with nothing to expose.
+    fn gauges(&self) -> ActorGauges {
+        ActorGauges::default()
+    }
 }
 
 /// Side effects an actor can request; applied by the runtime after the

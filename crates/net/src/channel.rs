@@ -91,6 +91,15 @@ impl ChannelCost {
             ChannelCost::BleGatt { .. } | ChannelCost::PerByte { .. } => self.recv_mj(bytes),
         }
     }
+
+    /// Whether receivers on this medium run a scanning radio (the BLE
+    /// advertisement channel). Decides which `EnergyClass` the scan-aware
+    /// receive paths attribute to: scanning media split fresh receptions
+    /// into scan-window vs shared-scan classes; connection-oriented and
+    /// per-byte media decode every transfer in full.
+    pub fn scanning_receiver(&self) -> bool {
+        matches!(self, ChannelCost::BleKcast { .. })
+    }
 }
 
 #[cfg(test)]

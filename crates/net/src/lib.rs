@@ -57,6 +57,9 @@ pub mod time;
 
 pub use actor::{Actor, Context, NodeId, TimerId};
 pub use channel::ChannelCost;
+// Telemetry vocabulary, re-exported so actor crates can expose gauges
+// and callers can configure sampling without naming `eesmr_metrics`.
+pub use eesmr_metrics::{ActorGauges, GaugeKind, MetricsConfig, MetricsSet, NodeSeries};
 // Trace vocabulary, re-exported so actor crates can gate and emit
 // events through [`Context`] without naming `eesmr_trace` themselves.
 pub use eesmr_trace::{EventKind as TraceEventKind, TraceClass, TraceLevel, TraceSet, Tracer};

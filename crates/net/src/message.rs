@@ -1,5 +1,7 @@
 //! The wire-message abstraction.
 
+use eesmr_energy::EnergyPhase;
+
 /// A protocol message the simulated network can carry.
 ///
 /// Implementations report their **real** wire size (the bytes an equivalent
@@ -15,6 +17,15 @@ pub trait Message: Clone + core::fmt::Debug {
     /// semantically different messages must return different keys (derive
     /// it from a digest of the canonical encoding).
     fn flood_key(&self) -> u64;
+
+    /// The protocol phase this message belongs to, for energy
+    /// attribution: the runtime charges its transmit/receive costs — and
+    /// any compute the receiving handler performs — to this phase.
+    /// Defaults to [`EnergyPhase::Other`]; protocols override it per
+    /// message kind.
+    fn phase(&self) -> EnergyPhase {
+        EnergyPhase::Other
+    }
 }
 
 #[cfg(test)]

@@ -61,8 +61,9 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use eesmr_energy::{EnergyCategory, EnergyMeter};
+use eesmr_energy::{EnergyCategory, EnergyClass, EnergyMeter, EnergyPhase};
 use eesmr_hypergraph::Hypergraph;
+use eesmr_metrics::{MetricsConfig, MetricsRecorder, MetricsSet, NodeSeries, ProfPhase, ProfTimer};
 use eesmr_trace::{EventKind as TraceEventKind, NodeTrace, TraceLevel, TraceSet, Tracer};
 
 use crate::actor::{Actor, Context, Effect, NodeId, TimerId};
@@ -93,6 +94,11 @@ pub struct NetConfig {
     /// [`SimNet::take_traces`]). [`TraceLevel::Off`] costs one enum
     /// comparison per candidate event.
     pub trace: TraceLevel,
+    /// Deterministic time-series sampling (see `eesmr-metrics`): when
+    /// enabled, every node records its gauges each `dt_us` of simulated
+    /// time into a ring series (collect with [`SimNet::take_metrics`]).
+    /// Off by default; disabled sampling costs one branch per event.
+    pub metrics: MetricsConfig,
     /// Scheduled link-level faults: healing partitions and selective
     /// per-link drop rules, enforced at transmit time (empty by default).
     pub link_faults: LinkFaults,
@@ -204,6 +210,7 @@ impl NetConfig {
             seed,
             scheduler: SchedulerKind::from_env(),
             trace: TraceLevel::from_env(),
+            metrics: MetricsConfig::from_env(),
             link_faults: LinkFaults::default(),
         }
     }
@@ -345,6 +352,10 @@ pub(crate) struct ShardState<A: Actor> {
     /// the runtime also records wire-layer events here). Node-local like
     /// the meters, so recorded streams are shard-invariant.
     tracers: Vec<Tracer>,
+    /// Per-owned-node metrics samplers (see `eesmr-metrics`): lazy
+    /// boundary-crossing on the node's own event stream, so sampled
+    /// series are shard-invariant like the tracers.
+    recorders: Vec<MetricsRecorder>,
     seen_floods: Vec<HashSet<u64>>,
     /// Per-owned-node end of the current receive scan window, µs. The
     /// first reception in a window pays the full scan
@@ -395,6 +406,7 @@ impl<A: Actor> ShardState<A> {
         let tracers = (0..local_n)
             .map(|local| Tracer::new(cfg.trace, index + (local as u32) * shards))
             .collect();
+        let recorders = (0..local_n).map(|_| MetricsRecorder::new(&cfg.metrics)).collect();
         let mut shard = ShardState {
             cfg,
             shards,
@@ -402,6 +414,7 @@ impl<A: Actor> ShardState<A> {
             actors,
             meters: vec![EnergyMeter::new(); local_n],
             tracers,
+            recorders,
             seen_floods: vec![HashSet::new(); local_n],
             scan_until: vec![0; local_n],
             push_ctr: vec![0; local_n],
@@ -451,6 +464,14 @@ impl<A: Actor> ShardState<A> {
         self.tracers[local].drain()
     }
 
+    /// Takes an owned node's sampled metrics series, leaving a disabled
+    /// recorder behind.
+    pub(crate) fn take_metrics_node(&mut self, node: NodeId) -> NodeSeries {
+        let local = self.local(node);
+        let off = MetricsRecorder::new(&MetricsConfig::off());
+        std::mem::replace(&mut self.recorders[local], off).finish()
+    }
+
     /// The earliest pending local event time, µs.
     pub(crate) fn next_time(&self) -> Option<u64> {
         self.queue.peek_time()
@@ -482,18 +503,38 @@ impl<A: Actor> ShardState<A> {
 
     /// Processes the next event, if any, returning its timestamp.
     pub(crate) fn step(&mut self) -> Option<SimTime> {
-        let (time, _seq, (node, kind)) = self.queue.pop()?;
+        let popped = {
+            let _t = ProfTimer::start(ProfPhase::SchedPop);
+            self.queue.pop()
+        };
+        let (time, _seq, (node, kind)) = popped?;
         debug_assert!(self.owns(node), "a shard only queues events for its own nodes");
         self.now = SimTime::from_micros(time);
+        {
+            // Lazy boundary-crossing sampling: before dispatching an event
+            // that reached the node's next cadence boundary, record one
+            // sample per elapsed boundary from node-local state only.
+            // Same per-node event stream on every shard layout ⇒ same
+            // boundary crossings ⇒ bit-identical series.
+            let local = self.local(node);
+            if self.recorders[local].due(time) {
+                let gauges = self.actors[local].gauges();
+                let total = self.meters[local].total_mj();
+                self.recorders[local].sample_up_to(time, &gauges, total);
+            }
+            self.recorders[local].note_event();
+        }
         match kind {
-            EventKind::Start => self.invoke(node, |actor, ctx| actor.on_start(ctx)),
+            EventKind::Start => {
+                self.invoke(node, EnergyPhase::Other, |actor, ctx| actor.on_start(ctx))
+            }
             EventKind::Timer { id, token } => {
                 if self.cancelled_timers.remove(&id.0) {
                     return Some(self.now);
                 }
                 let local = self.local(node);
                 self.tracers[local].record(time, TraceEventKind::TimerFire { id: id.0 });
-                self.invoke(node, |actor, ctx| actor.on_timer(token, ctx));
+                self.invoke(node, EnergyPhase::Timer, |actor, ctx| actor.on_timer(token, ctx));
             }
             EventKind::Deliver { from, msg, flood, loopback } => {
                 let size = msg.wire_size();
@@ -512,18 +553,26 @@ impl<A: Actor> ShardState<A> {
                 };
                 if !loopback {
                     let local = self.local(node);
-                    let mj = if !fresh {
-                        self.cfg.channel.dup_recv_mj(size)
+                    let scanning = self.cfg.channel.scanning_receiver();
+                    let (mj, class) = if !fresh {
+                        (self.cfg.channel.dup_recv_mj(size), EnergyClass::DupAbandoned)
                     } else if time >= self.scan_until[local] {
                         // First reception in a fresh scan window: price the
                         // whole radio-on window. Anything else landing
                         // within one hop-delay quantum shares that scan.
                         self.scan_until[local] = time + self.cfg.hop_delay_max.as_micros();
-                        self.cfg.channel.recv_mj(size)
+                        let class =
+                            if scanning { EnergyClass::RecvScan } else { EnergyClass::RecvDecode };
+                        (self.cfg.channel.recv_mj(size), class)
                     } else {
-                        self.cfg.channel.shared_recv_mj(size)
+                        let class = if scanning {
+                            EnergyClass::SharedScan
+                        } else {
+                            EnergyClass::RecvDecode
+                        };
+                        (self.cfg.channel.shared_recv_mj(size), class)
                     };
-                    self.meters[local].charge(EnergyCategory::Recv, mj);
+                    self.meters[local].charge_as(EnergyCategory::Recv, class, msg.phase(), mj);
                 } else {
                     self.stats.loopbacks += 1;
                 }
@@ -550,7 +599,10 @@ impl<A: Actor> ShardState<A> {
                                     flood: true,
                                 },
                             );
-                            self.invoke(node, |actor, ctx| actor.on_message(origin, msg, ctx));
+                            let phase = msg.phase();
+                            self.invoke(node, phase, |actor, ctx| {
+                                actor.on_message(origin, msg, ctx)
+                            });
                         }
                     }
                     None => {
@@ -560,7 +612,8 @@ impl<A: Actor> ShardState<A> {
                             time,
                             TraceEventKind::MsgDeliver { from, bytes: size as u64, flood: false },
                         );
-                        self.invoke(node, |actor, ctx| actor.on_message(from, msg, ctx));
+                        let phase = msg.phase();
+                        self.invoke(node, phase, |actor, ctx| actor.on_message(from, msg, ctx));
                     }
                 }
             }
@@ -608,7 +661,9 @@ impl<A: Actor> ShardState<A> {
     /// Puts `msg` on the air from `node` on all its out-edges; charges the
     /// sender, samples per-receiver delays, and consults the interceptor.
     fn transmit(&mut self, node: NodeId, msg: &A::Msg, flood: Option<FloodMeta>, relay: bool) {
+        let _prof = ProfTimer::start(ProfPhase::Transmit);
         let size = msg.wire_size();
+        let phase = msg.phase();
         {
             let local = self.local(node);
             let now = self.now.as_micros();
@@ -624,7 +679,7 @@ impl<A: Actor> ShardState<A> {
             let k = edge.k();
             let mj = self.cfg.channel.send_mj(size, k);
             let local = self.local(node);
-            self.meters[local].charge(EnergyCategory::Send, mj);
+            self.meters[local].charge_as(EnergyCategory::Send, EnergyClass::Send, phase, mj);
             self.stats.kcasts += 1;
             if relay {
                 self.stats.flood_relays += 1;
@@ -677,8 +732,18 @@ impl<A: Actor> ShardState<A> {
         }
     }
 
-    fn invoke(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Context<'_, A::Msg, A::Timer>)) {
+    fn invoke(
+        &mut self,
+        node: NodeId,
+        phase: EnergyPhase,
+        f: impl FnOnce(&mut A, &mut Context<'_, A::Msg, A::Timer>),
+    ) {
         let local = self.local(node);
+        // Stamp the meter with the phase of the event being handled, so
+        // every compute charge the actor makes (sign/verify/hash) is
+        // attributed to the message kind that caused it — no tagging at
+        // the protocol's charge sites.
+        self.meters[local].set_phase(phase);
         let mut ctx = Context {
             node,
             now: self.now,
@@ -687,10 +752,14 @@ impl<A: Actor> ShardState<A> {
             tracer: &mut self.tracers[local],
             effects: self.effect_buffers.get(),
         };
-        f(&mut self.actors[local], &mut ctx);
+        {
+            let _prof = ProfTimer::start(ProfPhase::ReplicaStep);
+            f(&mut self.actors[local], &mut ctx);
+        }
         // Invocations never nest (effects are applied here, outside the
         // actor), so draining into the pool and recycling is safe.
         let mut effects = ctx.effects;
+        self.meters[local].set_phase(EnergyPhase::Other);
         for effect in effects.drain(..) {
             match effect {
                 Effect::Multicast(msg) => {
@@ -818,6 +887,17 @@ impl<A: Actor> SimNet<A> {
     pub fn take_traces(&mut self) -> TraceSet {
         let n = self.shard.cfg.topology.n() as NodeId;
         TraceSet { nodes: (0..n).map(|id| self.shard.take_trace(id)).collect() }
+    }
+
+    /// Takes every node's sampled metrics series as a [`MetricsSet`]
+    /// (node-id order). Empty series when the config's
+    /// [`metrics`](NetConfig::metrics) sampling is disabled.
+    pub fn take_metrics(&mut self) -> MetricsSet {
+        let n = self.shard.cfg.topology.n() as NodeId;
+        MetricsSet {
+            dt_us: self.shard.cfg.metrics.dt_us,
+            nodes: (0..n).map(|id| self.shard.take_metrics_node(id)).collect(),
+        }
     }
 
     /// Processes the next event, if any, returning its timestamp.

@@ -88,6 +88,7 @@
 use std::sync::{Arc, Barrier, Mutex};
 
 use eesmr_energy::EnergyMeter;
+use eesmr_metrics::{MetricsSet, ProfPhase, ProfTimer};
 
 use crate::actor::{Actor, NodeId};
 use crate::runtime::{Interceptor, NetConfig, NetStats, QueuedEvent, ShardState};
@@ -282,6 +283,21 @@ where
         }
     }
 
+    /// Takes every node's sampled metrics series in node-id order — the
+    /// same set a single-threaded run produces, because samples are
+    /// stamped from node-local state on the node's own event stream (see
+    /// `eesmr-metrics`).
+    pub fn take_metrics(&mut self) -> MetricsSet {
+        let n = self.cfg.topology.n() as NodeId;
+        let shards = self.shards.len();
+        MetricsSet {
+            dt_us: self.cfg.metrics.dt_us,
+            nodes: (0..n)
+                .map(|id| self.shards[id as usize % shards].take_metrics_node(id))
+                .collect(),
+        }
+    }
+
     /// Network statistics so far, merged across shards. Counters are
     /// sums, so the merge equals the single-threaded totals exactly.
     pub fn stats(&self) -> NetStats {
@@ -455,7 +471,10 @@ where
                     // Leader-only scratch for the per-shard next times.
                     let mut nexts: Vec<Option<u64>> = vec![None; count];
                     loop {
-                        barrier.wait();
+                        {
+                            let _prof = ProfTimer::start(ProfPhase::BarrierWait);
+                            barrier.wait();
+                        }
                         if w == 0 {
                             // Leader: reduce the per-shard states and run
                             // the (shard-count-invariant) window clock.
@@ -497,7 +516,10 @@ where
                             }
                             *decision.lock().unwrap() = next;
                         }
-                        barrier.wait();
+                        {
+                            let _prof = ProfTimer::start(ProfPhase::BarrierWait);
+                            barrier.wait();
+                        }
                         match *decision.lock().unwrap() {
                             Decision::Stop { .. } | Decision::Done => break,
                             Decision::Window { .. } => {}
@@ -509,7 +531,10 @@ where
                                 *slot.lock().unwrap() = shard.take_outbox(dst);
                             }
                         }
-                        barrier.wait();
+                        {
+                            let _prof = ProfTimer::start(ProfPhase::BarrierWait);
+                            barrier.wait();
+                        }
                         let mut incoming = Vec::new();
                         for (src, row) in mail.iter().enumerate() {
                             if src != w {

@@ -1,7 +1,7 @@
 //! Run reports: what a scenario measured.
 
-use eesmr_energy::{EnergyCategory, EnergyMeter};
-use eesmr_net::{NetStats, NodeId, SimDuration};
+use eesmr_energy::{EnergyAttribution, EnergyCategory, EnergyClass, EnergyMeter, N_ENERGY_CLASS};
+use eesmr_net::{MetricsSet, NetStats, NodeId, SimDuration};
 use eesmr_trace::hist::LogHistogram;
 use eesmr_trace::path::CommitPath;
 
@@ -68,6 +68,14 @@ pub struct NodeReport {
     /// forwarding from non-leading nodes; counts re-forwards after
     /// view changes too).
     pub tx_forwarded: u64,
+    /// Forward-retry rescues: times this node's stale-command timer
+    /// found unresolved commands and re-forwarded (or re-proposed) them.
+    pub forward_retries: u64,
+    /// High-water mark of the node's pending-command backlog.
+    pub peak_backlog: u64,
+    /// Mean fill of this node's proposed batches, percent of the batch
+    /// policy maximum; `None` if it never proposed.
+    pub mean_batch_fill_pct: Option<f64>,
     /// End-to-end (birth → local commit) latency distribution of the
     /// workload transactions injected at this node, µs. A streaming
     /// log-bucket histogram — O(buckets) memory however long the run —
@@ -120,11 +128,24 @@ pub struct RunReport {
     /// Diagnostic only — excluded from equality so traced and untraced
     /// runs of the same scenario still compare bit-identical.
     pub commit_path: Option<CommitPath>,
+    /// Per-node energy attribution matrices (phase × class), index =
+    /// node id. Observability surface — excluded from equality like
+    /// `commit_path` (the determinism suite compares it explicitly).
+    pub energy_attr: Vec<EnergyAttribution>,
+    /// Sampled telemetry series, when the run had metrics enabled
+    /// (empty otherwise). Excluded from equality so metrics-on and
+    /// metrics-off runs of the same scenario compare bit-identical.
+    pub metrics: MetricsSet,
+    /// Trace events each node's `Tracer` dropped at its ring-capacity
+    /// bound, index = node id. Depends on the trace level, so excluded
+    /// from equality like `commit_path`.
+    pub trace_dropped: Vec<u64>,
 }
 
 /// Equality covers the measured results — everything except the
-/// diagnostic `commit_path`, which depends on the trace level rather
-/// than on what the run computed.
+/// diagnostic `commit_path`, `energy_attr`, `metrics`, and
+/// `trace_dropped`, which depend on the observability configuration
+/// (trace level, metrics cadence) rather than on what the run computed.
 impl PartialEq for RunReport {
     fn eq(&self, other: &RunReport) -> bool {
         self.protocol == other.protocol
@@ -224,6 +245,49 @@ impl RunReport {
         })
     }
 
+    /// Maximum pending-command backlog any correct node reached.
+    pub fn peak_backlog(&self) -> u64 {
+        self.correct_nodes().map(|n| n.peak_backlog).max().unwrap_or(0)
+    }
+
+    /// Mean proposed-batch fill (percent of the policy max) across
+    /// correct nodes that proposed at least once; `None` if none did.
+    pub fn mean_batch_fill_pct(&self) -> Option<f64> {
+        let fills: Vec<f64> = self.correct_nodes().filter_map(|n| n.mean_batch_fill_pct).collect();
+        if fills.is_empty() {
+            None
+        } else {
+            Some(fills.iter().sum::<f64>() / fills.len() as f64)
+        }
+    }
+
+    /// Forward-retry rescues across correct nodes.
+    pub fn forward_retries(&self) -> u64 {
+        self.correct_nodes().map(|n| n.forward_retries).sum()
+    }
+
+    /// Trace events dropped at `Tracer` ring capacity, summed over all
+    /// nodes (0 when tracing was off).
+    pub fn trace_dropped_total(&self) -> u64 {
+        self.trace_dropped.iter().sum()
+    }
+
+    /// Correct-node energy per attribution class, mJ, in
+    /// [`EnergyClass::ALL`] order. Sums to
+    /// [`total_correct_energy_mj`](Self::total_correct_energy_mj) by
+    /// construction (each charge lands in exactly one class).
+    pub fn energy_by_class_mj(&self) -> [f64; N_ENERGY_CLASS] {
+        let mut out = [0.0; N_ENERGY_CLASS];
+        for node in self.correct_nodes() {
+            if let Some(attr) = self.energy_attr.get(node.id as usize) {
+                for (i, class) in EnergyClass::ALL.into_iter().enumerate() {
+                    out[i] += attr.class_mj(class);
+                }
+            }
+        }
+        out
+    }
+
     /// Mean commit latency over correct nodes.
     pub fn mean_commit_latency(&self) -> Option<SimDuration> {
         let latencies: Vec<u64> = self
@@ -270,6 +334,9 @@ mod tests {
             mean_commit_latency: None,
             tx_injected: 0,
             tx_forwarded: 0,
+            forward_retries: 0,
+            peak_backlog: 0,
+            mean_batch_fill_pct: None,
             tx_latency_hist: LogHistogram::new(),
         }
     }
@@ -294,6 +361,9 @@ mod tests {
             nodes,
             net: NetStats::default(),
             commit_path: None,
+            energy_attr: Vec::new(),
+            metrics: MetricsSet::default(),
+            trace_dropped: Vec::new(),
         }
     }
 

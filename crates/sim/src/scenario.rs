@@ -17,8 +17,8 @@ use eesmr_crypto::{KeyStore, SigScheme};
 use eesmr_energy::Medium;
 use eesmr_hypergraph::topology::{ring_kcast, star};
 use eesmr_net::{
-    ChannelCost, NetConfig, SchedulerKind, ShardedNet, SimDuration, SimTime, TraceClass,
-    TraceLevel, TraceSet,
+    ChannelCost, MetricsConfig, NetConfig, SchedulerKind, ShardedNet, SimDuration, SimTime,
+    TraceClass, TraceLevel, TraceSet,
 };
 use eesmr_trace::path::CommitPath;
 use eesmr_workload::Workload;
@@ -134,6 +134,13 @@ pub struct Scenario {
     /// node-local state, so any level produces the same `RunReport`
     /// bit for bit. Defaults to `EESMR_TRACE` (or off).
     pub trace: TraceLevel,
+    /// Time-series telemetry sampling (see `eesmr-metrics`). Like
+    /// `trace`, an observability knob rather than a sweep axis: samples
+    /// are taken from node-local state on each node's own event stream,
+    /// so enabling them cannot change the `RunReport`. Defaults to
+    /// `EESMR_METRICS` / `EESMR_METRICS_DT` / `EESMR_METRICS_CAP`
+    /// (off unless set).
+    pub metrics: MetricsConfig,
 }
 
 /// The sweep coordinates identifying one cell of an experiment grid: the
@@ -211,6 +218,7 @@ impl Scenario {
             scheduler: SchedulerKind::from_env(),
             shards: eesmr_net::shards_from_env(),
             trace: TraceLevel::from_env(),
+            metrics: MetricsConfig::from_env(),
         }
     }
 
@@ -271,6 +279,15 @@ impl Scenario {
     /// controls what [`run_traced`](Self::run_traced) captures.
     pub fn trace(mut self, level: TraceLevel) -> Self {
         self.trace = level;
+        self
+    }
+
+    /// Sets the telemetry sampling configuration (overriding the
+    /// `EESMR_METRICS*` environment). Pure observation: it fills
+    /// [`RunReport::metrics`](RunReport) without changing any measured
+    /// result.
+    pub fn metrics(mut self, cfg: MetricsConfig) -> Self {
+        self.metrics = cfg;
         self
     }
 
@@ -438,6 +455,13 @@ impl Scenario {
                 }
             }
         }
+        if self.metrics.enabled {
+            if let Ok(path) = std::env::var(ENV_METRICS_OUT) {
+                if !path.is_empty() {
+                    write_metrics_out(&path, &report);
+                }
+            }
+        }
         (report, traces)
     }
 
@@ -449,6 +473,7 @@ impl Scenario {
         let mut net_cfg = NetConfig::ble(ring_kcast(self.n, self.k), self.seed);
         net_cfg.scheduler = self.scheduler;
         net_cfg.trace = self.trace;
+        net_cfg.metrics = self.metrics;
         let delta = net_cfg.delta();
         let plan = self.effective_faults(delta);
         net_cfg.link_faults = plan.link_faults();
@@ -493,6 +518,7 @@ impl Scenario {
         }
 
         let traces = net.take_traces();
+        let metrics = net.take_metrics();
         let nodes = (0..self.n as u32)
             .map(|id| {
                 let r = net.actor(id);
@@ -510,17 +536,25 @@ impl Scenario {
                     mean_commit_latency: r.metrics().mean_commit_latency(),
                     tx_injected: r.metrics().tx_injected,
                     tx_forwarded: r.metrics().tx_forwarded,
+                    forward_retries: r.metrics().forward_retries,
+                    peak_backlog: r.peak_backlog() as u64,
+                    mean_batch_fill_pct: r.metrics().mean_batch_fill_pct(),
                     tx_latency_hist: r.tx_latencies().clone(),
                 }
             })
             .collect();
-        (self.report("EESMR", f, delta, &net.stats(), nodes, net.now()), traces)
+        let mut report = self.report("EESMR", f, delta, &net.stats(), nodes, net.now());
+        self.attach_observability(&mut report, metrics, &traces, |id| {
+            net.meter(id).attribution().clone()
+        });
+        (report, traces)
     }
 
     fn run_hs(&self, variant: HsVariant) -> (RunReport, TraceSet) {
         let mut net_cfg = NetConfig::ble(ring_kcast(self.n, self.k), self.seed);
         net_cfg.scheduler = self.scheduler;
         net_cfg.trace = self.trace;
+        net_cfg.metrics = self.metrics;
         let delta = net_cfg.delta();
         let plan = self.effective_faults(delta);
         net_cfg.link_faults = plan.link_faults();
@@ -561,6 +595,7 @@ impl Scenario {
         }
 
         let traces = net.take_traces();
+        let metrics = net.take_metrics();
         let nodes = (0..self.n as u32)
             .map(|id| {
                 let r = net.actor(id);
@@ -578,11 +613,19 @@ impl Scenario {
                     mean_commit_latency: r.metrics().mean_commit_latency(),
                     tx_injected: r.metrics().tx_injected,
                     tx_forwarded: r.metrics().tx_forwarded,
+                    forward_retries: r.metrics().forward_retries,
+                    peak_backlog: r.peak_backlog() as u64,
+                    mean_batch_fill_pct: r.metrics().mean_batch_fill_pct(),
                     tx_latency_hist: r.tx_latencies().clone(),
                 }
             })
             .collect();
-        (self.report(variant_name(variant), f, delta, &net.stats(), nodes, net.now()), traces)
+        let mut report =
+            self.report(variant_name(variant), f, delta, &net.stats(), nodes, net.now());
+        self.attach_observability(&mut report, metrics, &traces, |id| {
+            net.meter(id).attribution().clone()
+        });
+        (report, traces)
     }
 
     fn run_trusted(&self) -> (RunReport, TraceSet) {
@@ -591,6 +634,7 @@ impl Scenario {
         net_cfg.channel = ChannelCost::PerByte { medium: Medium::FourG };
         net_cfg.scheduler = self.scheduler;
         net_cfg.trace = self.trace;
+        net_cfg.metrics = self.metrics;
         let delta = net_cfg.delta();
         let plan = self.effective_faults(delta);
         net_cfg.link_faults = plan.link_faults();
@@ -623,6 +667,7 @@ impl Scenario {
         }
 
         let traces = net.take_traces();
+        let metrics = net.take_metrics();
         let nodes = (0..self.n as u32)
             .map(|id| {
                 let r = net.actor(id);
@@ -640,11 +685,18 @@ impl Scenario {
                     mean_commit_latency: r.metrics().mean_commit_latency(),
                     tx_injected: r.metrics().tx_injected,
                     tx_forwarded: r.metrics().tx_forwarded,
+                    forward_retries: r.metrics().forward_retries,
+                    peak_backlog: r.peak_backlog() as u64,
+                    mean_batch_fill_pct: r.metrics().mean_batch_fill_pct(),
                     tx_latency_hist: r.tx_latencies().clone(),
                 }
             })
             .collect();
-        (self.report("Trusted baseline", 0, delta, &net.stats(), nodes, net.now()), traces)
+        let mut report = self.report("Trusted baseline", 0, delta, &net.stats(), nodes, net.now());
+        self.attach_observability(&mut report, metrics, &traces, |id| {
+            net.meter(id).attribution().clone()
+        });
+        (report, traces)
     }
 
     fn report(
@@ -667,7 +719,26 @@ impl Scenario {
             nodes,
             net: net.clone(),
             commit_path: None,
+            energy_attr: Vec::new(),
+            metrics: eesmr_net::MetricsSet::default(),
+            trace_dropped: Vec::new(),
         }
+    }
+
+    /// Fills the report's observability surfaces: per-node energy
+    /// attribution matrices, the sampled telemetry series, and the
+    /// per-node trace-drop counters. All three are excluded from report
+    /// equality, so this cannot perturb determinism comparisons.
+    fn attach_observability(
+        &self,
+        report: &mut RunReport,
+        metrics: eesmr_net::MetricsSet,
+        traces: &TraceSet,
+        mut attribution: impl FnMut(u32) -> eesmr_energy::EnergyAttribution,
+    ) {
+        report.energy_attr = (0..self.n as u32).map(&mut attribution).collect();
+        report.metrics = metrics;
+        report.trace_dropped = traces.nodes.iter().map(|t| t.dropped).collect();
     }
 }
 
@@ -683,6 +754,34 @@ fn write_trace_out(path: &str, traces: &TraceSet) {
     let _lock = GUARD.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
     if let Err(err) = std::fs::write(path, eesmr_trace::perfetto::render(traces)) {
         eprintln!("warning: failed to write trace export {path}: {err}");
+    }
+}
+
+/// Env var naming a file each metrics-enabled run exports its sampled
+/// telemetry to: Prometheus text format when the path ends in `.prom`
+/// or `.txt`, JSON (`eesmr-metrics/v1`) otherwise. Like
+/// [`ENV_TRACE_OUT`], a grid's runs overwrite it — last one wins.
+pub const ENV_METRICS_OUT: &str = "EESMR_METRICS_OUT";
+
+/// Writes the metrics export under a process-wide lock so concurrent
+/// grid cells never interleave writes.
+fn write_metrics_out(path: &str, report: &RunReport) {
+    use std::sync::Mutex;
+    static GUARD: Mutex<()> = Mutex::new(());
+    let _lock = GUARD.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let energy: Vec<(eesmr_energy::EnergyAttribution, f64)> = report
+        .energy_attr
+        .iter()
+        .zip(&report.nodes)
+        .map(|(attr, node)| (attr.clone(), node.energy.total_mj()))
+        .collect();
+    let body = if path.ends_with(".prom") || path.ends_with(".txt") {
+        eesmr_metrics::export::prometheus(&report.metrics, &energy)
+    } else {
+        eesmr_metrics::export::json(&report.metrics, &energy)
+    };
+    if let Err(err) = std::fs::write(path, body) {
+        eprintln!("warning: failed to write metrics export {path}: {err}");
     }
 }
 

@@ -10,6 +10,7 @@
 //! | `eesmr-crypto` | [`crypto`] | SHA-256, HMAC, simulated signatures, scheme energy catalogue |
 //! | `eesmr-hypergraph` | [`hypergraph`] | directed hypergraphs of k-casts, connectivity analysis |
 //! | `eesmr-energy` | [`energy`] | media costs, BLE reliability, meters, closed-form ψ |
+//! | `eesmr-metrics` | [`metrics`] | deterministic time-series telemetry, Prometheus/JSON export, self-profiling |
 //! | `eesmr-net` | [`net`] | deterministic discrete-event simulator + threaded transport |
 //! | `eesmr-core` | [`core_protocol`] | the EESMR protocol itself |
 //! | `eesmr-baselines` | [`baselines`] | Sync HotStuff, OptSync, trusted-node baseline |
@@ -46,6 +47,7 @@ pub use eesmr_crypto as crypto;
 pub use eesmr_driver as driver;
 pub use eesmr_energy as energy;
 pub use eesmr_hypergraph as hypergraph;
+pub use eesmr_metrics as metrics;
 pub use eesmr_net as net;
 pub use eesmr_sim as sim;
 pub use eesmr_workload as workload;
@@ -58,11 +60,15 @@ pub mod prelude {
     pub use eesmr_crypto::{Digest, Hashable, KeyStore, SigScheme};
     pub use eesmr_driver::{Driver, DriverConfig, ScenarioGrid, SuiteReport};
     pub use eesmr_energy::psi::{PsiParams, PsiProtocol};
-    pub use eesmr_energy::{BleKcastModel, EnergyCategory, EnergyMeter, FeasibleRegion, Medium};
+    pub use eesmr_energy::{
+        BleKcastModel, EnergyAttribution, EnergyCategory, EnergyClass, EnergyMeter, EnergyPhase,
+        FeasibleRegion, Medium,
+    };
     pub use eesmr_hypergraph::topology::{
         complete, complete_unicast, random_kcast, random_resilient_kcast, ring_kcast, star,
     };
     pub use eesmr_hypergraph::Hypergraph;
+    pub use eesmr_metrics::{MetricsConfig, MetricsSet};
     pub use eesmr_net::{
         NetConfig, SchedulerKind, SimDuration, SimNet, SimTime, ThreadNet, ThreadNetConfig,
     };

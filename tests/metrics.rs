@@ -1,0 +1,158 @@
+//! The observability determinism contract (`eesmr-metrics`): sampled
+//! gauge series and the energy-attribution ledger are *measurements* of
+//! a run, never inputs to it. Three consequences are pinned here:
+//!
+//! * Series and attribution matrices are bit-identical across shard
+//!   counts, driver worker counts, and scheduler backends — they sample
+//!   node-local state on node-local event streams, which the PR-5
+//!   determinism contract already fixes.
+//! * Turning sampling on (or profiling) changes no report field that
+//!   participates in equality: observability is free of observer
+//!   effects on the simulation itself.
+//! * The attribution matrix is an exact decomposition: per node, class
+//!   marginals reproduce the meter's category totals to well under a
+//!   µJ, and the matrix total equals the meter total.
+
+use eesmr_driver::{Driver, DriverConfig, ScenarioGrid};
+use eesmr_energy::EnergyClass;
+use eesmr_metrics::set_profiling;
+use eesmr_net::{MetricsConfig, SchedulerKind};
+use eesmr_sim::{ArrivalProcess, FaultPlan, Protocol, Scenario, Skew, StopWhen, Workload};
+
+/// A dense sampling config: a 1 ms simulated cadence produces enough
+/// boundary crossings that any shard- or scheduler-dependent sampling
+/// would almost surely diverge somewhere.
+fn dense() -> MetricsConfig {
+    MetricsConfig { enabled: true, dt_us: 1_000, cap: 4_096 }
+}
+
+/// The hardest sampling workload: bursty skewed arrivals with a closed
+/// loop, so in-flight counts, backlog, and energy rate all move.
+fn busy_scenario(protocol: Protocol) -> Scenario {
+    Scenario::new(protocol, 6, 3)
+        .workload(
+            Workload::new(ArrivalProcess::Bursty { rate: 5_000, on_ms: 30, off_ms: 60 })
+                .skew(Skew::Hotspot { pct: 80 })
+                .closed_loop(16),
+        )
+        .metrics(dense())
+        .stop(StopWhen::Blocks(4))
+}
+
+#[test]
+fn series_and_attribution_are_bit_identical_across_shards_and_schedulers() {
+    for protocol in [Protocol::Eesmr, Protocol::SyncHotStuff] {
+        let base = busy_scenario(protocol);
+        let reference = base.clone().shards(1).run();
+        assert!(!reference.metrics.is_empty(), "{}: dense sampling produced nothing", base.label());
+        for shards in [2usize, 4] {
+            let run = base.clone().shards(shards).run();
+            assert_eq!(reference.metrics, run.metrics, "series diverged at {shards} shards");
+            assert_eq!(
+                reference.energy_attr, run.energy_attr,
+                "attribution diverged at {shards} shards"
+            );
+        }
+        let calendar = base.clone().scheduler(SchedulerKind::Calendar).run();
+        assert_eq!(reference.metrics, calendar.metrics, "series diverged across schedulers");
+        assert_eq!(
+            reference.energy_attr, calendar.energy_attr,
+            "attribution diverged across schedulers"
+        );
+    }
+}
+
+#[test]
+fn series_and_attribution_are_bit_identical_across_driver_workers() {
+    let grid = || {
+        ScenarioGrid::named("metrics-determinism")
+            .scenario("eesmr", busy_scenario(Protocol::Eesmr))
+            .scenario("synchs", busy_scenario(Protocol::SyncHotStuff))
+            .scenario(
+                "vc-under-silent-leader",
+                Scenario::new(Protocol::Eesmr, 5, 2)
+                    .faults(FaultPlan::silent_leader())
+                    .metrics(dense())
+                    .stop(StopWhen::ViewReached(2)),
+            )
+    };
+    let sequential = Driver::new(DriverConfig::default().workers(1)).run_grid(&grid());
+    let parallel = Driver::new(DriverConfig::default().workers(8)).run_grid(&grid());
+    assert_eq!(sequential, parallel);
+    // Report equality deliberately excludes the observability surfaces,
+    // so compare them explicitly, run by run.
+    for (a, b) in sequential.cells.iter().zip(&parallel.cells) {
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.metrics, y.metrics, "{}: series diverged across workers", a.label);
+            assert_eq!(
+                x.energy_attr, y.energy_attr,
+                "{}: attribution diverged across workers",
+                a.label
+            );
+        }
+        assert!(!a.report().metrics.is_empty(), "{}: nothing sampled", a.label);
+    }
+}
+
+#[test]
+fn reports_are_equal_with_metrics_off_on_and_profiled() {
+    for protocol in [Protocol::Eesmr, Protocol::TrustedBaseline] {
+        let on = busy_scenario(protocol);
+        let off = on.clone().metrics(MetricsConfig::off());
+        let report_off = off.run();
+        let report_on = on.clone().run();
+        // Sampling perturbed nothing that participates in equality...
+        assert_eq!(report_off, report_on, "metrics sampling changed the run");
+        // ...while the on-run genuinely measured, and the off-run did not.
+        assert!(!report_on.metrics.is_empty());
+        assert!(report_off.metrics.is_empty());
+        assert_eq!(report_on.trace_dropped.len(), report_on.nodes.len());
+        // Wall-clock self-profiling is equally invisible to the report.
+        set_profiling(true);
+        let report_profiled = on.run();
+        set_profiling(false);
+        assert_eq!(report_on, report_profiled, "profiling changed the run");
+    }
+}
+
+#[test]
+fn attribution_class_marginals_reproduce_category_totals() {
+    // Tolerance: the matrix and the category array receive the *same*
+    // f64 increments, only summed in a different order, so they agree
+    // far below the µJ (1e-3 mJ) the acceptance bar asks for.
+    const TOL_MJ: f64 = 1e-6;
+    for protocol in
+        [Protocol::Eesmr, Protocol::SyncHotStuff, Protocol::OptSync, Protocol::TrustedBaseline]
+    {
+        let report = busy_scenario(protocol).run();
+        assert_eq!(report.energy_attr.len(), report.nodes.len());
+        for node in &report.nodes {
+            let attr = &report.energy_attr[node.id as usize];
+            let recv_classes: f64 = [
+                EnergyClass::RecvScan,
+                EnergyClass::RecvDecode,
+                EnergyClass::SharedScan,
+                EnergyClass::DupAbandoned,
+            ]
+            .into_iter()
+            .map(|c| attr.class_mj(c))
+            .sum();
+            let checks = [
+                ("send", attr.class_mj(EnergyClass::Send), node.energy.send_mj),
+                ("recv", recv_classes, node.energy.recv_mj),
+                ("sign", attr.class_mj(EnergyClass::Sign), node.energy.sign_mj),
+                ("verify", attr.class_mj(EnergyClass::Verify), node.energy.verify_mj),
+                ("hash", attr.class_mj(EnergyClass::Hash), node.energy.hash_mj),
+                ("total", attr.total_mj(), node.energy.total_mj()),
+            ];
+            for (name, attributed, metered) in checks {
+                assert!(
+                    (attributed - metered).abs() < TOL_MJ,
+                    "{protocol:?} node {}: {name} attribution {attributed} != meter {metered}",
+                    node.id
+                );
+            }
+            assert!(node.energy.total_mj() > 0.0, "{protocol:?} node {} drew no energy", node.id);
+        }
+    }
+}
