@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod status;
 pub mod sync_hotstuff;
 pub mod trusted;

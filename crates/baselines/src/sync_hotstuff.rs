@@ -188,7 +188,7 @@ pub enum HsPayload {
 }
 
 impl HsPayload {
-    fn kind(&self) -> MsgKind {
+    pub(crate) fn kind(&self) -> MsgKind {
         match self {
             HsPayload::Propose { .. } => MsgKind::Propose,
             HsPayload::Vote { .. } => MsgKind::HsVote,
@@ -244,29 +244,6 @@ impl HsPayload {
             }
         }
     }
-
-    fn body_size(&self) -> usize {
-        match self {
-            HsPayload::Propose { block, justify } => {
-                block.wire_size() + justify.as_ref().map_or(0, QuorumCert::wire_size)
-            }
-            HsPayload::Vote { .. } => 32 + 8,
-            HsPayload::Blame { proof } => {
-                proof.as_ref().map_or(0, |p| p.0.wire_size() + p.1.wire_size())
-            }
-            HsPayload::BlameQc(qc) => qc.wire_size(),
-            HsPayload::Status { cert } => {
-                cert.as_ref().map_or(1, |c| c.qc.wire_size() + c.block.wire_size())
-            }
-            HsPayload::SyncRequest { .. } => 32,
-            HsPayload::SyncResponse { blocks } => blocks.iter().map(Block::wire_size).sum(),
-            HsPayload::Forward { commands } => commands.iter().map(|c| c.len() + 4).sum(),
-            HsPayload::Repair { .. } => 8,
-            HsPayload::RepairReply { blocks, .. } => {
-                8 + blocks.iter().map(Block::wire_size).sum::<usize>()
-            }
-        }
-    }
 }
 
 /// A signed Sync HotStuff / OptSync message.
@@ -298,8 +275,10 @@ impl HsMsg {
         pki.verify(&bytes, &self.sig)
     }
 
+    /// Serialized size: exactly the encoded frame length (see
+    /// [`crate::codec`]).
     fn wire_size(&self) -> usize {
-        1 + 8 + 4 + self.payload.body_size() + self.sig.wire_size()
+        eesmr_net::WireCodec::encoded_len(self)
     }
 }
 

@@ -145,15 +145,6 @@ impl TbPayload {
             }
         }
     }
-
-    fn body_size(&self) -> usize {
-        match self {
-            TbPayload::Request { batch, .. } => 8 + batch.iter().map(Command::len).sum::<usize>(),
-            TbPayload::Ordered { block } => block.wire_size(),
-            TbPayload::Repair { .. } => 8,
-            TbPayload::RepairReply { blocks } => blocks.iter().map(Block::wire_size).sum(),
-        }
-    }
 }
 
 impl TbMsg {
@@ -175,7 +166,7 @@ impl TbMsg {
 
 impl Message for TbMsg {
     fn wire_size(&self) -> usize {
-        4 + self.payload.body_size() + self.sig.wire_size()
+        eesmr_net::WireCodec::encoded_len(self)
     }
 
     fn flood_key(&self) -> u64 {
@@ -309,6 +300,11 @@ impl TbNode {
     /// Committed height.
     pub fn committed_height(&self) -> u64 {
         self.committed_height
+    }
+
+    /// Looks up a stored block by id.
+    pub fn block(&self, id: &Digest) -> Option<&Block> {
+        self.store.get(id)
     }
 
     /// Metrics.

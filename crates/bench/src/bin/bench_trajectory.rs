@@ -28,11 +28,13 @@
 
 use std::fs;
 use std::process::Command as Shell;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use eesmr_bench::hotpath::{run_storm, StormSpec};
+use eesmr_core::{Block, Command, Commands, Payload, SignedMsg};
+use eesmr_crypto::{KeyStore, SigScheme};
 use eesmr_metrics::{profile_reset, profile_snapshot, set_profiling, ProfPhase, ProfileSnapshot};
-use eesmr_net::{MetricsConfig, TraceLevel};
+use eesmr_net::{MetricsConfig, TraceLevel, WireCodec};
 
 /// The floor the acceptance bar sets for Arc-vs-deep speedup.
 const MIN_SPEEDUP: f64 = 1.5;
@@ -65,6 +67,54 @@ fn measure(spec: &StormSpec, reps: usize) -> (f64, u64) {
     (best, deliveries)
 }
 
+/// A representative mix of `SignedMsg` frames for the codec cell: the
+/// steady-state proposal, a forwarded command batch, and the small
+/// control messages that dominate frame counts.
+fn codec_sample() -> Vec<SignedMsg> {
+    let pki = KeyStore::generate(4, SigScheme::Hmac, 7);
+    let genesis = Block::genesis();
+    let commands: Vec<Command> = (0..64).map(|seq| Command::synthetic(seq, 128)).collect();
+    let block = Block::extending(&genesis, 1, 3, commands.clone());
+    vec![
+        SignedMsg::new(
+            Payload::Propose { block: block.clone(), round: 3, justify: None },
+            1,
+            pki.keypair(0),
+        ),
+        SignedMsg::new(Payload::Forward { commands: Commands::from(commands) }, 1, pki.keypair(1)),
+        SignedMsg::new(Payload::Certify { block_id: block.id(), height: 1 }, 1, pki.keypair(2)),
+        SignedMsg::new(Payload::Repair { from_height: 9 }, 1, pki.keypair(3)),
+    ]
+}
+
+/// Measures the v1 wire codec's round-trip throughput in MB/s: every
+/// sample frame is encoded and decoded back, and each direction counts
+/// the frame's bytes (a frame both written and parsed moves 2× its
+/// length through the codec).
+fn measure_codec(quick: bool, reps: usize) -> f64 {
+    let sample = codec_sample();
+    let frames: Vec<Vec<u8>> = sample.iter().map(WireCodec::encode).collect();
+    let frame_bytes: usize = frames.iter().map(Vec::len).sum();
+    let iters = if quick { 400 } else { 2000 };
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut sink = 0usize;
+        for _ in 0..iters {
+            for (msg, bytes) in sample.iter().zip(&frames) {
+                let encoded = msg.encode();
+                sink += encoded.len();
+                let back = SignedMsg::decode(bytes).expect("sample frame decodes");
+                sink += back.wire_size();
+            }
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(sink, 2 * frame_bytes * iters, "codec cell processed every byte");
+        best = best.max((sink as f64 / 1e6) / secs);
+    }
+    best
+}
+
 struct Snapshot {
     sha: String,
     recorded_unix: u64,
@@ -73,6 +123,7 @@ struct Snapshot {
     deep_events_per_sec: f64,
     trace_all_events_per_sec: f64,
     metrics_on_events_per_sec: f64,
+    codec_mb_per_sec: f64,
     profile: ProfileSnapshot,
     cells: Vec<(StormSpec, f64, u64)>,
 }
@@ -121,7 +172,8 @@ impl Snapshot {
             "    \"metrics_on_events_per_sec\": {:.1},\n",
             self.metrics_on_events_per_sec
         ));
-        out.push_str(&format!("    \"metrics_overhead\": {:.3}\n", self.metrics_overhead()));
+        out.push_str(&format!("    \"metrics_overhead\": {:.3},\n", self.metrics_overhead()));
+        out.push_str(&format!("    \"codec_mb_per_sec\": {:.1}\n", self.codec_mb_per_sec));
         out.push_str("  },\n");
         out.push_str("  \"profile_pct\": {\n");
         let phases: Vec<String> = ProfPhase::ALL
@@ -191,6 +243,8 @@ fn take_snapshot() -> Snapshot {
     eprintln!("measuring {} (reps={reps})...", sampled_spec.label());
     let (metrics_on_eps, deliveries) = measure(&sampled_spec, reps);
     cells.push((sampled_spec, metrics_on_eps, deliveries));
+    eprintln!("measuring codec roundtrip (reps={reps})...");
+    let codec_mb_per_sec = measure_codec(quick, reps);
     // One extra self-profiled pass, excluded from every throughput
     // number above (the phase timers themselves cost a few percent):
     // it only feeds the `profile_pct` breakdown and the folded stacks.
@@ -210,6 +264,7 @@ fn take_snapshot() -> Snapshot {
         deep_events_per_sec: deep_eps,
         trace_all_events_per_sec: trace_all_eps,
         metrics_on_events_per_sec: metrics_on_eps,
+        codec_mb_per_sec,
         profile,
         cells,
     }
@@ -260,20 +315,28 @@ fn check(baseline_path: Option<String>) -> i32 {
         eprintln!("bench_trajectory --check: {path} has no arc_events_per_sec");
         return 2;
     };
+    // Baselines recorded before the codec cell existed simply skip that
+    // comparison — the key is absent, not zero.
+    let baseline_codec = json_f64(&text, "codec_mb_per_sec");
     let tolerance = std::env::var("EESMR_BENCH_TOLERANCE")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(0.10);
     let floor = baseline_eps * (1.0 - tolerance);
+    let codec_floor = baseline_codec.map(|mb| mb * (1.0 - tolerance));
     // A shared runner can dip any single measurement well past the
     // tolerance; a true regression fails persistently. Debounce by
     // keeping the best of up to three snapshots.
-    let (mut best_eps, mut best_speedup) = (0.0f64, 0.0f64);
+    let (mut best_eps, mut best_speedup, mut best_codec) = (0.0f64, 0.0f64, 0.0f64);
     for attempt in 1..=3 {
         let snap = take_snapshot();
         best_eps = best_eps.max(snap.arc_events_per_sec);
         best_speedup = best_speedup.max(snap.speedup());
-        if best_eps >= floor && best_speedup >= MIN_SPEEDUP {
+        best_codec = best_codec.max(snap.codec_mb_per_sec);
+        if best_eps >= floor
+            && best_speedup >= MIN_SPEEDUP
+            && codec_floor.is_none_or(|f| best_codec >= f)
+        {
             break;
         }
         eprintln!("attempt {attempt} below the bar ({:.0} events/s); retrying", best_eps);
@@ -288,6 +351,14 @@ fn check(baseline_path: Option<String>) -> i32 {
     println!(
         "spine speedup (arc vs deep-clone): {best_speedup:.2}x (required >= {MIN_SPEEDUP:.1}x)"
     );
+    match (baseline_codec, codec_floor) {
+        (Some(mb), Some(f)) => println!(
+            "codec roundtrip: baseline {mb:.0} MB/s; current {best_codec:.0} MB/s (floor {f:.0})"
+        ),
+        _ => println!(
+            "codec roundtrip: {best_codec:.0} MB/s (baseline predates codec_mb_per_sec; skipped)"
+        ),
+    }
     let mut status = 0;
     if best_eps < floor {
         eprintln!("FAIL: event throughput regressed more than {:.0}%", tolerance * 100.0);
@@ -296,6 +367,12 @@ fn check(baseline_path: Option<String>) -> i32 {
     if best_speedup < MIN_SPEEDUP {
         eprintln!("FAIL: Arc spine no longer >= {MIN_SPEEDUP:.1}x over deep-clone baseline");
         status = 1;
+    }
+    if let Some(f) = codec_floor {
+        if best_codec < f {
+            eprintln!("FAIL: codec throughput regressed more than {:.0}%", tolerance * 100.0);
+            status = 1;
+        }
     }
     if status == 0 {
         println!("OK: throughput within tolerance of the committed baseline");
@@ -316,6 +393,7 @@ fn emit() -> i32 {
         snap.trace_overhead() * 100.0,
         snap.metrics_overhead() * 100.0
     );
+    println!("codec roundtrip: {:.0} MB/s", snap.codec_mb_per_sec);
     println!("profile: {}", snap.profile.summary());
     // EESMR_PROFILE also asks for the flamegraph-ready rendering of the
     // profiled pass, next to the JSON.

@@ -207,10 +207,11 @@ impl Block {
         self.payload.iter().map(Command::len).sum()
     }
 
-    /// Bytes this block occupies on the wire: height (8) + parent hash (32)
-    /// + payload-hash slot (32) + commands.
+    /// Bytes this block occupies on the wire: exactly its encoded length —
+    /// parent hash (32) + height/view/round (24) + length-prefixed
+    /// commands (see [`crate::codec`]).
     pub fn wire_size(&self) -> usize {
-        8 + 32 + 32 + self.payload_len()
+        eesmr_net::WireCodec::encoded_len(self)
     }
 }
 
@@ -593,7 +594,9 @@ mod tests {
     fn wire_size_matches_layout() {
         let g = Block::genesis();
         let b = Block::extending(&g, 1, 3, vec![Command::synthetic(0, 100)]);
-        assert_eq!(b.wire_size(), 8 + 32 + 32 + 100);
+        // parent 32 + height/view/round 24 + command count 4
+        // + one command (4-byte length prefix + 100 bytes).
+        assert_eq!(b.wire_size(), 32 + 24 + 4 + (4 + 100));
     }
 
     #[test]

@@ -72,7 +72,7 @@ impl BbPayload {
         }
     }
 
-    fn kind(&self) -> MsgKind {
+    pub(crate) fn kind(&self) -> MsgKind {
         match self {
             BbPayload::Value { .. } => MsgKind::Propose,
             BbPayload::CommitVote { .. } => MsgKind::Certify,
@@ -98,12 +98,7 @@ impl BbMsg {
 
 impl Message for BbMsg {
     fn wire_size(&self) -> usize {
-        let body = match &self.payload {
-            BbPayload::Value { value } => value.len(),
-            BbPayload::CommitVote { .. } => 32,
-            BbPayload::Terminate { cert, value } => cert.wire_size() + value.len(),
-        };
-        1 + 4 + body + self.sig.wire_size()
+        eesmr_net::WireCodec::encoded_len(self)
     }
 
     fn flood_key(&self) -> u64 {

@@ -35,6 +35,7 @@
 pub mod block;
 pub mod broadcast;
 pub mod client;
+pub mod codec;
 pub mod config;
 pub mod message;
 pub mod metrics;

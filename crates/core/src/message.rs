@@ -54,6 +54,30 @@ pub enum MsgKind {
     RepairReply = 15,
 }
 
+impl MsgKind {
+    /// Decodes a wire tag byte (the `repr(u8)` discriminant).
+    pub fn from_wire(tag: u8) -> Option<MsgKind> {
+        Some(match tag {
+            1 => MsgKind::Propose,
+            2 => MsgKind::Blame,
+            3 => MsgKind::BlameQc,
+            4 => MsgKind::CommitUpdate,
+            5 => MsgKind::Certify,
+            6 => MsgKind::CommitQc,
+            7 => MsgKind::NewViewProposal,
+            8 => MsgKind::NewViewVote,
+            9 => MsgKind::LockStatus,
+            10 => MsgKind::SyncRequest,
+            11 => MsgKind::SyncResponse,
+            12 => MsgKind::HsVote,
+            13 => MsgKind::Forward,
+            14 => MsgKind::Repair,
+            15 => MsgKind::RepairReply,
+            _ => return None,
+        })
+    }
+}
+
 /// The canonical byte string covered by a signature: `(kind, view, data)`.
 pub fn signing_bytes(kind: MsgKind, view: u64, data: &Digest) -> Vec<u8> {
     let mut out = Vec::with_capacity(48);
@@ -101,9 +125,10 @@ impl QuorumCert {
         (seen.len() >= threshold, checks)
     }
 
-    /// Wire size: kind + view + data + height + signatures.
+    /// Wire size: exactly the certificate's encoded length (see
+    /// [`crate::codec`]).
     pub fn wire_size(&self) -> usize {
-        1 + 8 + 32 + 8 + self.sigs.iter().map(|(_, s)| 4 + s.wire_size()).sum::<usize>()
+        eesmr_net::WireCodec::encoded_len(self)
     }
 }
 
@@ -172,13 +197,6 @@ impl Status {
             Status::Locks(v) => {
                 v.iter().map(|s| (s.block.id(), s.block.height)).max_by_key(|(_, h)| *h)
             }
-        }
-    }
-
-    fn wire_size(&self) -> usize {
-        match self {
-            Status::CommitQcs(v) => v.iter().map(|c| c.qc.wire_size() + c.block.wire_size()).sum(),
-            Status::Locks(v) => v.iter().map(|s| s.block.wire_size() + 4 + s.sig.wire_size()).sum(),
         }
     }
 }
@@ -359,31 +377,6 @@ impl Payload {
             }
         }
     }
-
-    fn body_size(&self) -> usize {
-        match self {
-            Payload::Propose { block, justify, .. } => {
-                block.wire_size() + 8 + justify.as_ref().map_or(0, QuorumCert::wire_size)
-            }
-            Payload::Blame { proof } => {
-                proof.as_ref().map_or(0, |p| p.0.wire_size() + p.1.wire_size())
-            }
-            Payload::BlameQc(qc) => qc.wire_size(),
-            Payload::CommitUpdate { block } => block.wire_size(),
-            Payload::Certify { .. } => 32 + 8,
-            Payload::CommitQc(c) => c.qc.wire_size() + c.block.wire_size(),
-            Payload::NewViewProposal { status, block } => status.wire_size() + block.wire_size(),
-            Payload::NewViewVote { .. } => 32,
-            Payload::LockStatus { block } => block.wire_size(),
-            Payload::SyncRequest { .. } => 32,
-            Payload::SyncResponse { blocks } => blocks.iter().map(Block::wire_size).sum(),
-            Payload::Forward { commands } => commands.iter().map(|c| c.len() + 4).sum(),
-            Payload::Repair { .. } => 8,
-            Payload::RepairReply { blocks, .. } => {
-                8 + blocks.iter().map(Block::wire_size).sum::<usize>()
-            }
-        }
-    }
 }
 
 /// A signed protocol message (the `Msg` envelope of Algorithm 1).
@@ -423,9 +416,11 @@ impl SignedMsg {
         self.payload.kind() == kind && self.view == view
     }
 
-    /// Serialized size: kind (1) + view (8) + signer (4) + body + signature.
+    /// Serialized size: exactly the encoded frame length — header (4) +
+    /// kind (1) + view (8) + signer (4) + body + signature (see
+    /// [`crate::codec`]).
     pub fn wire_size(&self) -> usize {
-        1 + 8 + 4 + self.payload.body_size() + self.sig.wire_size()
+        eesmr_net::WireCodec::encoded_len(self)
     }
 }
 
@@ -599,8 +594,9 @@ mod tests {
         let req = SignedMsg::new(Payload::Repair { from_height: 7 }, 2, pki.keypair(1));
         assert!(req.verify_sig(&pki));
         assert!(req.matches(MsgKind::Repair, 2));
-        // Repair body is just the height.
-        assert_eq!(req.wire_size(), 13 + 8 + 128);
+        // header 4 + kind 1 + view 8 + signer 4 + height body 8 +
+        // RSA-1024 signature (5 + 128).
+        assert_eq!(req.wire_size(), 4 + 1 + 8 + 4 + 8 + (5 + 128));
 
         let g = Block::genesis();
         let b1 = Block::extending(&g, 1, 3, vec![]);
@@ -627,9 +623,11 @@ mod tests {
     fn wire_sizes_are_plausible() {
         let pki = pki();
         let msg = propose(1, 3, &pki, 0);
-        // header 13 + block (72) + round 8 + RSA-1024 sig 128
-        assert_eq!(msg.wire_size(), 13 + 72 + 8 + 128);
+        // envelope 17 (frame header 4 + kind 1 + view 8 + signer 4)
+        // + empty block (60) + round 8 + justify flag 1
+        // + RSA-1024 signature (5 + 128).
+        assert_eq!(msg.wire_size(), 17 + 60 + 8 + 1 + (5 + 128));
         let blame = SignedMsg::new(Payload::Blame { proof: None }, 1, pki.keypair(0));
-        assert_eq!(blame.wire_size(), 13 + 128);
+        assert_eq!(blame.wire_size(), 17 + 1 + (5 + 128));
     }
 }

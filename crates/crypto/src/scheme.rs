@@ -58,6 +58,19 @@ impl SigScheme {
         SigScheme::Hmac,
     ];
 
+    /// Stable one-byte wire tag for this scheme: its index in
+    /// [`SigScheme::ALL`]. Frozen by the v1 wire format — append new
+    /// schemes to `ALL`, never reorder.
+    pub fn wire_tag(self) -> u8 {
+        SigScheme::ALL.iter().position(|s| *s == self).expect("scheme listed in ALL") as u8
+    }
+
+    /// Inverse of [`SigScheme::wire_tag`]. `None` for tags this build
+    /// does not know (a newer peer's scheme).
+    pub fn from_wire_tag(tag: u8) -> Option<SigScheme> {
+        SigScheme::ALL.get(tag as usize).copied()
+    }
+
     /// Energy to produce one signature, in Joules (Table 2, "Sign").
     pub fn sign_energy_j(self) -> f64 {
         match self {

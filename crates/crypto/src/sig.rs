@@ -152,6 +152,20 @@ impl Signature {
         self.scheme.signature_size()
     }
 
+    /// The raw 32-byte authenticator tag, for wire encoding.
+    pub fn tag(&self) -> &Digest {
+        &self.tag
+    }
+
+    /// Reassembles a signature from decoded wire parts.
+    ///
+    /// This does not weaken unforgeability: a reassembled signature only
+    /// passes [`Signature::verify`] if its tag was produced under the
+    /// claimed signer's key, which decoding cannot fabricate.
+    pub fn from_wire(signer: SignerId, scheme: SigScheme, tag: Digest) -> Signature {
+        Signature { signer, scheme, tag }
+    }
+
     /// Verifies this signature against `message` under `pk`.
     ///
     /// Returns `false` if the key belongs to a different signer or scheme.

@@ -1,0 +1,400 @@
+//! Deterministic wire codec: versioned, little-endian, length-prefixed.
+//!
+//! Every top-level protocol message (`SignedMsg`, `BbMsg`, `HsMsg`,
+//! `TbMsg`) encodes as a self-describing frame:
+//!
+//! ```text
+//! offset 0  magic      2 bytes  0xEE 0x5E
+//! offset 2  version    1 byte   0x01 (v1)
+//! offset 3  family     1 byte   which top-level message type follows
+//! offset 4  body       family-specific, self-delimiting
+//! ```
+//!
+//! Inside bodies the conventions are fixed:
+//!
+//! * integers are little-endian and fixed-width (`u8`/`u32`/`u64`);
+//! * byte strings are `u32` length + bytes ([`put_slice`]/[`read_slice`]);
+//! * sequences are `u32` count + elements ([`put_count`]/[`read_count`]);
+//! * options are a `0`/`1` flag byte + the value when present;
+//! * enums are a one-byte tag + the variant's fields;
+//! * nested messages (e.g. the equivocation pair inside a `Blame`) embed
+//!   their full frame, header included.
+//!
+//! Decoding is total: any byte string either decodes or returns a
+//! [`CodecError`] — decoders never panic, and never allocate more than a
+//! small multiple of the input length (sequence counts are bounds-checked
+//! against the remaining bytes *before* any allocation).
+//!
+//! The `wire_size()` methods of the protocol crates are defined as exactly
+//! [`WireCodec::encoded_len`], so the energy model prices the real bytes
+//! this codec would put on the air. Transports add their own `u32` length
+//! prefix per frame (see [`crate::proc`]); that prefix is a transport
+//! artifact and is *not* part of `wire_size()`.
+//!
+//! Versioning rules: the magic and the v1 layout of existing fields are
+//! frozen (golden vectors in `tests/codec_corpus.rs` enforce this). To add
+//! a field, bump [`VERSION`] and extend the decoder to accept both
+//! versions; to add a message or enum variant, append a new tag — never
+//! reuse or reorder existing tags.
+
+use eesmr_crypto::{Digest, SigScheme, Signature};
+
+use core::fmt;
+
+/// First two bytes of every encoded top-level message.
+pub const MAGIC: [u8; 2] = [0xEE, 0x5E];
+
+/// Current schema version.
+pub const VERSION: u8 = 1;
+
+/// Bytes of overhead per top-level message: magic + version + family tag.
+pub const HEADER_LEN: usize = 4;
+
+/// Family tags: which top-level message type a frame carries.
+pub mod family {
+    /// `eesmr_core::SignedMsg` (the EESMR view-change protocol).
+    pub const SIGNED_MSG: u8 = 1;
+    /// `eesmr_core::BbMsg` (Byzantine reliable broadcast).
+    pub const BB_MSG: u8 = 2;
+    /// `eesmr_baselines::HsMsg` (Sync HotStuff / OptSync).
+    pub const HS_MSG: u8 = 3;
+    /// `eesmr_baselines::TbMsg` (trusted-base station SMR).
+    pub const TB_MSG: u8 = 4;
+}
+
+/// Why a byte string failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the structure did.
+    Truncated,
+    /// The frame does not start with [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// The frame's schema version is not one this build understands.
+    BadVersion(u8),
+    /// An enum/family/scheme tag byte has no known meaning.
+    UnknownTag {
+        /// Which tag namespace the byte came from.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A count or length prefix cannot fit in the remaining bytes.
+    BadLength {
+        /// Which sequence the prefix belonged to.
+        what: &'static str,
+        /// The claimed element count or byte length.
+        len: u64,
+    },
+    /// The bytes decode, but not to the canonical encoding (e.g. nonzero
+    /// signature padding). Rejected so `encode(decode(b)) == b` holds.
+    NonCanonical(&'static str),
+    /// Bytes were left over after the structure was fully decoded.
+    Trailing(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "buffer truncated mid-structure"),
+            CodecError::BadMagic(m) => write!(f, "bad magic {:02x}{:02x}", m[0], m[1]),
+            CodecError::BadVersion(v) => write!(f, "unsupported schema version {v}"),
+            CodecError::UnknownTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            CodecError::BadLength { what, len } => {
+                write!(f, "{what} length {len} exceeds remaining bytes")
+            }
+            CodecError::NonCanonical(what) => write!(f, "non-canonical encoding: {what}"),
+            CodecError::Trailing(n) => write!(f, "{n} trailing bytes after structure"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A bounds-checked cursor over an immutable byte buffer.
+///
+/// All reads advance the cursor; a read past the end returns
+/// [`CodecError::Truncated`] and leaves the cursor unspecified.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.bytes(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Requires every byte to have been consumed.
+    pub fn finish(self) -> Result<(), CodecError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(CodecError::Trailing(n)),
+        }
+    }
+}
+
+/// A type with a frozen byte-level wire encoding.
+///
+/// `encoded_len` is structural (no allocation) and always equals
+/// `encode().len()`; the protocol crates define `wire_size()` as exactly
+/// this value.
+pub trait WireCodec: Sized {
+    /// Exact length of [`WireCodec::encode`]'s output, without encoding.
+    fn encoded_len(&self) -> usize;
+
+    /// Appends this value's encoding to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Reads one value from the cursor, leaving it just past the value.
+    ///
+    /// Parent decoders call this for nested fields; it does *not* require
+    /// the buffer to end where the value does.
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Encodes to a fresh buffer of exactly [`WireCodec::encoded_len`] bytes.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        debug_assert_eq!(out.len(), self.encoded_len(), "encoded_len out of sync with encoding");
+        out
+    }
+
+    /// Decodes a value that must span the whole buffer.
+    fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// Writes the 4-byte frame header for a top-level message family.
+pub fn put_header(out: &mut Vec<u8>, family: u8) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(family);
+}
+
+/// Reads and validates a frame header, requiring `family`.
+///
+/// A wrong-but-known family tag is reported as an unknown tag *for this
+/// type*: the bytes are a valid frame of some other message, but not a
+/// value of the type being decoded.
+pub fn read_header(r: &mut Reader<'_>, family: u8) -> Result<(), CodecError> {
+    let magic = r.bytes(2)?;
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic([magic[0], magic[1]]));
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let fam = r.u8()?;
+    if fam != family {
+        return Err(CodecError::UnknownTag { what: "message family", tag: fam });
+    }
+    Ok(())
+}
+
+/// Writes a `u32` length prefix followed by the bytes.
+pub fn put_slice(out: &mut Vec<u8>, bytes: &[u8]) {
+    debug_assert!(bytes.len() <= u32::MAX as usize);
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a `u32`-length-prefixed byte string, bounds-checked before any
+/// slicing.
+pub fn read_slice<'a>(r: &mut Reader<'a>, what: &'static str) -> Result<&'a [u8], CodecError> {
+    let len = r.u32()? as usize;
+    if len > r.remaining() {
+        return Err(CodecError::BadLength { what, len: len as u64 });
+    }
+    r.bytes(len)
+}
+
+/// Writes a `u32` element-count prefix for a sequence.
+pub fn put_count(out: &mut Vec<u8>, count: usize) {
+    debug_assert!(count <= u32::MAX as usize);
+    out.extend_from_slice(&(count as u32).to_le_bytes());
+}
+
+/// Reads a sequence's `u32` count prefix, rejecting counts that cannot
+/// possibly fit in the remaining bytes (`count × min_elem_len`), so a
+/// hostile prefix can never drive an unbounded allocation.
+pub fn read_count(
+    r: &mut Reader<'_>,
+    min_elem_len: usize,
+    what: &'static str,
+) -> Result<usize, CodecError> {
+    let count = r.u32()? as usize;
+    if count.saturating_mul(min_elem_len.max(1)) > r.remaining() {
+        return Err(CodecError::BadLength { what, len: count as u64 });
+    }
+    Ok(count)
+}
+
+impl WireCodec for Digest {
+    fn encoded_len(&self) -> usize {
+        32
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let b = r.bytes(32)?;
+        let mut a = [0u8; 32];
+        a.copy_from_slice(b);
+        Ok(Digest::from_bytes(a))
+    }
+}
+
+/// Signatures encode as `scheme tag (1) | signer (4) | tag bytes padded to
+/// the real scheme's signature size`. The padding keeps on-air byte counts
+/// faithful to the deployed scheme (e.g. 128 B for RSA-1024) even though
+/// the simulated authenticator is 32 bytes; decode requires the padding to
+/// be zero so the encoding stays canonical.
+impl WireCodec for Signature {
+    fn encoded_len(&self) -> usize {
+        5 + self.scheme().signature_size()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.scheme().wire_tag());
+        out.extend_from_slice(&self.signer().to_le_bytes());
+        out.extend_from_slice(self.tag().as_bytes());
+        out.resize(out.len() + (self.scheme().signature_size() - 32), 0);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let tag = r.u8()?;
+        let scheme = SigScheme::from_wire_tag(tag)
+            .ok_or(CodecError::UnknownTag { what: "signature scheme", tag })?;
+        let signer = r.u32()?;
+        let body = r.bytes(scheme.signature_size())?;
+        let mut auth = [0u8; 32];
+        auth.copy_from_slice(&body[..32]);
+        if body[32..].iter().any(|b| *b != 0) {
+            return Err(CodecError::NonCanonical("signature padding must be zero"));
+        }
+        Ok(Signature::from_wire(signer, scheme, Digest::from_bytes(auth)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eesmr_crypto::KeyPair;
+
+    #[test]
+    fn digest_round_trips() {
+        let d = Digest::of_parts(&[b"hello"]);
+        let bytes = d.encode();
+        assert_eq!(bytes.len(), d.encoded_len());
+        assert_eq!(Digest::decode(&bytes).unwrap(), d);
+    }
+
+    #[test]
+    fn signature_round_trips_with_padding() {
+        let sig = KeyPair::derive(7, SigScheme::Rsa1024, 1).sign(b"m");
+        let bytes = sig.encode();
+        assert_eq!(bytes.len(), 5 + 128);
+        let back = Signature::decode(&bytes).unwrap();
+        assert_eq!(back, sig);
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn signature_rejects_nonzero_padding() {
+        let sig = KeyPair::derive(7, SigScheme::Rsa1024, 1).sign(b"m");
+        let mut bytes = sig.encode();
+        *bytes.last_mut().unwrap() = 1;
+        assert_eq!(
+            Signature::decode(&bytes),
+            Err(CodecError::NonCanonical("signature padding must be zero"))
+        );
+    }
+
+    #[test]
+    fn signature_rejects_unknown_scheme_tag() {
+        let sig = KeyPair::derive(7, SigScheme::Hmac, 1).sign(b"m");
+        let mut bytes = sig.encode();
+        bytes[0] = 0xEF;
+        assert!(matches!(
+            Signature::decode(&bytes),
+            Err(CodecError::UnknownTag { what: "signature scheme", .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_an_error_never_a_panic() {
+        let sig = KeyPair::derive(3, SigScheme::EcdsaSecp256K1, 9).sign(b"m");
+        let bytes = sig.encode();
+        for cut in 0..bytes.len() {
+            assert!(Signature::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let d = Digest::of_parts(&[b"x"]);
+        let mut bytes = d.encode();
+        bytes.push(0);
+        assert_eq!(Digest::decode(&bytes), Err(CodecError::Trailing(1)));
+    }
+
+    #[test]
+    fn hostile_count_prefix_rejected_before_allocation() {
+        // A count of u32::MAX with 4 remaining bytes must fail the bound
+        // check rather than attempt a giant allocation.
+        let buf = u32::MAX.to_le_bytes();
+        let mut r = Reader::new(&buf);
+        assert!(matches!(read_count(&mut r, 32, "sigs"), Err(CodecError::BadLength { .. })));
+    }
+
+    #[test]
+    fn scheme_wire_tags_round_trip() {
+        for scheme in SigScheme::ALL {
+            assert_eq!(SigScheme::from_wire_tag(scheme.wire_tag()), Some(scheme));
+        }
+        assert_eq!(SigScheme::from_wire_tag(SigScheme::ALL.len() as u8), None);
+    }
+}

@@ -47,8 +47,10 @@
 
 pub mod actor;
 pub mod channel;
+pub mod codec;
 pub mod harness;
 pub mod message;
+pub mod proc;
 pub mod runtime;
 pub mod sched;
 pub mod shard;
@@ -57,6 +59,8 @@ pub mod time;
 
 pub use actor::{Actor, Context, NodeId, TimerId};
 pub use channel::ChannelCost;
+pub use codec::{CodecError, Reader, WireCodec};
+pub use proc::{ChildOpts, Coordinator, ProcTransport};
 // Telemetry vocabulary, re-exported so actor crates can expose gauges
 // and callers can configure sampling without naming `eesmr_metrics`.
 pub use eesmr_metrics::{ActorGauges, GaugeKind, MetricsConfig, MetricsSet, NodeSeries};

@@ -1,0 +1,74 @@
+//! EESMR vs Sync HotStuff as real OS processes.
+//!
+//! Runs the headline comparison cell twice per protocol: once on the
+//! deterministic simulator (the energy numbers) and once as a mesh of
+//! `proc_replica` child processes over Unix domain sockets or TCP (the
+//! honest wall-clock numbers — real kernel scheduling, real sockets,
+//! real bytes). Usage:
+//!
+//! ```text
+//! cargo run --release -p eesmr-sim --bin proc_headline [-- uds|tcp]
+//! ```
+//!
+//! `EESMR_QUICK=1` shrinks the cell for CI smoke runs.
+
+use std::io;
+use std::path::PathBuf;
+
+use eesmr_net::ProcTransport;
+use eesmr_sim::{Protocol, Scenario, StopWhen};
+
+/// The sibling `proc_replica` binary in the same target directory.
+fn replica_binary() -> io::Result<PathBuf> {
+    let me = std::env::current_exe()?;
+    let dir = me
+        .parent()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "current_exe has no parent"))?;
+    Ok(dir.join("proc_replica"))
+}
+
+fn main() -> io::Result<()> {
+    let transport = match std::env::args().nth(1).as_deref() {
+        None => ProcTransport::Uds,
+        Some(flag) => ProcTransport::parse(flag).unwrap_or_else(|| {
+            eprintln!("proc_headline: unknown transport {flag:?} (expected uds|tcp)");
+            std::process::exit(2);
+        }),
+    };
+    let quick = std::env::var("EESMR_QUICK").is_ok_and(|v| !v.is_empty());
+    let (n, k, blocks) = if quick { (4, 2, 4u64) } else { (7, 3, 12u64) };
+    let binary = replica_binary()?;
+
+    println!(
+        "EESMR vs Sync HotStuff as {n} real processes over {} ({blocks}-block target)",
+        transport.flag()
+    );
+    println!("wall clock from the process mesh; energy from the simulator's channel model\n");
+    for protocol in [Protocol::Eesmr, Protocol::SyncHotStuff] {
+        let scenario = Scenario::new(protocol, n, k).stop(StopWhen::Blocks(blocks));
+        let sim = scenario.run();
+        let proc = scenario.run_proc(transport, &binary)?;
+
+        let secs = proc.elapsed_us as f64 / 1e6;
+        let throughput = proc.committed_height() as f64 / secs;
+        let latency = proc
+            .mean_commit_latency()
+            .map(|d| format!("{:.1} ms", d.as_micros() as f64 / 1e3))
+            .unwrap_or_else(|| "n/a".into());
+        let correct = sim.correct_nodes().count().max(1) as f64;
+        println!("{}", proc.summary());
+        println!(
+            "  processes: {:.1} blocks/s wall, mean commit latency {latency}, \
+             {} frames / {} KiB on the wire",
+            throughput,
+            proc.net.deliveries,
+            proc.net.bytes_on_air / 1024,
+        );
+        println!(
+            "  simulator: {:.2} mJ/node/block, {:.1} mJ total correct-node energy\n",
+            sim.energy_per_block_mj() / correct,
+            sim.total_correct_energy_mj(),
+        );
+    }
+    Ok(())
+}

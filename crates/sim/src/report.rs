@@ -81,6 +81,34 @@ pub struct NodeReport {
     /// log-bucket histogram — O(buckets) memory however long the run —
     /// empty when the scenario has no workload attached.
     pub tx_latency_hist: LogHistogram,
+    /// Fingerprints of this node's committed block ids, in commit
+    /// order, capped at [`COMMIT_LOG_CAP`] entries. Two nodes (or two
+    /// backends) that agree on this prefix committed byte-identical
+    /// blocks — the backend-conformance suite compares it between
+    /// SimNet and ProcNet runs.
+    pub commit_fps: Vec<u64>,
+    /// Commands carried by each committed block in `commit_fps`
+    /// (same order, same cap); an entry is 0 when the block body was
+    /// no longer in the local store at report time.
+    pub commit_txs: Vec<u32>,
+}
+
+/// Cap on the per-node committed-log prefix a [`NodeReport`] carries
+/// (`commit_fps` / `commit_txs`). Long soak runs keep reports bounded;
+/// conformance runs stop well under the cap.
+pub const COMMIT_LOG_CAP: usize = 4096;
+
+/// Builds the capped committed-log prefix for a [`NodeReport`] from a
+/// replica's committed block ids plus a block lookup (commands per
+/// block; 0 when a block body is no longer stored locally).
+pub fn commit_log_prefix(
+    log: &[eesmr_crypto::Digest],
+    commands_of: impl Fn(&eesmr_crypto::Digest) -> Option<u32>,
+) -> (Vec<u64>, Vec<u32>) {
+    let prefix = &log[..log.len().min(COMMIT_LOG_CAP)];
+    let fps = prefix.iter().map(eesmr_core::block::fingerprint).collect();
+    let txs = prefix.iter().map(|id| commands_of(id).unwrap_or(0)).collect();
+    (fps, txs)
 }
 
 /// End-to-end commit-latency statistics over a run's workload
@@ -338,6 +366,8 @@ mod tests {
             peak_backlog: 0,
             mean_batch_fill_pct: None,
             tx_latency_hist: LogHistogram::new(),
+            commit_fps: Vec::new(),
+            commit_txs: Vec::new(),
         }
     }
 

@@ -523,6 +523,10 @@ impl Scenario {
             .map(|id| {
                 let r = net.actor(id);
                 let meter = net.meter(id);
+                let (commit_fps, commit_txs) =
+                    crate::report::commit_log_prefix(r.committed(), |d| {
+                        r.block(d).map(|b| b.payload.len() as u32)
+                    });
                 NodeReport {
                     id,
                     faulty: plan.is_faulty(id),
@@ -540,6 +544,8 @@ impl Scenario {
                     peak_backlog: r.peak_backlog() as u64,
                     mean_batch_fill_pct: r.metrics().mean_batch_fill_pct(),
                     tx_latency_hist: r.tx_latencies().clone(),
+                    commit_fps,
+                    commit_txs,
                 }
             })
             .collect();
@@ -600,6 +606,10 @@ impl Scenario {
             .map(|id| {
                 let r = net.actor(id);
                 let meter = net.meter(id);
+                let (commit_fps, commit_txs) =
+                    crate::report::commit_log_prefix(r.committed(), |d| {
+                        r.block(d).map(|b| b.payload.len() as u32)
+                    });
                 NodeReport {
                     id,
                     faulty: plan.is_faulty(id),
@@ -617,6 +627,8 @@ impl Scenario {
                     peak_backlog: r.peak_backlog() as u64,
                     mean_batch_fill_pct: r.metrics().mean_batch_fill_pct(),
                     tx_latency_hist: r.tx_latencies().clone(),
+                    commit_fps,
+                    commit_txs,
                 }
             })
             .collect();
@@ -672,6 +684,10 @@ impl Scenario {
             .map(|id| {
                 let r = net.actor(id);
                 let meter = net.meter(id);
+                let (commit_fps, commit_txs) =
+                    crate::report::commit_log_prefix(r.committed(), |d| {
+                        r.block(d).map(|b| b.payload.len() as u32)
+                    });
                 NodeReport {
                     id,
                     faulty: id != HUB && plan.is_faulty(id),
@@ -689,6 +705,8 @@ impl Scenario {
                     peak_backlog: r.peak_backlog() as u64,
                     mean_batch_fill_pct: r.metrics().mean_batch_fill_pct(),
                     tx_latency_hist: r.tx_latencies().clone(),
+                    commit_fps,
+                    commit_txs,
                 }
             })
             .collect();

@@ -136,6 +136,25 @@ impl LogHistogram {
         Some(self.max)
     }
 
+    /// The histogram's internal state — bucket counts plus the exact
+    /// `(count, sum, min, max)` tuple — for serializers that ship a
+    /// histogram across a process boundary. Pair with
+    /// [`from_raw_parts`](Self::from_raw_parts).
+    pub fn raw_parts(&self) -> (&[u64], u64, u128, u64, u64) {
+        (&self.buckets, self.count, self.sum, self.min, self.max)
+    }
+
+    /// Rebuilds a histogram from [`raw_parts`](Self::raw_parts) output.
+    /// Trailing zero buckets are trimmed so a decoded histogram compares
+    /// equal to the original regardless of how the encoder padded it.
+    pub fn from_raw_parts(buckets: Vec<u64>, count: u64, sum: u128, min: u64, max: u64) -> Self {
+        let mut buckets = buckets;
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        LogHistogram { buckets, count, sum, min, max }
+    }
+
     /// Absorbs `other` into `self`. Merging per-node histograms in any
     /// grouping yields the identical pooled histogram — the property the
     /// sharded runtime relies on.
@@ -247,6 +266,25 @@ mod tests {
         merged.merge(&parts[1]);
         assert_eq!(merged, pooled);
         assert_eq!(merged.sum(), samples.iter().map(|&s| s as u128).sum());
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_reproduces_the_histogram() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 7, 31, 32, 1000, 1 << 30] {
+            h.record(v);
+        }
+        let (buckets, count, sum, min, max) = h.raw_parts();
+        let back = LogHistogram::from_raw_parts(buckets.to_vec(), count, sum, min, max);
+        assert_eq!(back, h);
+        // Zero padding from an encoder is trimmed away.
+        let mut padded = buckets.to_vec();
+        padded.extend_from_slice(&[0, 0, 0]);
+        assert_eq!(LogHistogram::from_raw_parts(padded, count, sum, min, max), h);
+        // Empty histograms roundtrip too.
+        let e = LogHistogram::new();
+        let (b, c, s, lo, hi) = e.raw_parts();
+        assert_eq!(LogHistogram::from_raw_parts(b.to_vec(), c, s, lo, hi), e);
     }
 
     #[test]
